@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+	"exadla/internal/mixed"
+)
+
+// runE3 reproduces the dsgesv plot: mixed-precision LU with iterative
+// refinement versus a full float64 solve, across sizes and condition
+// numbers — time ratio, refinement sweeps, and delivered accuracy.
+func runE3(quick bool) {
+	sizes := pick(quick, []int{256, 512}, []int{256, 512, 1024})
+	conds := []float64{1e1, 1e4, 1e6, 1e9}
+
+	tbl := newTable("n", "cond", "t_fp64(s)", "t_mixed(s)", "speedup",
+		"modeled_2x", "iters", "converged", "fwd_err_mixed", "fwd_err_fp32")
+	for _, n := range sizes {
+		for _, cond := range conds {
+			rng := rand.New(rand.NewSource(int64(n) + int64(cond)))
+			a := matgen.WithCond[float64](rng, n, n, cond)
+			xTrue := matgen.Dense[float64](rng, n, 1)
+			b := make([]float64, n)
+			blas.Gemv(blas.NoTrans, n, n, 1, a, n, xTrue, 1, 0, b, 1)
+
+			// Full float64 solve.
+			a64 := append([]float64(nil), a...)
+			x64 := append([]float64(nil), b...)
+			ipiv := make([]int, n)
+			t0 := time.Now()
+			if err := lapack.Gesv(n, 1, a64, n, ipiv, x64, n); err != nil {
+				fmt.Printf("n=%d cond=%.0e: fp64 solve failed: %v\n", n, cond, err)
+				continue
+			}
+			tFP64 := time.Since(t0).Seconds()
+
+			// Mixed precision.
+			xm := make([]float64, n)
+			t0 = time.Now()
+			res, err := mixed.SolveLU(n, a, n, b, xm)
+			tMixed := time.Since(t0).Seconds()
+			if err != nil {
+				fmt.Printf("n=%d cond=%.0e: mixed solve failed: %v\n", n, cond, err)
+				continue
+			}
+
+			// Pure float32 for the accuracy contrast, timing the float32
+			// factorization for the modeled-speedup column.
+			a32 := make([]float32, n*n)
+			b32 := make([]float32, n)
+			for i := range a {
+				a32[i] = float32(a[i])
+			}
+			for i := range b {
+				b32[i] = float32(b[i])
+			}
+			x32 := make([]float64, n)
+			t0 = time.Now()
+			fErr := lapack.Getrf(n, n, a32, n, ipiv)
+			tFact32 := time.Since(t0).Seconds()
+			if fErr == nil {
+				lapack.Getrs(blas.NoTrans, n, 1, a32, n, ipiv, b32, n)
+				for i := range b32 {
+					x32[i] = float64(b32[i])
+				}
+			}
+			// Modeled speedup on hardware with 2× float32 throughput (the
+			// documented substitution: scalar Go has no SIMD, so measured
+			// float32 runs at float64 speed; real FP units don't).
+			tRefine := tMixed - tFact32
+			if tRefine < 0 {
+				tRefine = 0
+			}
+			modeled := tFP64 / (tFact32/2 + tRefine)
+
+			conv := "yes"
+			if res.FellBack {
+				conv = "fallback"
+			} else if !res.Converged {
+				conv = "no"
+			}
+			tbl.add(n, fmt.Sprintf("%.0e", cond), tFP64, tMixed, tFP64/tMixed,
+				modeled, res.Iterations, conv, fwdErr(xm, xTrue), fwdErr(x32, xTrue))
+		}
+	}
+	tbl.print()
+	fmt.Println("\nexpected shape: modeled_2x >1 and flat iters at low cond; iters grow and the")
+	fmt.Println("advantage decays toward cond≈1/eps32≈1e7, with fallback beyond; mixed fwd_err")
+	fmt.Println("tracks fp64, fp32 fwd_err is ~1e7x worse. measured speedup ≈1 on this host:")
+	fmt.Println("scalar Go executes fp32 and fp64 at the same rate (no SIMD), so the hardware")
+	fmt.Println("2x fp32 advantage is modeled, not measured (see DESIGN.md substitutions)")
+}
+
+func fwdErr(x, xTrue []float64) float64 {
+	var d, nrm float64
+	for i := range x {
+		if v := math.Abs(x[i] - xTrue[i]); v > d {
+			d = v
+		}
+		if v := math.Abs(xTrue[i]); v > nrm {
+			nrm = v
+		}
+	}
+	if nrm == 0 {
+		return d
+	}
+	return d / nrm
+}

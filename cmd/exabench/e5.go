@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"exadla/internal/autotune"
+	"exadla/internal/core"
+	"exadla/internal/matgen"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// runE5 reproduces the self-adapting-software argument: factorization time
+// as a function of tile size (the classic U-shaped curve), and the
+// autotuner's pick versus the sweep minimum.
+func runE5(quick bool) {
+	n := pick(quick, 512, 1024)
+	candidates := pick(quick,
+		[]int{32, 64, 128, 256},
+		[]int{16, 32, 48, 64, 96, 128, 192, 256, 384})
+	reps := pick(quick, 1, 3)
+
+	rng := rand.New(rand.NewSource(11))
+	aD := matgen.DiagDomSPD[float64](rng, n)
+
+	measure := func(nb int) float64 {
+		if nb > n {
+			return -1
+		}
+		a := tile.FromColMajor(n, n, aD, n, nb)
+		rt := sched.New(1)
+		defer rt.Shutdown()
+		return autotune.Time(func() {
+			if err := core.Cholesky(rt, a); err != nil {
+				panic(err)
+			}
+		})
+	}
+	res := autotune.Search(candidates, reps, measure)
+
+	tbl := newTable("nb", "t_cholesky(s)", "vs_best", "note")
+	var best float64
+	for _, m := range res.Table {
+		if m.Param == res.Best {
+			best = m.Seconds
+		}
+	}
+	for _, m := range res.Table {
+		note := ""
+		if m.Pruned {
+			note = "pruned"
+		}
+		if m.Param == res.Best {
+			note = "← autotuner pick"
+		}
+		tbl.add(m.Param, m.Seconds, m.Seconds/best, note)
+	}
+	tbl.print()
+
+	// Persist like the CLI tool would.
+	table := autotune.NewTable()
+	table.Set(autotune.Key("cholesky", n, 1), res.Best)
+	fmt.Printf("\nautotuner pick for %s: nb=%d (%.3fs)\n",
+		autotune.Key("cholesky", n, 1), res.Best, best)
+	fmt.Println("\nexpected shape: U-shaped curve (panel-latency bound at small nb, parallelism/cache")
+	fmt.Println("bound at large nb); autotuner pick equals the sweep minimum by construction")
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"exadla/internal/blas"
+	"exadla/internal/ft"
+	"exadla/internal/matgen"
+)
+
+// runE6 reproduces the ABFT experiment: checksum-protected Cholesky and
+// GEMM versus unprotected baselines — protection overhead, and
+// detection/location/correction rates under injected faults, with the
+// solve residual before and after recovery.
+func runE6(quick bool) {
+	sizes := pick(quick, []int{128, 256}, []int{128, 256, 512})
+	const trials = 25
+
+	fmt.Println("— Cholesky under single stored-factor corruptions —")
+	tbl := newTable("n", "t_plain(s)", "t_abft(s)", "overhead%",
+		"detected", "located", "corrected", "resid_faulty", "resid_recovered")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := matgen.DiagDomSPD[float64](rng, n)
+
+		// Min-of-3 timing to suppress single-run noise.
+		tPlain, tABFT := math.Inf(1), math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			if _, err := ft.CholeskyUnprotected(n, a, n); err != nil {
+				fmt.Println(err)
+				return
+			}
+			if s := time.Since(t0).Seconds(); s < tPlain {
+				tPlain = s
+			}
+			t0 = time.Now()
+			if _, err := ft.Cholesky(n, a, n, nil); err != nil {
+				fmt.Println(err)
+				return
+			}
+			if s := time.Since(t0).Seconds(); s < tABFT {
+				tABFT = s
+			}
+		}
+
+		xTrue := matgen.Dense[float64](rng, n, 1)
+		b := make([]float64, n)
+		blas.Symv(blas.Lower, n, 1, a, n, xTrue, 1, 0, b, 1)
+
+		detected, located, corrected := 0, 0, 0
+		var residFaulty, residFixed float64
+		for trial := 0; trial < trials; trial++ {
+			f, err := ft.Cholesky(n, a, n, nil)
+			if err != nil {
+				continue
+			}
+			inj := ft.NewInjector(int64(n*1000 + trial))
+			injected := inj.AddNoise(f.L, inj.RandomLowerIndex(n), n, 5+rng.Float64()*20)
+
+			// Residual with the corrupted factor.
+			xf := append([]float64(nil), b...)
+			f.Solve(xf)
+			residFaulty = math.Max(residFaulty, fwdErr(xf, xTrue))
+
+			faults := f.Verify()
+			if len(faults) > 0 {
+				detected++
+				if faults[0].Row == injected.Row && faults[0].Col == injected.Col {
+					located++
+				}
+			}
+			f.Correct(faults)
+			if len(f.Verify()) == 0 {
+				corrected++
+			}
+			xr := append([]float64(nil), b...)
+			f.Solve(xr)
+			residFixed = math.Max(residFixed, fwdErr(xr, xTrue))
+		}
+		tbl.add(n, tPlain, tABFT, 100*(tABFT-tPlain)/tPlain,
+			fmt.Sprintf("%d/%d", detected, trials),
+			fmt.Sprintf("%d/%d", located, trials),
+			fmt.Sprintf("%d/%d", corrected, trials),
+			residFaulty, residFixed)
+	}
+	tbl.print()
+
+	fmt.Println("\n— GEMM under per-column corruptions —")
+	tbl2 := newTable("m=n=k", "t_plain(s)", "t_abft(s)", "overhead%", "faults", "recovered")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(n) * 7))
+		a := matgen.Dense[float64](rng, n, n)
+		bm := matgen.Dense[float64](rng, n, n)
+
+		c := make([]float64, n*n)
+		t0 := time.Now()
+		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, bm, n, 0, c, n)
+		tPlain := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		p := ft.Gemm(n, n, n, a, n, bm, n)
+		tABFT := time.Since(t0).Seconds()
+
+		inj := ft.NewInjector(int64(n))
+		nf := 4
+		for k := 0; k < nf; k++ {
+			col := (k * n) / nf
+			inj.AddNoise(p.C, col*n+rng.Intn(n), n, 50)
+		}
+		faults := p.Verify()
+		p.Correct(faults)
+		var maxDiff float64
+		for i := range c {
+			if d := math.Abs(p.C[i] - c[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		recovered := "yes"
+		if maxDiff > 1e-6 {
+			recovered = "no"
+		}
+		tbl2.add(n, tPlain, tABFT, 100*(tABFT-tPlain)/tPlain,
+			fmt.Sprintf("%d/%d", len(faults), nf), recovered)
+	}
+	tbl2.print()
+	fmt.Println("\nexpected shape: overhead shrinks with n (O(n²) checksums on O(n³) work, here 2")
+	fmt.Println("extra rows of n); detection/location/correction ≈ 100%; recovered residual")
+	fmt.Println("returns to fault-free levels vs the corrupted solve's garbage")
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+	"exadla/internal/rnd"
+)
+
+// runE8 reproduces the randomized-algorithms argument: Blendenpik-style
+// least squares (SRHT sketch → QR preconditioner → LSQR) versus direct
+// Householder QR on tall problems — time, iterations, and residual parity,
+// including ill-conditioned systems where unpreconditioned iteration dies.
+func runE8(quick bool) {
+	type cfg struct {
+		m, n int
+		cond float64
+	}
+	cfgs := pick(quick,
+		[]cfg{{20000, 50, 1e2}, {20000, 100, 1e6}},
+		[]cfg{{20000, 50, 1e2}, {50000, 100, 1e2}, {50000, 100, 1e6}, {100000, 200, 1e6}})
+
+	tbl := newTable("m", "n", "cond", "t_qr(s)", "t_blendenpik(s)", "speedup",
+		"lsqr_iters", "resid_qr", "resid_rand")
+	for _, c := range cfgs {
+		rng := rand.New(rand.NewSource(int64(c.m + c.n)))
+		a := matgen.WithCond[float64](rng, c.m, c.n, c.cond)
+		b := matgen.Dense[float64](rng, c.m, 1)
+
+		// Direct QR.
+		aq := append([]float64(nil), a...)
+		bq := append([]float64(nil), b...)
+		t0 := time.Now()
+		if err := lapack.Gels(c.m, c.n, aq, c.m, bq); err != nil {
+			fmt.Println(err)
+			continue
+		}
+		tQR := time.Since(t0).Seconds()
+
+		// Blendenpik (SRHT + preconditioned LSQR). Sketch factor 4 keeps
+		// κ(A·R⁻¹) small enough that the iteration count stays flat.
+		t0 = time.Now()
+		x, stats, err := rnd.SolveLSFast(rng, c.m, c.n, a, c.m, b, 4.0, 1e-12, 300)
+		tRand := time.Since(t0).Seconds()
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+
+		tbl.add(c.m, c.n, fmt.Sprintf("%.0e", c.cond), tQR, tRand, tQR/tRand,
+			stats.LSQRIterations,
+			lsResid(c.m, c.n, a, b, bq[:c.n]),
+			lsResid(c.m, c.n, a, b, x))
+	}
+	tbl.print()
+	fmt.Println("\nexpected shape: residual parity at every size; LSQR iteration count flat in")
+	fmt.Println("cond (the preconditioner absorbs it); speedup grows with m/n as the O(mn·log m)")
+	fmt.Println("sketch displaces the O(mn²) QR")
+}
+
+func lsResid(m, n int, a, b, x []float64) float64 {
+	r := append([]float64(nil), b...)
+	blas.Gemv(blas.NoTrans, m, n, -1, a, m, x, 1, 1, r, 1)
+	return blas.Nrm2(m, r, 1)
+}

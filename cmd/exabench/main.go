@@ -1,0 +1,145 @@
+// Command exabench regenerates the reproduction's experiment suite E1–E8
+// (see DESIGN.md for the mapping to the keynote's claims), printing one
+// table or series per experiment.
+//
+// Usage:
+//
+//	exabench -exp e1          # one experiment
+//	exabench -exp all         # the full suite
+//	exabench -exp e1 -quick   # smaller sizes for a fast sanity pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	title string
+	run   func(quick bool)
+}
+
+var experiments = []experiment{
+	{"e1", "E1: tile/DAG Cholesky vs fork-join — scaling with workers", runE1},
+	{"e2", "E2: idle time and utilization — dataflow vs fork-join traces", runE2},
+	{"e3", "E3: mixed-precision iterative refinement vs full FP64", runE3},
+	{"e4", "E4: communication-avoiding TSQR vs Householder QR", runE4},
+	{"e5", "E5: tile-size sweep and autotuner", runE5},
+	{"e6", "E6: ABFT overhead and fault recovery", runE6},
+	{"e7", "E7: batched small factorizations vs one-at-a-time loop", runE7},
+	{"e8", "E8: randomized least squares vs direct QR", runE8},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e1..e8 or all")
+	quick := flag.Bool("quick", false, "use reduced sizes for a fast pass")
+	flag.Parse()
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n=== %s ===\n\n", e.title)
+		e.run(*quick)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: e1..e8, all\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// table is a minimal fixed-width table printer.
+type table struct {
+	headers []string
+	rows    [][]string
+}
+
+func newTable(headers ...string) *table { return &table{headers: headers} }
+
+func (t *table) add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func (t *table) print() {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		fmt.Println(strings.TrimRight(sb.String(), " "))
+	}
+	line(t.headers)
+	seps := make([]string, len(t.headers))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// pick returns a by quick-mode.
+func pick[T any](quick bool, q, full T) T {
+	if quick {
+		return q
+	}
+	return full
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,121 @@
+// Command exatune runs the empirical tile-size autotuner for the tiled
+// factorizations and records the winners in a persistent tuning table.
+//
+// Usage:
+//
+//	exatune -op cholesky -n 1024 -workers 4 -out tuning.json
+//	exatune -op qr -n 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"exadla/internal/autotune"
+	"exadla/internal/core"
+	"exadla/internal/matgen"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+func main() {
+	op := flag.String("op", "cholesky", "operation to tune: cholesky, lu, or qr")
+	n := flag.Int("n", 1024, "problem size")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+	reps := flag.Int("reps", 3, "repetitions per candidate (min is kept)")
+	out := flag.String("out", "", "tuning table JSON to update (optional)")
+	list := flag.String("nb", "16,32,48,64,96,128,192,256", "comma-separated tile sizes to try")
+	flag.Parse()
+
+	candidates, err := parseList(*list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	var aD []float64
+	switch *op {
+	case "cholesky":
+		aD = matgen.DiagDomSPD[float64](rng, *n)
+	case "lu", "qr":
+		aD = matgen.Dense[float64](rng, *n, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown op %q\n", *op)
+		os.Exit(2)
+	}
+
+	measure := func(nb int) float64 {
+		if nb > *n {
+			return -1
+		}
+		a := tile.FromColMajor(*n, *n, aD, *n, nb)
+		rt := sched.New(*workers)
+		defer rt.Shutdown()
+		return autotune.Time(func() {
+			switch *op {
+			case "cholesky":
+				if err := core.Cholesky(rt, a); err != nil {
+					panic(err)
+				}
+			case "lu":
+				if _, err := core.LU(rt, a); err != nil {
+					panic(err)
+				}
+			case "qr":
+				core.QR(rt, a)
+			}
+		})
+	}
+
+	fmt.Printf("tuning %s n=%d workers=%d (%d reps per candidate)\n\n", *op, *n, *workers, *reps)
+	res := autotune.Search(candidates, *reps, measure)
+	fmt.Printf("%-6s %-12s %s\n", "nb", "seconds", "")
+	for _, m := range res.Table {
+		mark := ""
+		if m.Param == res.Best {
+			mark = "← best"
+		}
+		if m.Pruned {
+			mark = "(pruned)"
+		}
+		fmt.Printf("%-6d %-12.4f %s\n", m.Param, m.Seconds, mark)
+	}
+	if res.Best < 0 {
+		fmt.Fprintln(os.Stderr, "no valid candidate")
+		os.Exit(1)
+	}
+	key := autotune.Key(*op, *n, *workers)
+	fmt.Printf("\n%s → nb=%d\n", key, res.Best)
+
+	if *out != "" {
+		table, err := autotune.Load(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		table.Set(key, res.Best)
+		if err := table.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved to %s\n", *out)
+	}
+}
+
+func parseList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad tile size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

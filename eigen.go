@@ -1,0 +1,67 @@
+package exadla
+
+import (
+	"fmt"
+	"math"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+)
+
+// EigenSym computes the full spectral decomposition A = V·diag(λ)·Vᵀ of a
+// symmetric matrix (lower triangle referenced; A untouched): eigenvalues in
+// ascending order and orthonormal eigenvectors as the columns of V.
+func (c *Context) EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.rows != a.cols {
+		return nil, nil, fmt.Errorf("exadla: EigenSym needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	n := a.rows
+	v := a.Clone()
+	d := make([]float64, n)
+	if err := lapack.Syev(true, n, v.data, n, d); err != nil {
+		return nil, nil, err
+	}
+	return d, v, nil
+}
+
+// EigenvaluesSym computes only the eigenvalues of a symmetric matrix
+// (ascending; lower triangle referenced; A untouched).
+func (c *Context) EigenvaluesSym(a *Matrix) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: EigenvaluesSym needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	n := a.rows
+	w := a.Clone()
+	d := make([]float64, n)
+	if err := lapack.Syev(false, n, w.data, n, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SingularValues computes the singular values of an m×n matrix (m ≥ n,
+// descending) via the symmetric eigenvalues of AᵀA. This squares the
+// condition number, so singular values below ‖A‖·√ε are returned as
+// best-effort small values — adequate for rank estimation and diagnostics,
+// not for σmin of very ill-conditioned matrices.
+func (c *Context) SingularValues(a *Matrix) ([]float64, error) {
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("exadla: SingularValues needs m ≥ n, got %d×%d", a.rows, a.cols)
+	}
+	m, n := a.rows, a.cols
+	ata := make([]float64, n*n)
+	blas.Syrk(blas.Lower, blas.Trans, n, m, 1, a.data, m, 0, ata, n)
+	d := make([]float64, n)
+	if err := lapack.Syev(false, n, ata, n, d); err != nil {
+		return nil, err
+	}
+	// λ ascending → σ descending.
+	out := make([]float64, n)
+	for i, l := range d {
+		if l < 0 {
+			l = 0 // rounding can push tiny eigenvalues negative
+		}
+		out[n-1-i] = math.Sqrt(l)
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+// Package exadla is a pure-Go dense linear algebra library built around the
+// "new rules" of extreme-scale computing (Dongarra, ICMS/HPDC 2016): tile
+// algorithms scheduled as dataflow DAGs instead of fork–join phases,
+// mixed-precision iterative refinement, communication-avoiding QR,
+// algorithm-based fault tolerance, batched kernels, randomized solvers, and
+// empirical autotuning.
+//
+// The entry point is a Context, which owns a worker pool and tuning
+// parameters:
+//
+//	ctx := exadla.NewContext(exadla.WithWorkers(8))
+//	defer ctx.Close()
+//
+//	a := exadla.NewMatrix(n, n)        // fill with an SPD matrix
+//	b := exadla.NewMatrix(n, 1)        // right-hand side
+//	x, err := ctx.SolveSPD(a, b)       // tile Cholesky + triangular solves
+//
+// Factorizations return factor objects that can be reused for multiple
+// right-hand sides. Higher-level drivers (SolveMixed, LeastSquares,
+// RandomizedLeastSquares, TSQRLeastSquares) expose the specialised solvers.
+package exadla
+
+import (
+	"runtime"
+
+	"exadla/internal/autotune"
+	"exadla/internal/sched"
+	"exadla/internal/trace"
+)
+
+// DefaultTileSize is the tile size used when neither an option nor the
+// tuning table overrides it. 96 is a good default for the pure-Go kernels
+// on current x86 cores (see the E5 tile-size sweep in EXPERIMENTS.md).
+const DefaultTileSize = 96
+
+// Context owns the scheduler and configuration shared by the library's
+// operations. A Context is safe for sequential use; concurrent calls on the
+// same Context would interleave task graphs and must be externally
+// serialized. Create one Context per concurrent stream instead.
+type Context struct {
+	workers  int
+	tileSize int
+	tracing  bool
+	tuning   *autotune.Table
+
+	rt  *sched.Runtime
+	log *trace.Log
+}
+
+// Option configures a Context.
+type Option func(*Context)
+
+// WithWorkers sets the worker pool size. The default is GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *Context) { c.workers = n }
+}
+
+// WithTileSize sets the tile size used by the tiled algorithms.
+func WithTileSize(nb int) Option {
+	return func(c *Context) {
+		if nb < 1 {
+			panic("exadla: tile size must be positive")
+		}
+		c.tileSize = nb
+	}
+}
+
+// WithTracing enables per-task execution tracing; see Context.TraceStats
+// and Context.TraceLog.
+func WithTracing() Option {
+	return func(c *Context) { c.tracing = true }
+}
+
+// WithTuningTable loads the autotuner's persistent table (as written by
+// cmd/exatune) and uses its per-operation tile sizes, falling back to the
+// configured tile size for untuned shapes. A missing file yields an empty
+// table; a corrupt file panics, since silently ignoring a requested tuning
+// configuration would be worse.
+func WithTuningTable(path string) Option {
+	return func(c *Context) {
+		t, err := autotune.Load(path)
+		if err != nil {
+			panic("exadla: " + err.Error())
+		}
+		c.tuning = t
+	}
+}
+
+// tileSizeFor resolves the tile size for an operation on an n-sized
+// problem: exact tuning-table hit first, configured default otherwise.
+func (c *Context) tileSizeFor(op string, n int) int {
+	if c.tuning != nil {
+		if nb, ok := c.tuning.Lookup(autotune.Key(op, n, c.workers)); ok && nb > 0 {
+			return nb
+		}
+	}
+	return c.tileSize
+}
+
+// NewContext creates a Context and starts its worker pool.
+func NewContext(opts ...Option) *Context {
+	c := &Context{
+		workers:  runtime.GOMAXPROCS(0),
+		tileSize: DefaultTileSize,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	var schedOpts []sched.Option
+	if c.tracing {
+		c.log = trace.NewLog()
+		schedOpts = append(schedOpts, sched.WithTracer(c.log))
+	}
+	c.rt = sched.New(c.workers, schedOpts...)
+	return c
+}
+
+// Close stops the worker pool. The Context must not be used afterwards.
+func (c *Context) Close() {
+	c.rt.Shutdown()
+}
+
+// Workers reports the worker pool size.
+func (c *Context) Workers() int { return c.workers }
+
+// TileSize reports the configured tile size.
+func (c *Context) TileSize() int { return c.tileSize }
+
+// TraceStats summarizes the execution trace collected so far. It returns
+// zero statistics unless the Context was created WithTracing.
+func (c *Context) TraceStats() trace.Stats {
+	if c.log == nil {
+		return trace.Stats{}
+	}
+	return c.log.Analyze()
+}
+
+// TraceLog exposes the raw trace log (nil without WithTracing), for Gantt
+// rendering and custom analysis.
+func (c *Context) TraceLog() *trace.Log { return c.log }
+
+// ResetTrace discards collected trace events.
+func (c *Context) ResetTrace() {
+	if c.log != nil {
+		c.log.Reset()
+	}
+}
+
+// scheduler returns the Context's scheduler.
+func (c *Context) scheduler() sched.Scheduler { return c.rt }

@@ -1,0 +1,456 @@
+package exadla_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"exadla"
+	"exadla/internal/autotune"
+)
+
+func newCtx(t *testing.T, opts ...exadla.Option) *exadla.Context {
+	t.Helper()
+	ctx := exadla.NewContext(opts...)
+	t.Cleanup(ctx.Close)
+	return ctx
+}
+
+func TestSolveSPD(t *testing.T) {
+	ctx := newCtx(t, exadla.WithWorkers(4), exadla.WithTileSize(32))
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 17, 64, 200} {
+		a := exadla.RandomSPD(rng, n)
+		xTrue := exadla.RandomGeneral(rng, n, 2)
+		b := ctx.Multiply(a, xTrue)
+		x, err := ctx.SolveSPD(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := exadla.Residual(a, x, b); r > 1e-12 {
+			t.Errorf("n=%d: residual %g", n, r)
+		}
+	}
+}
+
+func TestSolveSPDNotPD(t *testing.T) {
+	ctx := newCtx(t)
+	a := exadla.Identity(5)
+	a.Set(3, 3, -1)
+	b := exadla.NewMatrix(5, 1)
+	if _, err := ctx.SolveSPD(a, b); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+}
+
+func TestCholeskyFactorReuse(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTileSize(16))
+	rng := rand.New(rand.NewSource(2))
+	n := 50
+	a := exadla.RandomSPD(rng, n)
+	f, err := ctx.Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		xTrue := exadla.RandomGeneral(rng, n, 1)
+		b := ctx.Multiply(a, xTrue)
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := exadla.Residual(a, x, b); r > 1e-12 {
+			t.Errorf("trial %d: residual %g", trial, r)
+		}
+	}
+	// L·Lᵀ must reproduce A.
+	l := f.L()
+	lt := exadla.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			lt.Set(i, j, l.At(j, i))
+		}
+	}
+	recon := ctx.Multiply(l, lt)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(recon.At(i, j)-a.At(i, j)) > 1e-10*float64(n) {
+				t.Fatalf("L·Lᵀ differs from A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSolveGeneral(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTileSize(24))
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 30, 100} {
+		a := exadla.RandomGeneral(rng, n, n)
+		xTrue := exadla.RandomGeneral(rng, n, 1)
+		b := ctx.Multiply(a, xTrue)
+		x, err := ctx.Solve(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := exadla.Residual(a, x, b); r > 1e-10 {
+			t.Errorf("n=%d: residual %g", n, r)
+		}
+	}
+}
+
+func TestLUFactorReuse(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTileSize(16))
+	rng := rand.New(rand.NewSource(4))
+	n := 60
+	a := exadla.RandomGeneral(rng, n, n)
+	f, err := ctx.LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := exadla.RandomGeneral(rng, n, 3)
+	b := ctx.Multiply(a, xTrue)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := exadla.Residual(a, x, b); r > 1e-10 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTileSize(16))
+	rng := rand.New(rand.NewSource(5))
+	m, n := 120, 40
+	a := exadla.RandomGeneral(rng, m, n)
+	xTrue := exadla.RandomGeneral(rng, n, 1)
+	b := ctx.Multiply(a, xTrue)
+	x, err := ctx.LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := x.Dims()
+	if rows != n || cols != 1 {
+		t.Fatalf("solution dims %d×%d", rows, cols)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(x.At(i, 0)-xTrue.At(i, 0)) > 1e-9 {
+			t.Fatalf("x[%d] = %v want %v", i, x.At(i, 0), xTrue.At(i, 0))
+		}
+	}
+}
+
+func TestQRFactorPieces(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTileSize(16))
+	rng := rand.New(rand.NewSource(6))
+	m, n := 48, 32
+	a := exadla.RandomGeneral(rng, m, n)
+	f := ctx.QR(a)
+	// Qᵀ·A must equal [R; 0].
+	qta := f.QTb(a)
+	r := f.R()
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			want := 0.0
+			if i <= j {
+				want = r.At(i, j)
+			}
+			if math.Abs(qta.At(i, j)-want) > 1e-10*float64(m) {
+				t.Fatalf("QᵀA differs from R at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSolveMixed(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(7))
+	n := 120
+	a := exadla.RandomWithCond(rng, n, n, 100)
+	xTrue := exadla.RandomGeneral(rng, n, 1)
+	b := ctx.Multiply(a, xTrue)
+	x, res, err := ctx.SolveMixed(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("not converged: %+v", res)
+	}
+	if r := exadla.Residual(a, x, b); r > 1e-12 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestSolveMixedSPD(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(8))
+	n := 80
+	a := exadla.RandomSPDWithCond(rng, n, 50)
+	xTrue := exadla.RandomGeneral(rng, n, 1)
+	b := ctx.Multiply(a, xTrue)
+	x, res, err := ctx.SolveMixedSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged && !res.FellBack {
+		t.Errorf("no outcome: %+v", res)
+	}
+	if r := exadla.Residual(a, x, b); r > 1e-11 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestTSQRLeastSquares(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(9))
+	m, n := 500, 12
+	a := exadla.RandomGeneral(rng, m, n)
+	xTrue := exadla.RandomGeneral(rng, n, 1)
+	b := ctx.Multiply(a, xTrue)
+	x, err := ctx.TSQRLeastSquares(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(x.At(i, 0)-xTrue.At(i, 0)) > 1e-9 {
+			t.Fatalf("x[%d] differs", i)
+		}
+	}
+}
+
+func TestRandomizedLeastSquares(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(10))
+	m, n := 800, 20
+	a := exadla.RandomWithCond(rng, m, n, 1e5)
+	xTrue := exadla.RandomGeneral(rng, n, 1)
+	b := ctx.Multiply(a, xTrue)
+	x, err := ctx.RandomizedLeastSquares(rng, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(x.At(i, 0)-xTrue.At(i, 0)) > 1e-6 {
+			t.Fatalf("x[%d] = %v want %v", i, x.At(i, 0), xTrue.At(i, 0))
+		}
+	}
+}
+
+func TestCondEst(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(11))
+	a := exadla.RandomWithCond(rng, 100, 30, 1e4)
+	est := ctx.CondEst(rng, a)
+	if est < 1e3 || est > 1e5 {
+		t.Errorf("cond estimate %g for cond 1e4", est)
+	}
+}
+
+func TestMultiply(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTileSize(8))
+	rng := rand.New(rand.NewSource(12))
+	a := exadla.RandomGeneral(rng, 13, 21)
+	b := exadla.RandomGeneral(rng, 21, 9)
+	c := ctx.Multiply(a, b)
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 9; j++ {
+			want := 0.0
+			for k := 0; k < 21; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-10 {
+				t.Fatalf("C(%d,%d) = %v want %v", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestTracing(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTracing(), exadla.WithTileSize(16))
+	rng := rand.New(rand.NewSource(13))
+	a := exadla.RandomSPD(rng, 64)
+	if _, err := ctx.Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.TraceStats()
+	if st.Tasks == 0 {
+		t.Error("tracing recorded no tasks")
+	}
+	if st.ByKernel["potrf"] <= 0 {
+		t.Error("no potrf kernel time recorded")
+	}
+	ctx.ResetTrace()
+	if ctx.TraceStats().Tasks != 0 {
+		t.Error("ResetTrace did not clear")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := exadla.NewMatrix(3, 2)
+	m.Set(2, 1, 5)
+	if m.At(2, 1) != 5 {
+		t.Error("At/Set")
+	}
+	c := m.Clone()
+	c.Set(2, 1, 9)
+	if m.At(2, 1) != 5 {
+		t.Error("Clone not deep")
+	}
+	if r, cc := m.Dims(); r != 3 || cc != 2 {
+		t.Error("Dims")
+	}
+	// Norms of a known matrix.
+	a := exadla.FromSlice(2, 2, []float64{1, -3, 2, 4}) // [[1,2],[-3,4]]
+	if a.Norm(exadla.One) != 6 {
+		t.Errorf("One norm %v", a.Norm(exadla.One))
+	}
+	if a.Norm(exadla.Inf) != 7 {
+		t.Errorf("Inf norm %v", a.Norm(exadla.Inf))
+	}
+	if a.Norm(exadla.Max) != 4 {
+		t.Errorf("Max norm %v", a.Norm(exadla.Max))
+	}
+	want := math.Sqrt(1 + 9 + 4 + 16)
+	if math.Abs(a.Norm(exadla.Frobenius)-want) > 1e-14 {
+		t.Errorf("Frobenius %v", a.Norm(exadla.Frobenius))
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	ctx := newCtx(t)
+	a := exadla.NewMatrix(3, 4)
+	b := exadla.NewMatrix(3, 1)
+	if _, err := ctx.Solve(a, b); err == nil {
+		t.Error("Solve accepted non-square A")
+	}
+	sq := exadla.Identity(3)
+	bad := exadla.NewMatrix(5, 1)
+	if _, err := ctx.SolveSPD(sq, bad); err == nil {
+		t.Error("SolveSPD accepted mismatched RHS")
+	}
+	if _, err := ctx.LeastSquares(a, b); err == nil {
+		t.Error("LeastSquares accepted wide matrix")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	exadla.FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestInvert(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(20))
+	n := 60
+	a := exadla.RandomWithCond(rng, n, n, 100)
+	inv, err := ctx.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := ctx.Multiply(a, inv)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-10*float64(n) {
+				t.Fatalf("A·A⁻¹ (%d,%d) = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestInvertSPD(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(21))
+	n := 50
+	a := exadla.RandomSPD(rng, n)
+	inv, err := ctx.InvertSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric and a true inverse.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if inv.At(i, j) != inv.At(j, i) {
+				t.Fatalf("inverse not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	prod := ctx.Multiply(a, inv)
+	for i := 0; i < n; i++ {
+		if math.Abs(prod.At(i, i)-1) > 1e-10*float64(n) {
+			t.Fatalf("diagonal (%d) = %v", i, prod.At(i, i))
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	ctx := newCtx(t)
+	a := exadla.NewMatrix(4, 4) // zero matrix
+	if _, err := ctx.Invert(a); err == nil {
+		t.Error("expected error inverting singular matrix")
+	}
+}
+
+func TestQRTreePublicAPI(t *testing.T) {
+	ctx := newCtx(t, exadla.WithTileSize(16))
+	rng := rand.New(rand.NewSource(22))
+	m, n := 96, 32
+	a := exadla.RandomGeneral(rng, m, n)
+	f := ctx.QRTree(a)
+	qta := f.QTb(a)
+	r := f.R()
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			want := 0.0
+			if i <= j {
+				want = r.At(i, j)
+			}
+			if math.Abs(qta.At(i, j)-want) > 1e-10*float64(m) {
+				t.Fatalf("tree QᵀA differs from R at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestWithTuningTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tune.json")
+	// Write a table mapping cholesky n=64 at this worker count to nb=8.
+	tab := autotune.NewTable()
+	tab.Set(autotune.Key("cholesky", 64, 3), 8)
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCtx(t, exadla.WithWorkers(3), exadla.WithTileSize(32), exadla.WithTuningTable(path))
+	rng := rand.New(rand.NewSource(30))
+	a := exadla.RandomSPD(rng, 64)
+	xTrue := exadla.RandomGeneral(rng, 64, 1)
+	b := ctx.Multiply(a, xTrue)
+	x, err := ctx.SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := exadla.Residual(a, x, b); r > 1e-12 {
+		t.Errorf("tuned solve residual %g", r)
+	}
+	// Untuned shape must still work through the default tile size.
+	a2 := exadla.RandomSPD(rng, 50)
+	b2 := ctx.Multiply(a2, exadla.RandomGeneral(rng, 50, 1))
+	if _, err := ctx.SolveSPD(a2, b2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithTuningTableMissingFile(t *testing.T) {
+	// Missing file is fine (empty table).
+	ctx := exadla.NewContext(exadla.WithTuningTable(filepath.Join(t.TempDir(), "none.json")))
+	ctx.Close()
+}

@@ -1,0 +1,75 @@
+// Fault tolerance: factor an SPD matrix with ABFT checksums, silently
+// corrupt the stored factor the way a memory upset would, and watch the
+// checksum relations detect, locate, and repair the damage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"exadla/internal/blas"
+	"exadla/internal/ft"
+	"exadla/internal/matgen"
+)
+
+func main() {
+	const n = 400
+	rng := rand.New(rand.NewSource(3))
+	a := matgen.DiagDomSPD[float64](rng, n)
+	xTrue := matgen.Dense[float64](rng, n, 1)
+	b := make([]float64, n)
+	blas.Symv(blas.Lower, n, 1, a, n, xTrue, 1, 0, b, 1)
+
+	// Factor with checksum rows carried through the elimination.
+	f, err := ft.Cholesky(n, a, n, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factored %d×%d SPD matrix with ABFT checksums\n", n, n)
+	fmt.Printf("clean verify: %d faults\n", len(f.Verify()))
+
+	// Silent corruption of the stored factor (a high-order bit flip's
+	// worth of damage).
+	inj := ft.NewInjector(1)
+	injected := inj.AddNoise(f.L, inj.RandomLowerIndex(n), n, 7.5)
+	fmt.Printf("\ninjected corruption at L(%d,%d), Δ=%.3g\n", injected.Row, injected.Col, injected.Delta)
+
+	// The corrupted factor produces a garbage solution.
+	bad := append([]float64(nil), b...)
+	f.Solve(bad)
+	fmt.Printf("solve with corrupted factor: forward error %.2e\n", fwdErr(bad, xTrue))
+
+	// Detect, locate, correct.
+	faults := f.Verify()
+	for _, flt := range faults {
+		fmt.Printf("checksum scan: %v\n", flt)
+	}
+	f.Correct(faults)
+
+	good := append([]float64(nil), b...)
+	f.Solve(good)
+	fmt.Printf("solve after recovery: forward error %.2e\n", fwdErr(good, xTrue))
+	fmt.Println("\nno checkpoint, no recomputation: the checksums are maintained by the")
+	fmt.Println("factorization's own arithmetic at O(n²) cost on an O(n³) computation.")
+}
+
+func fwdErr(x, xTrue []float64) float64 {
+	var d, nrm float64
+	for i := range x {
+		if v := abs(x[i] - xTrue[i]); v > d {
+			d = v
+		}
+		if v := abs(xTrue[i]); v > nrm {
+			nrm = v
+		}
+	}
+	return d / nrm
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,62 @@
+// Poisson: a small "science workload" end to end — discretize −Δu = f on
+// the unit square with the 5-point stencil, solve the resulting SPD system
+// with the tile Cholesky solver, and check against the known analytic
+// solution. (Dense direct solvers on structured PDE systems are exactly
+// the workload the dense linear algebra stack exists to serve; a real
+// application would exploit the sparsity, but the solver path is the same.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"exadla"
+	"exadla/internal/matgen"
+)
+
+func main() {
+	ctx := exadla.NewContext()
+	defer ctx.Close()
+
+	// Grid of interior points: (n+1) intervals of width h over (0,1)².
+	const n = 24
+	h := 1.0 / float64(n+1)
+
+	// A = h⁻²·(5-point Laplacian); we fold h² into the right-hand side.
+	a := exadla.FromSlice(n*n, n*n, matgen.Poisson2D[float64](n))
+
+	// Manufactured solution u(x,y) = sin(πx)·sin(πy), so
+	// f = −Δu = 2π²·sin(πx)·sin(πy).
+	b := exadla.NewMatrix(n*n, 1)
+	uExact := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := float64(i+1) * h
+			y := float64(j+1) * h
+			uExact[i*n+j] = math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+			b.Set(i*n+j, 0, 2*math.Pi*math.Pi*math.Sin(math.Pi*x)*math.Sin(math.Pi*y)*h*h)
+		}
+	}
+
+	u, err := ctx.SolveSPD(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Discretization error should be O(h²); the algebraic error is ~ε.
+	var maxErr float64
+	for i := range uExact {
+		if d := math.Abs(u.At(i, 0) - uExact[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("solved −Δu = f on a %d×%d grid (%d unknowns)\n", n, n, n*n)
+	fmt.Printf("max |u − u_exact| = %.3e (expected O(h²) = %.3e)\n", maxErr, h*h)
+	fmt.Printf("algebraic backward error = %.2e\n", exadla.Residual(a, u, b))
+	if maxErr > 10*h*h {
+		log.Fatalf("discretization error %g exceeds O(h²) bound", maxErr)
+	}
+	fmt.Println("\nthe Laplacian's condition number grows like h⁻²; this is the regime where")
+	fmt.Println("mixed-precision refinement (examples/precisionladder) starts paying its way.")
+}

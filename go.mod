@@ -1,0 +1,3 @@
+module exadla
+
+go 1.22

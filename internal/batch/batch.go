@@ -1,0 +1,156 @@
+// Package batch implements batched dense kernels: thousands of small,
+// independent factorizations or multiplications executed through one
+// scheduler submission with chunking, versus the one-call-at-a-time loop
+// they replace. For tiny matrices the per-problem overhead (dispatch,
+// scheduling, cache refill) dominates arithmetic, so batching with
+// chunk sizes > 1 is where the throughput comes from — the keynote's
+// batched-BLAS argument.
+package batch
+
+import (
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/sched"
+)
+
+// chunkHandle names one chunk of a batch for dependence tracking (chunks of
+// one batch are independent; the handle exists so recorded graphs show the
+// fan-out).
+type chunkHandle struct {
+	batch *int
+	chunk int
+}
+
+// Options configures a batched call.
+type Options struct {
+	// ChunkSize is the number of problems fused into one task. Zero picks
+	// a default that amortizes task overhead for tiny problems.
+	ChunkSize int
+}
+
+func (o Options) chunk(count, n int) int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	// Aim for tasks of roughly 64³ flops worth of work, but keep at least
+	// ~64 chunks when the batch is large so the DAG still exposes
+	// parallelism to a multi-worker pool.
+	per := n * n * n
+	if per < 1 {
+		per = 1
+	}
+	c := (64 * 64 * 64) / per
+	if maxC := (count + 63) / 64; c > maxC {
+		c = maxC
+	}
+	if c < 1 {
+		c = 1
+	}
+	if c > count {
+		c = count
+	}
+	return c
+}
+
+// Potrf factors each n×n SPD matrix in mats (lower triangle, in place,
+// leading dimension n) through the scheduler. The returned slice has one
+// entry per matrix; nil means success.
+func Potrf(s sched.Scheduler, n int, mats [][]float64, opts Options) []error {
+	errs := make([]error, len(mats))
+	id := new(int)
+	cs := opts.chunk(len(mats), n)
+	for lo := 0; lo < len(mats); lo += cs {
+		lo := lo
+		hi := min(lo+cs, len(mats))
+		s.Submit(sched.Task{
+			Name:   "potrf-batch",
+			Writes: []sched.Handle{chunkHandle{id, lo}},
+			Fn: func() {
+				for i := lo; i < hi; i++ {
+					errs[i] = lapack.Potf2(blas.Lower, n, mats[i], n)
+				}
+			},
+		})
+	}
+	s.Wait()
+	return errs
+}
+
+// PotrfSeq is the loop baseline: one matrix at a time on the calling
+// goroutine.
+func PotrfSeq(n int, mats [][]float64) []error {
+	errs := make([]error, len(mats))
+	for i := range mats {
+		errs[i] = lapack.Potf2(blas.Lower, n, mats[i], n)
+	}
+	return errs
+}
+
+// Getrf factors each n×n matrix in mats with partial pivoting, storing
+// pivots in pivs (allocated by the call).
+func Getrf(s sched.Scheduler, n int, mats [][]float64, opts Options) (pivs [][]int, errs []error) {
+	pivs = make([][]int, len(mats))
+	errs = make([]error, len(mats))
+	id := new(int)
+	cs := opts.chunk(len(mats), n)
+	for lo := 0; lo < len(mats); lo += cs {
+		lo := lo
+		hi := min(lo+cs, len(mats))
+		s.Submit(sched.Task{
+			Name:   "getrf-batch",
+			Writes: []sched.Handle{chunkHandle{id, lo}},
+			Fn: func() {
+				for i := lo; i < hi; i++ {
+					piv := make([]int, n)
+					errs[i] = lapack.Getf2(n, n, mats[i], n, piv)
+					pivs[i] = piv
+				}
+			},
+		})
+	}
+	s.Wait()
+	return pivs, errs
+}
+
+// GetrfSeq is the loop baseline of Getrf.
+func GetrfSeq(n int, mats [][]float64) (pivs [][]int, errs []error) {
+	pivs = make([][]int, len(mats))
+	errs = make([]error, len(mats))
+	for i := range mats {
+		piv := make([]int, n)
+		errs[i] = lapack.Getf2(n, n, mats[i], n, piv)
+		pivs[i] = piv
+	}
+	return pivs, errs
+}
+
+// Gemm computes cs[i] ← as[i]·bs[i] for batches of m×k and k×n matrices.
+func Gemm(s sched.Scheduler, m, n, k int, as, bs, cs [][]float64, opts Options) {
+	if len(as) != len(bs) || len(as) != len(cs) {
+		panic("batch: Gemm batch length mismatch")
+	}
+	id := new(int)
+	chunk := opts.chunk(len(as), max(m, max(n, k)))
+	for lo := 0; lo < len(as); lo += chunk {
+		lo := lo
+		hi := min(lo+chunk, len(as))
+		s.Submit(sched.Task{
+			Name:   "gemm-batch",
+			Writes: []sched.Handle{chunkHandle{id, lo}},
+			Fn: func() {
+				for i := lo; i < hi; i++ {
+					blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, k,
+						1, as[i], m, bs[i], k, 0, cs[i], m)
+				}
+			},
+		})
+	}
+	s.Wait()
+}
+
+// GemmSeq is the loop baseline of Gemm.
+func GemmSeq(m, n, k int, as, bs, cs [][]float64) {
+	for i := range as {
+		blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, as[i], m, bs[i], k, 0, cs[i], m)
+	}
+}

@@ -1,0 +1,158 @@
+package batch_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/batch"
+	"exadla/internal/matgen"
+	"exadla/internal/sched"
+)
+
+func spdBatch(rng *rand.Rand, count, n int) [][]float64 {
+	mats := make([][]float64, count)
+	for i := range mats {
+		mats[i] = matgen.DiagDomSPD[float64](rng, n)
+	}
+	return mats
+}
+
+func cloneBatch(mats [][]float64) [][]float64 {
+	out := make([][]float64, len(mats))
+	for i, m := range mats {
+		out[i] = append([]float64(nil), m...)
+	}
+	return out
+}
+
+func TestBatchedPotrfMatchesSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	count, n := 37, 8
+	mats := spdBatch(rng, count, n)
+	seq := cloneBatch(mats)
+	par := cloneBatch(mats)
+
+	if errs := batch.PotrfSeq(n, seq); anyErr(errs) {
+		t.Fatal("seq errors")
+	}
+	r := sched.New(4)
+	defer r.Shutdown()
+	for _, cs := range []int{1, 5, 100} {
+		got := cloneBatch(par)
+		if errs := batch.Potrf(r, n, got, batch.Options{ChunkSize: cs}); anyErr(errs) {
+			t.Fatalf("chunk %d: errors", cs)
+		}
+		for i := range got {
+			for k := range got[i] {
+				if got[i][k] != seq[i][k] {
+					t.Fatalf("chunk %d: matrix %d differs at %d", cs, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchedPotrfReportsPerMatrixErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 6
+	mats := spdBatch(rng, 5, n)
+	// Break matrix 3.
+	mats[3][2+2*n] = -1e6
+	r := sched.New(2)
+	defer r.Shutdown()
+	errs := batch.Potrf(r, n, mats, batch.Options{})
+	for i, err := range errs {
+		if i == 3 && err == nil {
+			t.Error("matrix 3 should have failed")
+		}
+		if i != 3 && err != nil {
+			t.Errorf("matrix %d unexpectedly failed: %v", i, err)
+		}
+	}
+}
+
+func TestBatchedGetrfMatchesSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	count, n := 21, 10
+	mats := make([][]float64, count)
+	for i := range mats {
+		mats[i] = matgen.Dense[float64](rng, n, n)
+	}
+	seq := cloneBatch(mats)
+	pivSeq, errsSeq := batch.GetrfSeq(n, seq)
+	if anyErr(errsSeq) {
+		t.Fatal("seq errors")
+	}
+	r := sched.New(4)
+	defer r.Shutdown()
+	got := cloneBatch(mats)
+	pivPar, errsPar := batch.Getrf(r, n, got, batch.Options{ChunkSize: 4})
+	if anyErr(errsPar) {
+		t.Fatal("par errors")
+	}
+	for i := range got {
+		for k := range got[i] {
+			if got[i][k] != seq[i][k] {
+				t.Fatalf("matrix %d differs", i)
+			}
+		}
+		for k := range pivPar[i] {
+			if pivPar[i][k] != pivSeq[i][k] {
+				t.Fatalf("pivots of matrix %d differ", i)
+			}
+		}
+	}
+}
+
+func TestBatchedGemmMatchesSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	count, m, n, k := 15, 7, 6, 5
+	as := make([][]float64, count)
+	bs := make([][]float64, count)
+	cs := make([][]float64, count)
+	cs2 := make([][]float64, count)
+	for i := 0; i < count; i++ {
+		as[i] = matgen.Dense[float64](rng, m, k)
+		bs[i] = matgen.Dense[float64](rng, k, n)
+		cs[i] = make([]float64, m*n)
+		cs2[i] = make([]float64, m*n)
+	}
+	batch.GemmSeq(m, n, k, as, bs, cs)
+	r := sched.New(3)
+	defer r.Shutdown()
+	batch.Gemm(r, m, n, k, as, bs, cs2, batch.Options{ChunkSize: 2})
+	for i := range cs {
+		for j := range cs[i] {
+			if math.Abs(cs[i][j]-cs2[i][j]) > 1e-12 {
+				t.Fatalf("product %d differs", i)
+			}
+		}
+	}
+}
+
+func TestDefaultChunkSize(t *testing.T) {
+	// Tiny problems must be fused into multi-problem chunks by default:
+	// the recorded graph has far fewer tasks than problems.
+	rng := rand.New(rand.NewSource(5))
+	count, n := 1000, 4
+	mats := spdBatch(rng, count, n)
+	rec := sched.NewRecorder()
+	batch.Potrf(rec, n, mats, batch.Options{})
+	tasks := rec.Graph().Tasks()
+	if tasks >= count {
+		t.Errorf("default chunking produced %d tasks for %d problems", tasks, count)
+	}
+	if tasks < 1 {
+		t.Error("no tasks at all")
+	}
+}
+
+func anyErr(errs []error) bool {
+	for _, e := range errs {
+		if e != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+// Package blas provides pure-Go implementations of the Basic Linear Algebra
+// Subprograms (levels 1, 2, and 3), generic over float32 and float64.
+//
+// Matrices are stored in column-major order, following the original BLAS and
+// LAPACK conventions: element (i, j) of an m×n matrix A with leading
+// dimension lda lives at a[i+j*lda], and lda ≥ m. Column-major storage makes
+// the column operations that dominate panel factorizations contiguous.
+//
+// All routines panic on malformed arguments (negative dimensions, leading
+// dimensions smaller than the row count, short backing slices). Those are
+// programmer errors, not runtime conditions, and silently computing with
+// out-of-bounds views would corrupt memory.
+//
+// The Ref* routines in ref.go are deliberately naive reference
+// implementations used by tests in this and dependent packages to validate
+// the optimized kernels.
+package blas
+
+import "fmt"
+
+// Float is the constraint satisfied by the two IEEE-754 floating point types
+// the library operates on.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Transpose specifies whether a matrix operand is used as-is or transposed.
+type Transpose byte
+
+// Uplo specifies whether the upper or lower triangle of a matrix is
+// referenced.
+type Uplo byte
+
+// Side specifies whether a triangular operand appears on the left or right
+// of a product.
+type Side byte
+
+// Diag specifies whether a triangular matrix has a unit diagonal that is not
+// stored.
+type Diag byte
+
+const (
+	// NoTrans uses the operand unmodified.
+	NoTrans Transpose = 'N'
+	// Trans uses the transpose of the operand.
+	Trans Transpose = 'T'
+
+	// Upper references the upper triangle.
+	Upper Uplo = 'U'
+	// Lower references the lower triangle.
+	Lower Uplo = 'L'
+
+	// Left places the triangular operand on the left: op(A)·X.
+	Left Side = 'L'
+	// Right places the triangular operand on the right: X·op(A).
+	Right Side = 'R'
+
+	// NonUnit means the diagonal entries are stored and used.
+	NonUnit Diag = 'N'
+	// Unit means the diagonal entries are assumed to be one.
+	Unit Diag = 'U'
+)
+
+func (t Transpose) String() string { return string(t) }
+func (u Uplo) String() string      { return string(u) }
+func (s Side) String() string      { return string(s) }
+func (d Diag) String() string      { return string(d) }
+
+func checkTrans(t Transpose) {
+	if t != NoTrans && t != Trans {
+		panic(fmt.Sprintf("blas: invalid Transpose %q", byte(t)))
+	}
+}
+
+func checkUplo(u Uplo) {
+	if u != Upper && u != Lower {
+		panic(fmt.Sprintf("blas: invalid Uplo %q", byte(u)))
+	}
+}
+
+func checkSide(s Side) {
+	if s != Left && s != Right {
+		panic(fmt.Sprintf("blas: invalid Side %q", byte(s)))
+	}
+}
+
+func checkDiag(d Diag) {
+	if d != NonUnit && d != Unit {
+		panic(fmt.Sprintf("blas: invalid Diag %q", byte(d)))
+	}
+}
+
+// checkMatrix validates the dimensions and backing storage of an m×n
+// column-major matrix with leading dimension ld.
+func checkMatrix[T Float](name string, m, n int, a []T, ld int) {
+	if m < 0 || n < 0 {
+		panic(fmt.Sprintf("blas: negative dimension for %s: %d×%d", name, m, n))
+	}
+	if ld < max(1, m) {
+		panic(fmt.Sprintf("blas: bad leading dimension for %s: ld=%d, m=%d", name, ld, m))
+	}
+	if n > 0 && len(a) < (n-1)*ld+m {
+		panic(fmt.Sprintf("blas: short storage for %s: have %d, need %d", name, len(a), (n-1)*ld+m))
+	}
+}
+
+// checkVector validates an n-vector with stride inc (inc may be negative but
+// not zero, matching the BLAS convention).
+func checkVector[T Float](name string, n int, x []T, inc int) {
+	if n < 0 {
+		panic(fmt.Sprintf("blas: negative vector length for %s: %d", name, n))
+	}
+	if inc == 0 {
+		panic(fmt.Sprintf("blas: zero stride for %s", name))
+	}
+	if n == 0 {
+		return
+	}
+	need := (n-1)*abs(inc) + 1
+	if len(x) < need {
+		panic(fmt.Sprintf("blas: short storage for %s: have %d, need %d", name, len(x), need))
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// vstart returns the index of the logically-first element of a strided
+// vector: 0 for positive strides, (n-1)*|inc| for negative strides.
+func vstart(n, inc int) int {
+	if inc >= 0 {
+		return 0
+	}
+	return (n - 1) * -inc
+}

@@ -1,0 +1,186 @@
+package blas
+
+// Blocking parameters for Gemm. The kc×nc block of B is streamed against
+// full columns of A, keeping the active working set near L1/L2 size for
+// float64 (and comfortably inside it for float32).
+const (
+	gemmKC = 128
+	gemmNC = 64
+)
+
+// Gemm computes the general matrix-matrix product
+//
+//	C ← α·op(A)·op(B) + β·C
+//
+// where op(A) is m×k, op(B) is k×n and C is m×n, all column-major.
+func Gemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	checkTrans(transA)
+	checkTrans(transB)
+	if transA == NoTrans {
+		checkMatrix("A", m, k, a, lda)
+	} else {
+		checkMatrix("A", k, m, a, lda)
+	}
+	if transB == NoTrans {
+		checkMatrix("B", k, n, b, ldb)
+	} else {
+		checkMatrix("B", n, k, b, ldb)
+	}
+	checkMatrix("C", m, n, c, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+
+	// C ← β·C.
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	case transA == NoTrans && transB == Trans:
+		gemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	case transA == Trans && transB == NoTrans:
+		gemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	default:
+		gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	}
+}
+
+// gemmNN computes C += α·A·B. The kernel accumulates axpy updates of
+// contiguous A columns into contiguous C columns, two k-steps at a time,
+// blocked over (k, n) so the touched A panel stays cache resident.
+func gemmNN[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	for jb := 0; jb < n; jb += gemmNC {
+		nb := min(gemmNC, n-jb)
+		for lb := 0; lb < k; lb += gemmKC {
+			kb := min(gemmKC, k-lb)
+			for j := jb; j < jb+nb; j++ {
+				ccol := c[j*ldc : j*ldc+m]
+				bcol := b[j*ldb:]
+				l := lb
+				for ; l+1 < lb+kb; l += 2 {
+					b0 := alpha * bcol[l]
+					b1 := alpha * bcol[l+1]
+					if b0 == 0 && b1 == 0 {
+						continue
+					}
+					a0 := a[l*lda : l*lda+m]
+					a1 := a[(l+1)*lda : (l+1)*lda+m]
+					for i := range ccol {
+						ccol[i] += b0*a0[i] + b1*a1[i]
+					}
+				}
+				if l < lb+kb {
+					b0 := alpha * bcol[l]
+					if b0 != 0 {
+						a0 := a[l*lda : l*lda+m]
+						for i := range ccol {
+							ccol[i] += b0 * a0[i]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmNT computes C += α·A·Bᵀ: B is n×k, so the k-coefficient for column j
+// is B[j,l], a strided access mitigated by the same (k, n) blocking.
+func gemmNT[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	for jb := 0; jb < n; jb += gemmNC {
+		nb := min(gemmNC, n-jb)
+		for lb := 0; lb < k; lb += gemmKC {
+			kb := min(gemmKC, k-lb)
+			for j := jb; j < jb+nb; j++ {
+				ccol := c[j*ldc : j*ldc+m]
+				l := lb
+				for ; l+1 < lb+kb; l += 2 {
+					b0 := alpha * b[j+l*ldb]
+					b1 := alpha * b[j+(l+1)*ldb]
+					if b0 == 0 && b1 == 0 {
+						continue
+					}
+					a0 := a[l*lda : l*lda+m]
+					a1 := a[(l+1)*lda : (l+1)*lda+m]
+					for i := range ccol {
+						ccol[i] += b0*a0[i] + b1*a1[i]
+					}
+				}
+				if l < lb+kb {
+					b0 := alpha * b[j+l*ldb]
+					if b0 != 0 {
+						a0 := a[l*lda : l*lda+m]
+						for i := range ccol {
+							ccol[i] += b0 * a0[i]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmTN computes C += α·Aᵀ·B: C[i,j] = α·A[:,i]ᵀB[:,j], dot products over
+// contiguous columns of both operands.
+func gemmTN[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	for jb := 0; jb < n; jb += gemmNC {
+		nb := min(gemmNC, n-jb)
+		for ib := 0; ib < m; ib += gemmNC {
+			mb := min(gemmNC, m-ib)
+			for j := jb; j < jb+nb; j++ {
+				bcol := b[j*ldb : j*ldb+k]
+				ccol := c[j*ldc:]
+				for i := ib; i < ib+mb; i++ {
+					acol := a[i*lda : i*lda+k]
+					var s T
+					for l, av := range acol {
+						s += av * bcol[l]
+					}
+					ccol[i] += alpha * s
+				}
+			}
+		}
+	}
+}
+
+// gemmTT computes C += α·Aᵀ·Bᵀ = α·(B·A)ᵀ. It streams axpy updates of B
+// columns into a row of C per A column; strided C writes are blocked.
+func gemmTT[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	// C[i,j] = α Σ_l A[l,i]·B[j,l]. Iterate i over columns of A
+	// (contiguous), then l down that column, scattering into row i of C.
+	row := make([]T, n)
+	for i := 0; i < m; i++ {
+		acol := a[i*lda : i*lda+k]
+		for j := range row {
+			row[j] = 0
+		}
+		for l, av := range acol {
+			if av == 0 {
+				continue
+			}
+			bcol := b[l*ldb : l*ldb+n]
+			for j, bv := range bcol {
+				row[j] += av * bv
+			}
+		}
+		for j, v := range row {
+			c[i+j*ldc] += alpha * v
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package blas
+
+import "math"
+
+// Dot computes the inner product xᵀy of two n-vectors.
+func Dot[T Float](n int, x []T, incX int, y []T, incY int) T {
+	checkVector("x", n, x, incX)
+	checkVector("y", n, y, incY)
+	if n == 0 {
+		return 0
+	}
+	if incX == 1 && incY == 1 {
+		var s T
+		for i, v := range x[:n] {
+			s += v * y[i]
+		}
+		return s
+	}
+	ix, iy := vstart(n, incX), vstart(n, incY)
+	var s T
+	for i := 0; i < n; i++ {
+		s += x[ix] * y[iy]
+		ix += incX
+		iy += incY
+	}
+	return s
+}
+
+// Nrm2 computes the Euclidean norm of an n-vector using scaling to avoid
+// overflow and underflow, in the manner of the reference dnrm2.
+func Nrm2[T Float](n int, x []T, incX int) T {
+	checkVector("x", n, x, incX)
+	if n == 0 {
+		return 0
+	}
+	var scale, ssq T = 0, 1
+	ix := vstart(n, incX)
+	for i := 0; i < n; i++ {
+		v := x[ix]
+		ix += incX
+		if v == 0 {
+			continue
+		}
+		av := v
+		if av < 0 {
+			av = -av
+		}
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * T(math.Sqrt(float64(ssq)))
+}
+
+// Asum computes the sum of absolute values of an n-vector.
+func Asum[T Float](n int, x []T, incX int) T {
+	checkVector("x", n, x, incX)
+	var s T
+	ix := vstart(n, incX)
+	for i := 0; i < n; i++ {
+		v := x[ix]
+		if v < 0 {
+			v = -v
+		}
+		s += v
+		ix += incX
+	}
+	return s
+}
+
+// Axpy computes y ← αx + y for n-vectors x and y.
+func Axpy[T Float](n int, alpha T, x []T, incX int, y []T, incY int) {
+	checkVector("x", n, x, incX)
+	checkVector("y", n, y, incY)
+	if n == 0 || alpha == 0 {
+		return
+	}
+	if incX == 1 && incY == 1 {
+		for i, v := range x[:n] {
+			y[i] += alpha * v
+		}
+		return
+	}
+	ix, iy := vstart(n, incX), vstart(n, incY)
+	for i := 0; i < n; i++ {
+		y[iy] += alpha * x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Scal computes x ← αx for an n-vector x.
+func Scal[T Float](n int, alpha T, x []T, incX int) {
+	checkVector("x", n, x, incX)
+	if incX == 1 {
+		for i := range x[:n] {
+			x[i] *= alpha
+		}
+		return
+	}
+	ix := vstart(n, incX)
+	for i := 0; i < n; i++ {
+		x[ix] *= alpha
+		ix += incX
+	}
+}
+
+// Copy copies an n-vector x into y.
+func Copy[T Float](n int, x []T, incX int, y []T, incY int) {
+	checkVector("x", n, x, incX)
+	checkVector("y", n, y, incY)
+	if incX == 1 && incY == 1 {
+		copy(y[:n], x[:n])
+		return
+	}
+	ix, iy := vstart(n, incX), vstart(n, incY)
+	for i := 0; i < n; i++ {
+		y[iy] = x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Swap exchanges the contents of two n-vectors.
+func Swap[T Float](n int, x []T, incX int, y []T, incY int) {
+	checkVector("x", n, x, incX)
+	checkVector("y", n, y, incY)
+	ix, iy := vstart(n, incX), vstart(n, incY)
+	for i := 0; i < n; i++ {
+		x[ix], y[iy] = y[iy], x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Iamax returns the index (in logical vector order, zero-based) of the
+// element with the largest absolute value. It returns -1 for n == 0.
+func Iamax[T Float](n int, x []T, incX int) int {
+	checkVector("x", n, x, incX)
+	if n == 0 {
+		return -1
+	}
+	ix := vstart(n, incX)
+	best, bestIdx := x[ix], 0
+	if best < 0 {
+		best = -best
+	}
+	ix += incX
+	for i := 1; i < n; i++ {
+		v := x[ix]
+		if v < 0 {
+			v = -v
+		}
+		if v > best {
+			best, bestIdx = v, i
+		}
+		ix += incX
+	}
+	return bestIdx
+}
+
+// Rotg computes the parameters of a Givens rotation that zeroes b:
+//
+//	⎡ c  s⎤ ⎡a⎤   ⎡r⎤
+//	⎣-s  c⎦ ⎣b⎦ = ⎣0⎦
+//
+// It returns r, c, and s, using the numerically careful formulation of the
+// reference drotg.
+func Rotg[T Float](a, b T) (r, c, s T) {
+	if b == 0 {
+		if a == 0 {
+			return 0, 1, 0
+		}
+		return a, 1, 0
+	}
+	if a == 0 {
+		return b, 0, 1
+	}
+	aa, ab := a, b
+	if aa < 0 {
+		aa = -aa
+	}
+	if ab < 0 {
+		ab = -ab
+	}
+	if aa > ab {
+		t := b / a
+		u := T(math.Sqrt(float64(1 + t*t)))
+		if a < 0 {
+			u = -u
+		}
+		c = 1 / u
+		s = t * c
+		r = a * u
+	} else {
+		t := a / b
+		u := T(math.Sqrt(float64(1 + t*t)))
+		if b < 0 {
+			u = -u
+		}
+		s = 1 / u
+		c = t * s
+		r = b * u
+	}
+	return r, c, s
+}
+
+// Rot applies a plane rotation with cosine c and sine s to the n-vectors x
+// and y: (xᵢ, yᵢ) ← (c·xᵢ + s·yᵢ, -s·xᵢ + c·yᵢ).
+func Rot[T Float](n int, x []T, incX int, y []T, incY int, c, s T) {
+	checkVector("x", n, x, incX)
+	checkVector("y", n, y, incY)
+	ix, iy := vstart(n, incX), vstart(n, incY)
+	for i := 0; i < n; i++ {
+		xv, yv := x[ix], y[iy]
+		x[ix] = c*xv + s*yv
+		y[iy] = -s*xv + c*yv
+		ix += incX
+		iy += incY
+	}
+}

@@ -1,0 +1,224 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	tol64 = 1e-12
+	tol32 = 1e-4
+)
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func randMat(rng *rand.Rand, m, n, ld int) []float64 {
+	s := make([]float64, ld*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			s[i+j*ld] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("length mismatch")
+	}
+	var d float64
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		x := randSlice(rng, n)
+		y := randSlice(rng, n)
+		want := 0.0
+		for i := range x {
+			want += x[i] * y[i]
+		}
+		if got := Dot(n, x, 1, y, 1); math.Abs(got-want) > tol64*float64(n+1) {
+			t.Errorf("Dot n=%d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestDotStrided(t *testing.T) {
+	x := []float64{1, 99, 2, 99, 3}
+	y := []float64{4, 5, 6}
+	// x strided by 2 -> (1,2,3); dot = 4+10+18 = 32.
+	if got := Dot(3, x, 2, y, 1); got != 32 {
+		t.Errorf("strided Dot: got %v want 32", got)
+	}
+	// Negative stride reverses the logical order of x: (3,2,1)·(4,5,6)=28.
+	if got := Dot(3, x, -2, y, 1); got != 28 {
+		t.Errorf("negative stride Dot: got %v want 28", got)
+	}
+}
+
+func TestNrm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 5, 333} {
+		x := randSlice(rng, n)
+		want := 0.0
+		for _, v := range x {
+			want += v * v
+		}
+		want = math.Sqrt(want)
+		if got := Nrm2(n, x, 1); math.Abs(got-want) > tol64*(want+1) {
+			t.Errorf("Nrm2 n=%d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestNrm2OverflowSafety(t *testing.T) {
+	// Values whose squares overflow float64; the scaled algorithm must not.
+	big := math.MaxFloat64 / 2
+	x := []float64{big, big}
+	got := Nrm2(2, x, 1)
+	want := big * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-14 {
+		t.Errorf("Nrm2 overflow: got %v want %v", got, want)
+	}
+	// And float32 underflow: tiny values squared flush to zero naively.
+	tiny := float32(1e-22)
+	xf := []float32{tiny, tiny}
+	gotf := Nrm2(2, xf, 1)
+	wantf := tiny * float32(math.Sqrt2)
+	if gotf == 0 || math.Abs(float64(gotf-wantf))/float64(wantf) > 1e-6 {
+		t.Errorf("Nrm2 underflow: got %v want %v", gotf, wantf)
+	}
+}
+
+func TestAxpyScalCopySwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 57
+	x := randSlice(rng, n)
+	y := randSlice(rng, n)
+	y2 := append([]float64(nil), y...)
+	Axpy(n, 2.5, x, 1, y, 1)
+	for i := range y {
+		want := y2[i] + 2.5*x[i]
+		if math.Abs(y[i]-want) > tol64 {
+			t.Fatalf("Axpy[%d]: got %v want %v", i, y[i], want)
+		}
+	}
+	Scal(n, 0.5, y, 1)
+	Copy(n, y, 1, y2, 1)
+	if maxAbsDiff(y, y2) != 0 {
+		t.Fatal("Copy mismatch")
+	}
+	x2 := append([]float64(nil), x...)
+	Swap(n, x, 1, y, 1)
+	if maxAbsDiff(x, y2) != 0 || maxAbsDiff(y, x2) != 0 {
+		t.Fatal("Swap mismatch")
+	}
+}
+
+func TestIamax(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{3}, 0},
+		{[]float64{1, -5, 2}, 1},
+		{[]float64{-2, -2, 1}, 0}, // first of equal magnitudes
+	}
+	for _, c := range cases {
+		if got := Iamax(len(c.x), c.x, 1); got != c.want {
+			t.Errorf("Iamax(%v): got %d want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestRotg(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		r, c, s := Rotg(a, b)
+		// The rotation must zero b and produce r.
+		if got := c*a + s*b; math.Abs(got-r) > 1e-12 {
+			t.Fatalf("Rotg(%v,%v): c*a+s*b=%v, r=%v", a, b, got, r)
+		}
+		if got := -s*a + c*b; math.Abs(got) > 1e-12 {
+			t.Fatalf("Rotg(%v,%v): -s*a+c*b=%v, want 0", a, b, got)
+		}
+		if got := c*c + s*s; math.Abs(got-1) > 1e-12 {
+			t.Fatalf("Rotg(%v,%v): c²+s²=%v", a, b, got)
+		}
+	}
+	// Degenerate cases.
+	if r, c, s := Rotg(0.0, 0.0); r != 0 || c != 1 || s != 0 {
+		t.Errorf("Rotg(0,0) = %v,%v,%v", r, c, s)
+	}
+}
+
+func TestAsum(t *testing.T) {
+	x := []float64{1, -2, 3, -4}
+	if got := Asum(4, x, 1); got != 10 {
+		t.Errorf("Asum: got %v want 10", got)
+	}
+}
+
+func TestRotPreservesNorm(t *testing.T) {
+	f := func(a, b, xv, yv float64) bool {
+		for _, v := range []float64{a, b, xv, yv} {
+			if math.IsNaN(v) || math.Abs(v) > math.MaxFloat64/4 {
+				return true // rotation itself cannot avoid overflow of x,y
+			}
+		}
+		_, c, s := Rotg(a, b)
+		x, y := []float64{xv}, []float64{yv}
+		before := math.Hypot(xv, yv)
+		Rot(1, x, 1, y, 1, c, s)
+		after := math.Hypot(x[0], y[0])
+		return math.Abs(before-after) <= 1e-9*(1+before)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32Kernels(t *testing.T) {
+	// The generic kernels must work identically for float32.
+	x := []float32{1, 2, 3}
+	y := []float32{4, 5, 6}
+	if got := Dot(3, x, 1, y, 1); got != 32 {
+		t.Errorf("float32 Dot: got %v want 32", got)
+	}
+	Axpy(3, 2, x, 1, y, 1)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Errorf("float32 Axpy: got %v", y)
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative n", func() { Dot[float64](-1, nil, 1, nil, 1) })
+	mustPanic("zero stride", func() { Dot(1, []float64{1}, 0, []float64{1}, 1) })
+	mustPanic("short x", func() { Dot(3, []float64{1}, 1, []float64{1, 2, 3}, 1) })
+}

@@ -1,0 +1,338 @@
+package blas
+
+// Syrk computes the symmetric rank-k update
+//
+//	C ← α·A·Aᵀ + β·C   (trans == NoTrans, A is n×k)
+//	C ← α·Aᵀ·A + β·C   (trans == Trans,   A is k×n)
+//
+// where only the uplo triangle of the n×n matrix C is referenced and updated.
+func Syrk[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
+	checkUplo(uplo)
+	checkTrans(trans)
+	if trans == NoTrans {
+		checkMatrix("A", n, k, a, lda)
+	} else {
+		checkMatrix("A", k, n, a, lda)
+	}
+	checkMatrix("C", n, n, c, ldc)
+	if n == 0 {
+		return
+	}
+
+	// Scale the referenced triangle of C.
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			lo, hi := 0, j+1
+			if uplo == Lower {
+				lo, hi = j, n
+			}
+			col := c[j*ldc:]
+			if beta == 0 {
+				for i := lo; i < hi; i++ {
+					col[i] = 0
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+
+	if trans == NoTrans {
+		// C[i,j] += α Σ_l A[i,l]·A[j,l]: accumulate column-wise axpy.
+		for l := 0; l < k; l++ {
+			acol := a[l*lda : l*lda+n]
+			for j := 0; j < n; j++ {
+				v := alpha * acol[j]
+				if v == 0 {
+					continue
+				}
+				ccol := c[j*ldc:]
+				if uplo == Lower {
+					for i := j; i < n; i++ {
+						ccol[i] += v * acol[i]
+					}
+				} else {
+					for i := 0; i <= j; i++ {
+						ccol[i] += v * acol[i]
+					}
+				}
+			}
+		}
+		return
+	}
+	// trans == Trans: C[i,j] += α·A[:,i]ᵀA[:,j]; columns contiguous.
+	for j := 0; j < n; j++ {
+		ajcol := a[j*lda : j*lda+k]
+		ccol := c[j*ldc:]
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		for i := lo; i < hi; i++ {
+			aicol := a[i*lda : i*lda+k]
+			var s T
+			for l, v := range ajcol {
+				s += aicol[l] * v
+			}
+			ccol[i] += alpha * s
+		}
+	}
+}
+
+// Symm computes C ← α·A·B + β·C (side == Left) or C ← α·B·A + β·C
+// (side == Right), where A is symmetric with only the uplo triangle stored
+// and C is m×n.
+func Symm[T Float](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	checkSide(side)
+	checkUplo(uplo)
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("A", na, na, a, lda)
+	checkMatrix("B", m, n, b, ldb)
+	checkMatrix("C", m, n, c, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	// Symm appears only on cold paths here; expand the symmetric operand and
+	// delegate to Gemm rather than duplicating its blocking.
+	full := make([]T, na*na)
+	for j := 0; j < na; j++ {
+		for i := 0; i < na; i++ {
+			var v T
+			if (uplo == Lower && i >= j) || (uplo == Upper && i <= j) {
+				v = a[i+j*lda]
+			} else {
+				v = a[j+i*lda]
+			}
+			full[i+j*na] = v
+		}
+	}
+	if side == Left {
+		Gemm(NoTrans, NoTrans, m, n, m, alpha, full, na, b, ldb, beta, c, ldc)
+	} else {
+		Gemm(NoTrans, NoTrans, m, n, n, alpha, b, ldb, full, na, beta, c, ldc)
+	}
+}
+
+// Trmm computes B ← α·op(A)·B (side == Left) or B ← α·B·op(A)
+// (side == Right) in place, where A is triangular and B is m×n.
+func Trmm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	checkSide(side)
+	checkUplo(uplo)
+	checkTrans(transA)
+	checkDiag(diag)
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("A", na, na, a, lda)
+	checkMatrix("B", m, n, b, ldb)
+	if m == 0 || n == 0 {
+		return
+	}
+	if side == Left {
+		// Apply the triangular product column-by-column of B via Trmv.
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			Trmv(uplo, transA, diag, m, a, lda, col, 1)
+			if alpha != 1 {
+				Scal(m, alpha, col, 1)
+			}
+		}
+		return
+	}
+	// side == Right: Bᵀ ← α·op(A)ᵀ·Bᵀ; operate on rows of B.
+	// op'(A) is the flipped transpose.
+	t := Trans
+	if transA == Trans {
+		t = NoTrans
+	}
+	row := make([]T, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		Trmv(uplo, t, diag, n, a, lda, row, 1)
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = alpha * row[j]
+		}
+	}
+}
+
+// Trsm solves one of the triangular systems
+//
+//	op(A)·X = α·B   (side == Left)
+//	X·op(A) = α·B   (side == Right)
+//
+// in place: X overwrites the m×n matrix B. A is m×m (Left) or n×n (Right).
+func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	checkSide(side)
+	checkUplo(uplo)
+	checkTrans(transA)
+	checkDiag(diag)
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("A", na, na, a, lda)
+	checkMatrix("B", m, n, b, ldb)
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			if alpha == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				Scal(m, alpha, col, 1)
+			}
+		}
+		if alpha == 0 {
+			return
+		}
+	}
+
+	unit := diag == Unit
+	switch {
+	case side == Left && transA == NoTrans && uplo == Lower:
+		// Forward substitution, rank-1 style over columns of A so that the
+		// inner updates stream down contiguous columns of B.
+		for k := 0; k < m; k++ {
+			akk := a[k+k*lda]
+			acol := a[k*lda:]
+			for j := 0; j < n; j++ {
+				bcol := b[j*ldb:]
+				if !unit {
+					bcol[k] /= akk
+				}
+				bk := bcol[k]
+				if bk == 0 {
+					continue
+				}
+				for i := k + 1; i < m; i++ {
+					bcol[i] -= bk * acol[i]
+				}
+			}
+		}
+	case side == Left && transA == NoTrans && uplo == Upper:
+		for k := m - 1; k >= 0; k-- {
+			akk := a[k+k*lda]
+			acol := a[k*lda:]
+			for j := 0; j < n; j++ {
+				bcol := b[j*ldb:]
+				if !unit {
+					bcol[k] /= akk
+				}
+				bk := bcol[k]
+				if bk == 0 {
+					continue
+				}
+				for i := 0; i < k; i++ {
+					bcol[i] -= bk * acol[i]
+				}
+			}
+		}
+	case side == Left && transA == Trans:
+		// Solve column-by-column with Trsv (Aᵀ solves use dot products over
+		// contiguous columns of A).
+		for j := 0; j < n; j++ {
+			Trsv(uplo, Trans, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+	case side == Right && transA == NoTrans && uplo == Lower:
+		// X·A = B: process columns of X right-to-left.
+		for k := n - 1; k >= 0; k-- {
+			akk := a[k+k*lda]
+			bk := b[k*ldb:]
+			if !unit {
+				for i := 0; i < m; i++ {
+					bk[i] /= akk
+				}
+			}
+			// B[:,j] -= A[k,j]·X[:,k] for j < k (A lower: A[k,j] stored).
+			for j := 0; j < k; j++ {
+				akj := a[k+j*lda]
+				if akj == 0 {
+					continue
+				}
+				bj := b[j*ldb:]
+				for i := 0; i < m; i++ {
+					bj[i] -= akj * bk[i]
+				}
+			}
+		}
+	case side == Right && transA == NoTrans && uplo == Upper:
+		for k := 0; k < n; k++ {
+			akk := a[k+k*lda]
+			bk := b[k*ldb:]
+			if !unit {
+				for i := 0; i < m; i++ {
+					bk[i] /= akk
+				}
+			}
+			for j := k + 1; j < n; j++ {
+				akj := a[k+j*lda]
+				if akj == 0 {
+					continue
+				}
+				bj := b[j*ldb:]
+				for i := 0; i < m; i++ {
+					bj[i] -= akj * bk[i]
+				}
+			}
+		}
+	case side == Right && transA == Trans && uplo == Lower:
+		// X·Aᵀ = B with A lower: Aᵀ upper, columns left-to-right.
+		for k := 0; k < n; k++ {
+			akk := a[k+k*lda]
+			bk := b[k*ldb:]
+			if !unit {
+				for i := 0; i < m; i++ {
+					bk[i] /= akk
+				}
+			}
+			// (Aᵀ)[k,j] = A[j,k] for j > k.
+			acol := a[k*lda:]
+			for j := k + 1; j < n; j++ {
+				ajk := acol[j]
+				if ajk == 0 {
+					continue
+				}
+				bj := b[j*ldb:]
+				for i := 0; i < m; i++ {
+					bj[i] -= ajk * bk[i]
+				}
+			}
+		}
+	default: // side == Right && transA == Trans && uplo == Upper
+		for k := n - 1; k >= 0; k-- {
+			akk := a[k+k*lda]
+			bk := b[k*ldb:]
+			if !unit {
+				for i := 0; i < m; i++ {
+					bk[i] /= akk
+				}
+			}
+			acol := a[k*lda:]
+			for j := 0; j < k; j++ {
+				ajk := acol[j]
+				if ajk == 0 {
+					continue
+				}
+				bj := b[j*ldb:]
+				for i := 0; i < m; i++ {
+					bj[i] -= ajk * bk[i]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Trsm inverts Trmm for every (side, uplo, trans, diag) and
+// random well-conditioned triangles.
+func TestQuickTrsmInvertsTrmm(t *testing.T) {
+	sides := []Side{Left, Right}
+	uplos := []Uplo{Upper, Lower}
+	transes := []Transpose{NoTrans, Trans}
+	diags := []Diag{NonUnit, Unit}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		side := sides[rng.Intn(2)]
+		uplo := uplos[rng.Intn(2)]
+		trans := transes[rng.Intn(2)]
+		diag := diags[rng.Intn(2)]
+		m, n := 1+rng.Intn(20), 1+rng.Intn(20)
+		na := m
+		if side == Right {
+			na = n
+		}
+		a := randMat(rng, na, na, na)
+		for i := 0; i < na; i++ {
+			a[i+i*na] = 2 + math.Abs(a[i+i*na])
+		}
+		b := randMat(rng, m, n, m)
+		orig := append([]float64(nil), b...)
+		Trmm(side, uplo, trans, diag, m, n, 1, a, na, b, m)
+		Trsm(side, uplo, trans, diag, m, n, 1, a, na, b, m)
+		return maxAbsDiff(b, orig) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Syrk(C, A) matches Gemm(A, Aᵀ) on the referenced triangle for
+// random shapes and scalars.
+func TestQuickSyrkMatchesGemm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 1+rng.Intn(24), 1+rng.Intn(24)
+		trans := NoTrans
+		if seed%2 == 0 {
+			trans = Trans
+		}
+		am, an := n, k
+		if trans == Trans {
+			am, an = k, n
+		}
+		a := randMat(rng, am, an, am)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		c1 := randMat(rng, n, n, n)
+		c2 := append([]float64(nil), c1...)
+		uplo := Lower
+		if seed%3 == 0 {
+			uplo = Upper
+		}
+		Syrk(uplo, trans, n, k, alpha, a, am, beta, c1, n)
+		if trans == NoTrans {
+			RefGemm(NoTrans, Trans, n, n, k, alpha, a, am, a, am, beta, c2, n)
+		} else {
+			RefGemm(Trans, NoTrans, n, n, k, alpha, a, am, a, am, beta, c2, n)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+				if !inTri {
+					continue
+				}
+				if math.Abs(c1[i+j*n]-c2[i+j*n]) > 1e-10*float64(k+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gemv agrees with Gemm on an n×1 operand.
+func TestQuickGemvIsGemmColumn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(30), 1+rng.Intn(30)
+		a := randMat(rng, m, n, m)
+		x := randSlice(rng, n)
+		y1 := randSlice(rng, m)
+		y2 := append([]float64(nil), y1...)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		Gemv(NoTrans, m, n, alpha, a, m, x, 1, beta, y1, 1)
+		Gemm(NoTrans, NoTrans, m, 1, n, alpha, a, m, x, n, beta, y2, m)
+		return maxAbsDiff(y1, y2) < 1e-10*float64(n+1)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and Nrm2² ≈ Dot(x, x).
+func TestQuickDotNrm2Consistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := randSlice(rng, n)
+		y := randSlice(rng, n)
+		if math.Abs(Dot(n, x, 1, y, 1)-Dot(n, y, 1, x, 1)) > 1e-10*float64(n) {
+			return false
+		}
+		nrm := Nrm2(n, x, 1)
+		return math.Abs(nrm*nrm-Dot(n, x, 1, x, 1)) < 1e-9*(1+nrm*nrm)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

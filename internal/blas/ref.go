@@ -1,0 +1,218 @@
+package blas
+
+// This file contains deliberately naive reference implementations used to
+// validate the optimized kernels, both by this package's tests and by tests
+// of dependent packages. They favour the most literal possible transcription
+// of the definitions over speed.
+
+// RefGemm computes C ← α·op(A)·op(B) + β·C with triple loops.
+func RefGemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	at := func(i, l int) T {
+		if transA == NoTrans {
+			return a[i+l*lda]
+		}
+		return a[l+i*lda]
+	}
+	bt := func(l, j int) T {
+		if transB == NoTrans {
+			return b[l+j*ldb]
+		}
+		return b[j+l*ldb]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s T
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+}
+
+// RefGemv computes y ← α·op(A)·x + β·y with explicit loops.
+func RefGemv[T Float](trans Transpose, m, n int, alpha T, a []T, lda int, x []T, incX int, beta T, y []T, incY int) {
+	rows, cols := m, n
+	if trans == Trans {
+		rows, cols = n, m
+	}
+	at := func(i, j int) T {
+		if trans == NoTrans {
+			return a[i+j*lda]
+		}
+		return a[j+i*lda]
+	}
+	res := make([]T, rows)
+	for i := 0; i < rows; i++ {
+		var s T
+		ix := vstart(cols, incX)
+		for j := 0; j < cols; j++ {
+			s += at(i, j) * x[ix]
+			ix += incX
+		}
+		res[i] = alpha * s
+	}
+	iy := vstart(rows, incY)
+	for i := 0; i < rows; i++ {
+		y[iy] = res[i] + beta*y[iy]
+		iy += incY
+	}
+}
+
+// RefSyrk computes the uplo triangle of C ← α·op(A)·op(A)ᵀ + β·C.
+func RefSyrk[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
+	at := func(i, l int) T {
+		if trans == NoTrans {
+			return a[i+l*lda]
+		}
+		return a[l+i*lda]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+			if !inTri {
+				continue
+			}
+			var s T
+			for l := 0; l < k; l++ {
+				s += at(i, l) * at(j, l)
+			}
+			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+}
+
+// RefTrsm solves op(A)·X = α·B or X·op(A) = α·B by expanding the triangular
+// operand densely and using unoptimized substitution.
+func RefTrsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	// Densify op(A).
+	full := make([]T, na*na)
+	for j := 0; j < na; j++ {
+		for i := 0; i < na; i++ {
+			var v T
+			switch {
+			case i == j:
+				if diag == Unit {
+					v = 1
+				} else {
+					v = a[i+j*lda]
+				}
+			case (uplo == Lower && i > j) || (uplo == Upper && i < j):
+				v = a[i+j*lda]
+			}
+			if transA == NoTrans {
+				full[i+j*na] = v
+			} else {
+				full[j+i*na] = v
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			b[i+j*ldb] *= alpha
+		}
+	}
+	if side == Left {
+		// Solve full·X = B by Gaussian elimination without pivoting
+		// (triangular systems need none).
+		lowerEff := (uplo == Lower) == (transA == NoTrans)
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			if lowerEff {
+				for i := 0; i < m; i++ {
+					s := col[i]
+					for l := 0; l < i; l++ {
+						s -= full[i+l*na] * col[l]
+					}
+					col[i] = s / full[i+i*na]
+				}
+			} else {
+				for i := m - 1; i >= 0; i-- {
+					s := col[i]
+					for l := i + 1; l < m; l++ {
+						s -= full[i+l*na] * col[l]
+					}
+					col[i] = s / full[i+i*na]
+				}
+			}
+		}
+		return
+	}
+	// Right: X·full = B ⇒ fullᵀ·Xᵀ = Bᵀ. Solve row-wise.
+	lowerEff := (uplo == Lower) == (transA == NoTrans) // of full
+	for i := 0; i < m; i++ {
+		// row of B as vector of length n; solve fullᵀ y = row.
+		row := make([]T, n)
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		// fullᵀ is upper if full lower.
+		if lowerEff {
+			// fullᵀ upper: back substitution.
+			for j := n - 1; j >= 0; j-- {
+				s := row[j]
+				for l := j + 1; l < n; l++ {
+					s -= full[l+j*na] * row[l]
+				}
+				row[j] = s / full[j+j*na]
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				s := row[j]
+				for l := 0; l < j; l++ {
+					s -= full[l+j*na] * row[l]
+				}
+				row[j] = s / full[j+j*na]
+			}
+		}
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = row[j]
+		}
+	}
+}
+
+// RefTrmm computes B ← α·op(A)·B or α·B·op(A) densely.
+func RefTrmm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	full := make([]T, na*na)
+	for j := 0; j < na; j++ {
+		for i := 0; i < na; i++ {
+			var v T
+			switch {
+			case i == j:
+				if diag == Unit {
+					v = 1
+				} else {
+					v = a[i+j*lda]
+				}
+			case (uplo == Lower && i > j) || (uplo == Upper && i < j):
+				v = a[i+j*lda]
+			}
+			full[i+j*na] = v
+		}
+	}
+	out := make([]T, m*n)
+	if side == Left {
+		RefGemm(transA, NoTrans, m, n, m, alpha, full, na, cloneMat(m, n, b, ldb), m, 0, out, m)
+	} else {
+		RefGemm(NoTrans, transA, m, n, n, alpha, cloneMat(m, n, b, ldb), m, full, na, 0, out, m)
+	}
+	for j := 0; j < n; j++ {
+		copy(b[j*ldb:j*ldb+m], out[j*m:j*m+m])
+	}
+}
+
+func cloneMat[T Float](m, n int, a []T, lda int) []T {
+	out := make([]T, m*n)
+	for j := 0; j < n; j++ {
+		copy(out[j*m:j*m+m], a[j*lda:j*lda+m])
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package ca implements communication-avoiding QR (TSQR) for tall-skinny
+// matrices: the row blocks are factored independently and their triangular
+// factors combined pairwise up a binary reduction tree. One reduction tree
+// replaces the Θ(n) synchronization points of column-by-column Householder
+// QR — the "minimize synchronization, not flops" rule of the keynote.
+package ca
+
+import (
+	"fmt"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/sched"
+)
+
+// Factors holds a TSQR factorization: per-leaf Householder factorizations
+// of the row blocks plus a binary tree of stacked [R; R] factorizations.
+// Q is never formed explicitly; ApplyQT replays the tree.
+type Factors struct {
+	m, n   int
+	rows   []int // row count per leaf
+	leaves []leafQR
+	levels [][]combineQR
+}
+
+type leafQR struct {
+	a   []float64 // mb×n, factored in place: R upper, V below
+	tau []float64
+}
+
+// combineQR is the QR of two stacked n×n triangles [R_top; R_bot],
+// stored as a factored dense 2n×n block.
+type combineQR struct {
+	w   []float64 // 2n×n factored
+	tau []float64
+	// lo and hi are the indices (at the previous level) of the combined
+	// nodes; hi < 0 marks a passthrough of an odd node.
+	lo, hi int
+}
+
+type nodeHandle struct {
+	f     *Factors
+	level int // -1 for leaves
+	idx   int
+}
+
+// Factor computes the TSQR factorization of the m×n column-major matrix a
+// (m ≥ n, untouched) split into nblocks row blocks, submitting leaf and
+// combine tasks to s and waiting for completion. Each block must have at
+// least n rows, so nblocks is capped at m/n.
+func Factor(s sched.Scheduler, m, n int, a []float64, lda, nblocks int) *Factors {
+	if m < n {
+		panic("ca: TSQR requires m ≥ n")
+	}
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	if max := m / max(n, 1); nblocks > max {
+		nblocks = max
+	}
+	f := &Factors{m: m, n: n}
+
+	// Split rows as evenly as possible.
+	base, rem := m/nblocks, m%nblocks
+	start := 0
+	for b := 0; b < nblocks; b++ {
+		rows := base
+		if b < rem {
+			rows++
+		}
+		// Copy the block (TSQR leaves own their storage).
+		blk := make([]float64, rows*n)
+		for j := 0; j < n; j++ {
+			copy(blk[j*rows:j*rows+rows], a[start+j*lda:start+j*lda+rows])
+		}
+		f.rows = append(f.rows, rows)
+		f.leaves = append(f.leaves, leafQR{a: blk, tau: make([]float64, n)})
+		start += rows
+	}
+
+	// Build the full tree structure before submitting any task, so tasks
+	// never observe f.levels mid-append.
+	prevCount := nblocks
+	for prevCount > 1 {
+		cur := make([]combineQR, 0, (prevCount+1)/2)
+		for i := 0; i < prevCount; i += 2 {
+			if i+1 == prevCount {
+				cur = append(cur, combineQR{lo: i, hi: -1})
+				continue
+			}
+			cur = append(cur, combineQR{
+				w:   make([]float64, 2*n*n),
+				tau: make([]float64, n),
+				lo:  i, hi: i + 1,
+			})
+		}
+		f.levels = append(f.levels, cur)
+		prevCount = len(cur)
+	}
+
+	// Leaf factorizations: independent tasks.
+	for b := range f.leaves {
+		b := b
+		s.Submit(sched.Task{
+			Name:   "geqrf",
+			Writes: []sched.Handle{nodeHandle{f, -1, b}},
+			Fn: func() {
+				lapack.Geqrf(f.rows[b], n, f.leaves[b].a, f.rows[b], f.leaves[b].tau)
+			},
+		})
+	}
+
+	// Combine tasks, with reads resolved through passthrough nodes to the
+	// handles actually written by a task.
+	for level := range f.levels {
+		for ci := range f.levels[level] {
+			node := &f.levels[level][ci]
+			if node.hi < 0 {
+				continue
+			}
+			lo, hi := node.lo, node.hi
+			nodePtr := node
+			rTop := f.nodeR(level-1, lo)
+			rBot := f.nodeR(level-1, hi)
+			s.Submit(sched.Task{
+				Name: "ttqrt",
+				Reads: []sched.Handle{
+					f.resolveHandle(level-1, lo),
+					f.resolveHandle(level-1, hi),
+				},
+				Writes: []sched.Handle{nodeHandle{f, level, ci}},
+				Fn: func() {
+					// Stack the two upper triangles.
+					w := nodePtr.w
+					for j := 0; j < n; j++ {
+						for i := 0; i <= j; i++ {
+							w[i+j*2*n] = rTop(i, j)
+							w[n+i+j*2*n] = rBot(i, j)
+						}
+						for i := j + 1; i < n; i++ {
+							w[i+j*2*n] = 0
+							w[n+i+j*2*n] = 0
+						}
+					}
+					lapack.Geqrf(2*n, n, w, 2*n, nodePtr.tau)
+				},
+			})
+		}
+	}
+	s.Wait()
+	return f
+}
+
+// resolveHandle follows passthrough chains to the node a task actually
+// writes, so dependences attach to real producers.
+func (f *Factors) resolveHandle(level, idx int) sched.Handle {
+	for level >= 0 && f.levels[level][idx].hi < 0 {
+		idx = f.levels[level][idx].lo
+		level--
+	}
+	return nodeHandle{f, level, idx}
+}
+
+// nodeR returns an accessor for the n×n upper-triangular R of a tree node.
+func (f *Factors) nodeR(level, idx int) func(i, j int) float64 {
+	// Resolve passthrough chains.
+	for level >= 0 && f.levels[level][idx].hi < 0 {
+		idx = f.levels[level][idx].lo
+		level--
+	}
+	if level < 0 {
+		leaf := f.leaves[idx]
+		rows := f.rows[idx]
+		return func(i, j int) float64 { return leaf.a[i+j*rows] }
+	}
+	node := f.levels[level][idx]
+	return func(i, j int) float64 { return node.w[i+j*2*f.n] }
+}
+
+// R returns the final n×n upper-triangular factor (dense storage, zeros
+// below the diagonal).
+func (f *Factors) R() []float64 {
+	n := f.n
+	top := len(f.levels) - 1
+	var at func(i, j int) float64
+	if top < 0 {
+		at = f.nodeR(-1, 0)
+	} else {
+		at = f.nodeR(top, 0)
+	}
+	r := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			r[i+j*n] = at(i, j)
+		}
+	}
+	return r
+}
+
+// ApplyQT computes the first n entries of Qᵀ·b by replaying the tree: leaf
+// Householder applications followed by the stacked combine applications.
+// b has length m and is not modified.
+func (f *Factors) ApplyQT(b []float64) []float64 {
+	n := f.n
+	// Leaf stage: c_i = (Q_iᵀ b_i)[0:n].
+	cs := make([][]float64, len(f.leaves))
+	start := 0
+	for i, leaf := range f.leaves {
+		rows := f.rows[i]
+		v := append([]float64(nil), b[start:start+rows]...)
+		lapack.Ormqr(blas.Trans, rows, 1, n, leaf.a, rows, leaf.tau, v, rows)
+		cs[i] = v[:n]
+		start += rows
+	}
+	// Tree stages.
+	for _, level := range f.levels {
+		next := make([][]float64, len(level))
+		for ci, node := range level {
+			if node.hi < 0 {
+				next[ci] = cs[node.lo]
+				continue
+			}
+			v := make([]float64, 2*n)
+			copy(v[:n], cs[node.lo])
+			copy(v[n:], cs[node.hi])
+			lapack.Ormqr(blas.Trans, 2*n, 1, n, node.w, 2*n, node.tau, v, 2*n)
+			next[ci] = v[:n]
+		}
+		cs = next
+	}
+	return cs[0]
+}
+
+// LeastSquares solves min‖A·x − b‖₂ with TSQR over nblocks row blocks,
+// returning the solution vector of length n.
+func LeastSquares(s sched.Scheduler, m, n int, a []float64, lda int, b []float64, nblocks int) ([]float64, error) {
+	f := Factor(s, m, n, a, lda, nblocks)
+	x := f.ApplyQT(b)
+	r := f.R()
+	for i := 0; i < n; i++ {
+		if r[i+i*n] == 0 {
+			return nil, fmt.Errorf("ca: rank-deficient matrix (R[%d][%d] = 0)", i, i)
+		}
+	}
+	blas.Trsv(blas.Upper, blas.NoTrans, blas.NonUnit, n, r, n, x, 1)
+	return x, nil
+}

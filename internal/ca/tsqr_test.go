@@ -1,0 +1,169 @@
+package ca_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/blas"
+	"exadla/internal/ca"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+	"exadla/internal/sched"
+)
+
+func TestTSQRMatchesHouseholderR(t *testing.T) {
+	// R from TSQR equals R from flat Householder QR up to row signs.
+	rng := rand.New(rand.NewSource(1))
+	for _, nblocks := range []int{1, 2, 3, 4, 7, 16} {
+		m, n := 400, 12
+		a := matgen.Dense[float64](rng, m, n)
+		r := sched.New(4)
+		f := ca.Factor(r, m, n, a, m, nblocks)
+		r.Shutdown()
+		rTSQR := f.R()
+
+		aCopy := append([]float64(nil), a...)
+		tau := make([]float64, n)
+		lapack.Geqrf(m, n, aCopy, m, tau)
+		for j := 0; j < n; j++ {
+			for i := 0; i <= j; i++ {
+				got := math.Abs(rTSQR[i+j*n])
+				want := math.Abs(aCopy[i+j*m])
+				if math.Abs(got-want) > 1e-10*(1+want) {
+					t.Fatalf("nblocks=%d: |R[%d,%d]| = %v, want %v", nblocks, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTSQRDeterministicAcrossWorkers(t *testing.T) {
+	// The reduction tree is fixed, so results must be bitwise identical
+	// regardless of worker count.
+	rng := rand.New(rand.NewSource(2))
+	m, n := 300, 8
+	a := matgen.Dense[float64](rng, m, n)
+	var rs [][]float64
+	for _, workers := range []int{1, 4} {
+		r := sched.New(workers)
+		f := ca.Factor(r, m, n, a, m, 8)
+		r.Shutdown()
+		rs = append(rs, f.R())
+	}
+	for i := range rs[0] {
+		if rs[0][i] != rs[1][i] {
+			t.Fatalf("R differs across worker counts at %d", i)
+		}
+	}
+}
+
+func TestTSQRNormPreservation(t *testing.T) {
+	// ‖Qᵀb over full tree‖ combined with residual: ‖b‖² = ‖(Qᵀb)[0:n]‖² +
+	// ‖residual part‖², so ‖ApplyQT(b)‖ ≤ ‖b‖.
+	rng := rand.New(rand.NewSource(3))
+	m, n := 500, 10
+	a := matgen.Dense[float64](rng, m, n)
+	b := matgen.Dense[float64](rng, m, 1)
+	r := sched.New(2)
+	f := ca.Factor(r, m, n, a, m, 6)
+	r.Shutdown()
+	c := f.ApplyQT(b)
+	if len(c) != n {
+		t.Fatalf("ApplyQT length %d, want %d", len(c), n)
+	}
+	if blas.Nrm2(n, c, 1) > blas.Nrm2(m, b, 1)*(1+1e-12) {
+		t.Error("ApplyQT inflated the norm")
+	}
+}
+
+func TestTSQRLeastSquaresMatchesGels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, n := 600, 15
+	a := matgen.Dense[float64](rng, m, n)
+	b := matgen.Dense[float64](rng, m, 1)
+	r := sched.New(4)
+	x, err := ca.LeastSquares(r, m, n, a, m, b, 8)
+	r.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aCopy := append([]float64(nil), a...)
+	bCopy := append([]float64(nil), b...)
+	if err := lapack.Gels(m, n, aCopy, m, bCopy); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(x[i]-bCopy[i]) > 1e-9*(1+math.Abs(bCopy[i])) {
+			t.Fatalf("x[%d] = %v, Gels %v", i, x[i], bCopy[i])
+		}
+	}
+}
+
+func TestTSQRExactSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n := 256, 16
+	a := matgen.Dense[float64](rng, m, n)
+	xTrue := matgen.Dense[float64](rng, n, 1)
+	b := make([]float64, m)
+	blas.Gemv(blas.NoTrans, m, n, 1, a, m, xTrue, 1, 0, b, 1)
+	r := sched.New(2)
+	x, err := ca.LeastSquares(r, m, n, a, m, b, 5)
+	r.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestTSQRRankDeficient(t *testing.T) {
+	m, n := 50, 4
+	a := make([]float64, m*n) // zero columns → rank deficient
+	b := make([]float64, m)
+	r := sched.New(1)
+	defer r.Shutdown()
+	if _, err := ca.LeastSquares(r, m, n, a, m, b, 2); err == nil {
+		t.Error("expected rank-deficiency error")
+	}
+}
+
+func TestTSQRBlockCountClamped(t *testing.T) {
+	// More blocks than m/n must be clamped, not panic.
+	rng := rand.New(rand.NewSource(6))
+	m, n := 40, 10
+	a := matgen.Dense[float64](rng, m, n)
+	r := sched.New(2)
+	defer r.Shutdown()
+	f := ca.Factor(r, m, n, a, m, 1000)
+	rr := f.R()
+	if len(rr) != n*n {
+		t.Fatal("bad R size")
+	}
+}
+
+func TestTSQRWithRecorder(t *testing.T) {
+	// The recorder path exposes the task graph: leaves + combines. With 8
+	// blocks there are 8 geqrf and 7 ttqrt tasks; the critical path spans
+	// one leaf plus ceil(log2(8)) = 3 combines.
+	rng := rand.New(rand.NewSource(7))
+	m, n := 320, 8
+	a := matgen.Dense[float64](rng, m, n)
+	rec := sched.NewRecorder()
+	ca.Factor(rec, m, n, a, m, 8)
+	g := rec.Graph()
+	counts := map[string]int{}
+	for _, node := range g.Nodes {
+		counts[node.Name]++
+	}
+	if counts["geqrf"] != 8 {
+		t.Errorf("geqrf count %d, want 8", counts["geqrf"])
+	}
+	if counts["ttqrt"] != 7 {
+		t.Errorf("ttqrt count %d, want 7", counts["ttqrt"])
+	}
+}

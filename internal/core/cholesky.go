@@ -1,0 +1,254 @@
+package core
+
+import (
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// Cholesky computes the lower-triangular tile Cholesky factorization
+// A = L·Lᵀ of the symmetric positive definite tiled matrix A (only the
+// lower triangle is referenced), scheduling the full task DAG at once and
+// waiting for completion. On success the lower tiles of A hold L.
+func Cholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) error {
+	es := &errState{}
+	submitCholesky(s, a, es, false)
+	s.Wait()
+	return es.get()
+}
+
+// CholeskyForkJoin is the block-synchronous baseline: identical tile
+// kernels, but with a barrier after the panel factorization, after the
+// panel solves, and after the trailing update of every step.
+func CholeskyForkJoin[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) error {
+	es := &errState{}
+	submitCholesky(s, a, es, true)
+	s.Wait()
+	return es.get()
+}
+
+// submitCholesky submits the tile Cholesky DAG. With forkJoin set it
+// synchronizes between phases instead of relying on dataflow dependences.
+func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errState, forkJoin bool) {
+	if a.M != a.N {
+		panic("core: Cholesky needs a square matrix")
+	}
+	nt := a.NT
+	for k := 0; k < nt; k++ {
+		k := k
+		s.Submit(sched.Task{
+			Name:     "potrf",
+			Priority: prioPanel(k, nt),
+			Reads:    nil,
+			Writes:   []sched.Handle{a.Handle(k, k)},
+			Fn: func() {
+				if es.failed() {
+					return
+				}
+				n := a.TileCols(k)
+				if err := lapack.Potf2(blas.Lower, n, a.Tile(k, k), a.TileRows(k)); err != nil {
+					perr := err.(*lapack.NotPositiveDefiniteError)
+					es.set(&lapack.NotPositiveDefiniteError{Index: k*a.NB + perr.Index})
+				}
+			},
+		})
+		if forkJoin {
+			s.Wait()
+		}
+		for i := k + 1; i < a.MT; i++ {
+			i := i
+			s.Submit(sched.Task{
+				Name:     "trsm",
+				Priority: prioSolve(k, nt),
+				Reads:    []sched.Handle{a.Handle(k, k)},
+				Writes:   []sched.Handle{a.Handle(i, k)},
+				Fn: func() {
+					if es.failed() {
+						return
+					}
+					// A[i][k] ← A[i][k]·L[k][k]⁻ᵀ.
+					blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
+						a.TileRows(i), a.TileCols(k), 1,
+						a.Tile(k, k), a.TileRows(k), a.Tile(i, k), a.TileRows(i))
+				},
+			})
+		}
+		if forkJoin {
+			s.Wait()
+		}
+		for j := k + 1; j < nt; j++ {
+			j := j
+			s.Submit(sched.Task{
+				Name:     "syrk",
+				Priority: prioUpdate(k, nt),
+				Reads:    []sched.Handle{a.Handle(j, k)},
+				Writes:   []sched.Handle{a.Handle(j, j)},
+				Fn: func() {
+					if es.failed() {
+						return
+					}
+					// A[j][j] -= A[j][k]·A[j][k]ᵀ.
+					blas.Syrk(blas.Lower, blas.NoTrans, a.TileCols(j), a.TileCols(k),
+						-1, a.Tile(j, k), a.TileRows(j), 1, a.Tile(j, j), a.TileRows(j))
+				},
+			})
+			for i := j + 1; i < a.MT; i++ {
+				i := i
+				s.Submit(sched.Task{
+					Name:     "gemm",
+					Priority: prioUpdate(k, nt),
+					Reads:    []sched.Handle{a.Handle(i, k), a.Handle(j, k)},
+					Writes:   []sched.Handle{a.Handle(i, j)},
+					Fn: func() {
+						if es.failed() {
+							return
+						}
+						// A[i][j] -= A[i][k]·A[j][k]ᵀ.
+						blas.Gemm(blas.NoTrans, blas.Trans,
+							a.TileRows(i), a.TileCols(j), a.TileCols(k),
+							-1, a.Tile(i, k), a.TileRows(i),
+							a.Tile(j, k), a.TileRows(j),
+							1, a.Tile(i, j), a.TileRows(i))
+					},
+				})
+			}
+		}
+		if forkJoin {
+			s.Wait()
+		}
+	}
+}
+
+// TrsmLower submits tile tasks solving op(L)·X = B in place, where L is the
+// lower-triangular tile factor in A's lower tiles and B is a tiled
+// right-hand-side matrix (B.MT == A.NT).
+func TrsmLower[F blas.Float](s sched.Scheduler, trans blas.Transpose, a *tile.Matrix[F], b *tile.Matrix[F]) {
+	nt := a.NT
+	if trans == blas.NoTrans {
+		// Forward substitution over tile rows.
+		for k := 0; k < nt; k++ {
+			k := k
+			for j := 0; j < b.NT; j++ {
+				j := j
+				s.Submit(sched.Task{
+					Name:     "trsm",
+					Priority: prioSolve(k, nt),
+					Reads:    []sched.Handle{a.Handle(k, k)},
+					Writes:   []sched.Handle{b.Handle(k, j)},
+					Fn: func() {
+						blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.NonUnit,
+							b.TileRows(k), b.TileCols(j), 1,
+							a.Tile(k, k), a.TileRows(k), b.Tile(k, j), b.TileRows(k))
+					},
+				})
+				for i := k + 1; i < nt; i++ {
+					i := i
+					s.Submit(sched.Task{
+						Name:     "gemm",
+						Priority: prioUpdate(k, nt),
+						Reads:    []sched.Handle{a.Handle(i, k), b.Handle(k, j)},
+						Writes:   []sched.Handle{b.Handle(i, j)},
+						Fn: func() {
+							blas.Gemm(blas.NoTrans, blas.NoTrans,
+								b.TileRows(i), b.TileCols(j), b.TileRows(k),
+								-1, a.Tile(i, k), a.TileRows(i),
+								b.Tile(k, j), b.TileRows(k),
+								1, b.Tile(i, j), b.TileRows(i))
+						},
+					})
+				}
+			}
+		}
+		return
+	}
+	// Lᵀ·X = B: back substitution over tile rows.
+	for k := nt - 1; k >= 0; k-- {
+		k := k
+		for j := 0; j < b.NT; j++ {
+			j := j
+			s.Submit(sched.Task{
+				Name:     "trsm",
+				Priority: prioSolve(nt-1-k, nt),
+				Reads:    []sched.Handle{a.Handle(k, k)},
+				Writes:   []sched.Handle{b.Handle(k, j)},
+				Fn: func() {
+					blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.NonUnit,
+						b.TileRows(k), b.TileCols(j), 1,
+						a.Tile(k, k), a.TileRows(k), b.Tile(k, j), b.TileRows(k))
+				},
+			})
+			for i := 0; i < k; i++ {
+				i := i
+				s.Submit(sched.Task{
+					Name:     "gemm",
+					Priority: prioUpdate(nt-1-k, nt),
+					Reads:    []sched.Handle{a.Handle(k, i), b.Handle(k, j)},
+					Writes:   []sched.Handle{b.Handle(i, j)},
+					Fn: func() {
+						// B[i][j] -= A[k][i]ᵀ·B[k][j] (L[k][i] stored at (k,i)).
+						blas.Gemm(blas.Trans, blas.NoTrans,
+							b.TileRows(i), b.TileCols(j), b.TileRows(k),
+							-1, a.Tile(k, i), a.TileRows(k),
+							b.Tile(k, j), b.TileRows(k),
+							1, b.Tile(i, j), b.TileRows(i))
+					},
+				})
+			}
+		}
+	}
+}
+
+// TrsmUpper submits tile tasks solving U·X = B in place, where U is the
+// upper-triangular tile factor stored in A's upper tiles (diagonal tiles
+// hold U on and above the diagonal).
+func TrsmUpper[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], b *tile.Matrix[F]) {
+	nt := a.NT
+	for k := nt - 1; k >= 0; k-- {
+		k := k
+		for j := 0; j < b.NT; j++ {
+			j := j
+			s.Submit(sched.Task{
+				Name:     "trsm",
+				Priority: prioSolve(nt-1-k, nt),
+				Reads:    []sched.Handle{a.Handle(k, k)},
+				Writes:   []sched.Handle{b.Handle(k, j)},
+				Fn: func() {
+					// Only the top TileCols(k) rows of B's tile-row k carry
+					// the triangular system (they equal the tile size except
+					// possibly at the boundary of a tall least-squares B).
+					blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit,
+						a.TileCols(k), b.TileCols(j), 1,
+						a.Tile(k, k), a.TileRows(k), b.Tile(k, j), b.TileRows(k))
+				},
+			})
+			for i := 0; i < k; i++ {
+				i := i
+				s.Submit(sched.Task{
+					Name:     "gemm",
+					Priority: prioUpdate(nt-1-k, nt),
+					Reads:    []sched.Handle{a.Handle(i, k), b.Handle(k, j)},
+					Writes:   []sched.Handle{b.Handle(i, j)},
+					Fn: func() {
+						blas.Gemm(blas.NoTrans, blas.NoTrans,
+							a.TileCols(i), b.TileCols(j), a.TileCols(k),
+							-1, a.Tile(i, k), a.TileRows(i),
+							b.Tile(k, j), b.TileRows(k),
+							1, b.Tile(i, j), b.TileRows(i))
+					},
+				})
+			}
+		}
+	}
+}
+
+// Posv factors the SPD tiled matrix A in place and solves A·X = B in place,
+// all in one dataflow graph with no intermediate barrier.
+func Posv[F blas.Float](s sched.Scheduler, a, b *tile.Matrix[F]) error {
+	es := &errState{}
+	submitCholesky(s, a, es, false)
+	TrsmLower(s, blas.NoTrans, a, b)
+	TrsmLower(s, blas.Trans, a, b)
+	s.Wait()
+	return es.get()
+}

@@ -1,0 +1,146 @@
+// Package core implements the tile algorithms at the heart of the
+// reproduction: Cholesky, LU (incremental pivoting), and QR factorizations
+// expressed as DAGs of tile kernels submitted to a dataflow scheduler, plus
+// the fork–join baselines the extreme-scale argument compares against.
+//
+// Every algorithm comes in two variants sharing the same tile kernels:
+//
+//   - the dataflow variant submits all tasks up front and synchronizes once,
+//     so the scheduler overlaps independent work across iteration boundaries;
+//   - the ForkJoin variant inserts a barrier (Scheduler.Wait) after each
+//     phase of each iteration, modelling the block-synchronous LAPACK-style
+//     execution whose idle time the talk attacks.
+//
+// Factorization errors discovered inside tasks (a non-positive-definite
+// diagonal tile, a singular pivot) are captured in an errState; once set,
+// remaining tasks turn into no-ops so the DAG drains quickly, and the first
+// error is returned after the final Wait.
+package core
+
+import (
+	"sync"
+
+	"exadla/internal/blas"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// errState collects the first error raised by any task and lets subsequent
+// tasks cheaply discover that the computation is doomed.
+type errState struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errState) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errState) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+func (e *errState) failed() bool { return e.get() != nil }
+
+// Priority bands: panel kernels sit on the critical path and outrank the
+// trailing updates of the same step; earlier steps outrank later ones.
+func prioPanel(step, steps int) int  { return 3*(steps-step) + 2 }
+func prioSolve(step, steps int) int  { return 3*(steps-step) + 1 }
+func prioUpdate(step, steps int) int { return 3 * (steps - step) }
+
+// Gemm submits tile tasks computing C ← α·op(A)·op(B) + β·C over tiled
+// matrices. Tile geometries must agree (same NB, conforming dimensions).
+// The tasks are submitted to s; the caller is responsible for Wait.
+func Gemm[F blas.Float](s sched.Scheduler, transA, transB blas.Transpose, alpha F, a, b *tile.Matrix[F], beta F, c *tile.Matrix[F]) {
+	// Logical tile dims of op(A): mi×ki, of op(B): ki×nj.
+	amt, ant := a.MT, a.NT
+	if transA == blas.Trans {
+		amt, ant = ant, amt
+	}
+	bmt, bnt := b.MT, b.NT
+	if transB == blas.Trans {
+		bmt, bnt = bnt, bmt
+	}
+	if amt != c.MT || bnt != c.NT || ant != bmt {
+		panic("core: Gemm tile dimensions mismatch")
+	}
+	kt := ant
+	for i := 0; i < c.MT; i++ {
+		for j := 0; j < c.NT; j++ {
+			i, j := i, j
+			reads := make([]sched.Handle, 0, 2*kt)
+			for l := 0; l < kt; l++ {
+				ai, aj := i, l
+				if transA == blas.Trans {
+					ai, aj = l, i
+				}
+				bi, bj := l, j
+				if transB == blas.Trans {
+					bi, bj = j, l
+				}
+				reads = append(reads, a.Handle(ai, aj), b.Handle(bi, bj))
+			}
+			s.Submit(sched.Task{
+				Name:   "gemm",
+				Reads:  reads,
+				Writes: []sched.Handle{c.Handle(i, j)},
+				Fn: func() {
+					ct := c.Tile(i, j)
+					m, n := c.TileRows(i), c.TileCols(j)
+					bb := beta
+					for l := 0; l < kt; l++ {
+						ai, aj := i, l
+						if transA == blas.Trans {
+							ai, aj = l, i
+						}
+						bi, bj := l, j
+						if transB == blas.Trans {
+							bi, bj = j, l
+						}
+						at := a.Tile(ai, aj)
+						bt := b.Tile(bi, bj)
+						k := a.TileCols(aj)
+						if transA == blas.Trans {
+							k = a.TileRows(ai)
+						}
+						blas.Gemm(transA, transB, m, n, k,
+							alpha, at, a.TileRows(ai), bt, b.TileRows(bi), bb, ct, m)
+						bb = 1
+					}
+				},
+			})
+		}
+	}
+}
+
+// MatVec computes y ← α·op(A)·x + β·y for a tiled matrix against dense
+// vectors, sequentially; it exists for drivers and residual checks.
+func MatVec[F blas.Float](trans blas.Transpose, alpha F, a *tile.Matrix[F], x []F, beta F, y []F) {
+	ylen := a.M
+	if trans == blas.Trans {
+		ylen = a.N
+	}
+	if beta != 1 {
+		for i := 0; i < ylen; i++ {
+			y[i] *= beta
+		}
+	}
+	for ti := 0; ti < a.MT; ti++ {
+		tr := a.TileRows(ti)
+		for tj := 0; tj < a.NT; tj++ {
+			tc := a.TileCols(tj)
+			t := a.Tile(ti, tj)
+			if trans == blas.NoTrans {
+				blas.Gemv(blas.NoTrans, tr, tc, alpha, t, tr, x[tj*a.NB:tj*a.NB+tc], 1, 1, y[ti*a.NB:ti*a.NB+tr], 1)
+			} else {
+				blas.Gemv(blas.Trans, tr, tc, alpha, t, tr, x[ti*a.NB:ti*a.NB+tr], 1, 1, y[tj*a.NB:tj*a.NB+tc], 1)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package ft_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/blas"
+	"exadla/internal/ft"
+	"exadla/internal/matgen"
+)
+
+func TestProtectedGemmNoFault(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n, k := 30, 20, 25
+	a := matgen.Dense[float64](rng, m, k)
+	b := matgen.Dense[float64](rng, k, n)
+	p := ft.Gemm(m, n, k, a, m, b, k)
+	// Result must equal a plain Gemm.
+	want := make([]float64, m*n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, want, m)
+	for i := range want {
+		if math.Abs(p.C[i]-want[i]) > 1e-10 {
+			t.Fatalf("protected product differs at %d", i)
+		}
+	}
+	if faults := p.Verify(); len(faults) != 0 {
+		t.Errorf("false positives: %v", faults)
+	}
+}
+
+func TestProtectedGemmDetectLocateCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n, k := 40, 30, 20
+	a := matgen.Dense[float64](rng, m, k)
+	b := matgen.Dense[float64](rng, k, n)
+	for trial := 0; trial < 20; trial++ {
+		p := ft.Gemm(m, n, k, a, m, b, k)
+		clean := append([]float64(nil), p.C...)
+		inj := ft.NewInjector(int64(trial))
+		idx := inj.RandomIndex(m, n)
+		injected := inj.AddNoise(p.C, idx, m, 100+rng.Float64())
+		faults := p.Verify()
+		if len(faults) != 1 {
+			t.Fatalf("trial %d: detected %d faults, want 1", trial, len(faults))
+		}
+		f := faults[0]
+		if f.Row != injected.Row || f.Col != injected.Col {
+			t.Fatalf("trial %d: located (%d,%d), injected (%d,%d)",
+				trial, f.Row, f.Col, injected.Row, injected.Col)
+		}
+		p.Correct(faults)
+		for i := range clean {
+			if math.Abs(p.C[i]-clean[i]) > 1e-8 {
+				t.Fatalf("trial %d: correction imperfect at %d: %g vs %g",
+					trial, i, p.C[i], clean[i])
+			}
+		}
+	}
+}
+
+func TestProtectedGemmBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n, k := 24, 24, 24
+	a := matgen.Dense[float64](rng, m, k)
+	b := matgen.Dense[float64](rng, k, n)
+	detected := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		p := ft.Gemm(m, n, k, a, m, b, k)
+		inj := ft.NewInjector(int64(100 + trial))
+		idx := inj.RandomIndex(m, n)
+		f := inj.FlipBit(p.C, idx, m)
+		faults := p.Verify()
+		if math.Abs(f.Delta) < 1e-6 {
+			continue // flip below detection threshold; not counted
+		}
+		if len(faults) == 1 && faults[0].Row == f.Row && faults[0].Col == f.Col {
+			detected++
+		}
+		p.Correct(faults)
+	}
+	if detected < trials*2/3 {
+		t.Errorf("located only %d/%d significant bit flips", detected, trials)
+	}
+}
+
+func TestProtectedGemmMultiColumnFaults(t *testing.T) {
+	// One fault per column in several columns: all must be found.
+	rng := rand.New(rand.NewSource(4))
+	m, n, k := 20, 10, 15
+	a := matgen.Dense[float64](rng, m, k)
+	b := matgen.Dense[float64](rng, k, n)
+	p := ft.Gemm(m, n, k, a, m, b, k)
+	clean := append([]float64(nil), p.C...)
+	inj := ft.NewInjector(9)
+	for _, col := range []int{1, 4, 7} {
+		inj.AddNoise(p.C, col*m+col%m, m, 50)
+	}
+	faults := p.Verify()
+	if len(faults) != 3 {
+		t.Fatalf("detected %d faults, want 3", len(faults))
+	}
+	p.Correct(faults)
+	for i := range clean {
+		if math.Abs(p.C[i]-clean[i]) > 1e-8 {
+			t.Fatal("multi-fault correction failed")
+		}
+	}
+}
+
+func TestABFTCholeskyCleanRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	a := matgen.DiagDomSPD[float64](rng, n)
+	f, err := ft.Cholesky(n, a, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults := f.Verify(); len(faults) != 0 {
+		t.Errorf("false positives on clean factorization: %v", faults)
+	}
+	// The factor must actually solve the system.
+	xTrue := matgen.Dense[float64](rng, n, 1)
+	bb := make([]float64, n)
+	blas.Symv(blas.Lower, n, 1, a, n, xTrue, 1, 0, bb, 1)
+	f.Solve(bb)
+	for i := range bb {
+		if math.Abs(bb[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("solve error at %d: %g vs %g", i, bb[i], xTrue[i])
+		}
+	}
+}
+
+func TestABFTCholeskyChecksumsAreColumnSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 30
+	a := matgen.DiagDomSPD[float64](rng, n)
+	f, err := ft.Cholesky(n, a, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := j; i < n; i++ {
+			s += f.L[i+j*n]
+		}
+		if math.Abs(s-f.Sum[j]) > 1e-9*(math.Abs(s)+1) {
+			t.Fatalf("column %d: carried checksum %g, column sum %g", j, f.Sum[j], s)
+		}
+	}
+}
+
+func TestABFTCholeskyDetectCorrectStoredFault(t *testing.T) {
+	// Fault model: silent corruption of the stored factor after
+	// factorization (e.g. a DRAM upset before the factor is reused).
+	rng := rand.New(rand.NewSource(7))
+	n := 50
+	a := matgen.DiagDomSPD[float64](rng, n)
+	for trial := 0; trial < 20; trial++ {
+		f, err := ft.Cholesky(n, a, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := append([]float64(nil), f.L...)
+		inj := ft.NewInjector(int64(trial + 40))
+		idx := inj.RandomLowerIndex(n)
+		injected := inj.AddNoise(f.L, idx, n, 10)
+		faults := f.Verify()
+		if len(faults) != 1 || faults[0].Row != injected.Row || faults[0].Col != injected.Col {
+			t.Fatalf("trial %d: faults %v, injected %v", trial, faults, injected)
+		}
+		f.Correct(faults)
+		for i := range clean {
+			if math.Abs(f.L[i]-clean[i]) > 1e-8 {
+				t.Fatalf("trial %d: correction imperfect", trial)
+			}
+		}
+	}
+}
+
+func TestABFTCholeskyRecoveredSolveAccuracy(t *testing.T) {
+	// End to end: corrupt, verify, correct, then the solve must be as good
+	// as a fault-free one.
+	rng := rand.New(rand.NewSource(8))
+	n := 40
+	a := matgen.DiagDomSPD[float64](rng, n)
+	xTrue := matgen.Dense[float64](rng, n, 1)
+	b := make([]float64, n)
+	blas.Symv(blas.Lower, n, 1, a, n, xTrue, 1, 0, b, 1)
+
+	f, err := ft.Cholesky(n, a, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := ft.NewInjector(99)
+	inj.AddNoise(f.L, inj.RandomLowerIndex(n), n, 25)
+	// Without correction the solve is garbage; with correction it's exact.
+	f.Correct(f.Verify())
+	got := append([]float64(nil), b...)
+	f.Solve(got)
+	for i := range got {
+		if math.Abs(got[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("recovered solve wrong at %d", i)
+		}
+	}
+}
+
+func TestABFTCholeskyNotPD(t *testing.T) {
+	n := 5
+	a := matgen.Identity[float64](n)
+	a[3+3*n] = -1
+	if _, err := ft.Cholesky(n, a, n, nil); err == nil {
+		t.Error("expected not-positive-definite error")
+	}
+}
+
+func TestInjectorRecordsFaults(t *testing.T) {
+	inj := ft.NewInjector(1)
+	data := []float64{1, 2, 3, 4}
+	f := inj.FlipBit(data, 2, 2)
+	if len(inj.Injected) != 1 {
+		t.Fatal("fault not recorded")
+	}
+	if f.Row != 0 || f.Col != 1 {
+		t.Errorf("fault coordinates (%d,%d)", f.Row, f.Col)
+	}
+	if data[2] == 3 {
+		t.Error("bit flip did not change the value")
+	}
+	if math.IsNaN(data[2]) || math.IsInf(data[2], 0) {
+		t.Error("bit flip produced non-finite value")
+	}
+}

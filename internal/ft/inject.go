@@ -1,0 +1,66 @@
+package ft
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Injector produces the soft-error model used by the experiments: silent
+// single-entry corruptions of stored floating-point data (the classic ABFT
+// fault model — a bit flip in memory or a register that writes back).
+type Injector struct {
+	rng *rand.Rand
+	// Injected records every corruption performed, for test assertions.
+	Injected []Fault
+}
+
+// NewInjector returns an injector with its own deterministic stream.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FlipBit corrupts one element of data by flipping a mantissa or exponent
+// bit (bit 30..51 of the IEEE-754 representation: large enough to matter,
+// never the sign of infinity/NaN patterns). It records and returns the
+// equivalent Fault for a column-major matrix with leading dimension ld.
+func (in *Injector) FlipBit(data []float64, idx, ld int) Fault {
+	bit := uint(30 + in.rng.Intn(22))
+	old := data[idx]
+	bits := math.Float64bits(old) ^ (1 << bit)
+	corrupted := math.Float64frombits(bits)
+	if math.IsNaN(corrupted) || math.IsInf(corrupted, 0) {
+		// Retry on a mantissa-only bit so the corruption stays finite.
+		bits = math.Float64bits(old) ^ (1 << 30)
+		corrupted = math.Float64frombits(bits)
+	}
+	data[idx] = corrupted
+	f := Fault{Row: idx % ld, Col: idx / ld, Delta: corrupted - old}
+	in.Injected = append(in.Injected, f)
+	return f
+}
+
+// AddNoise corrupts one element by adding a large perturbation, the
+// easiest-to-reason-about corruption for accuracy experiments.
+func (in *Injector) AddNoise(data []float64, idx, ld int, magnitude float64) Fault {
+	data[idx] += magnitude
+	f := Fault{Row: idx % ld, Col: idx / ld, Delta: magnitude}
+	in.Injected = append(in.Injected, f)
+	return f
+}
+
+// RandomIndex picks a uniformly random index into a dense m×n column-major
+// matrix (ld == m).
+func (in *Injector) RandomIndex(m, n int) int {
+	return in.rng.Intn(m * n)
+}
+
+// RandomLowerIndex picks a random index on or below the diagonal of an
+// n×n column-major matrix, the storage region of a Cholesky factor.
+func (in *Injector) RandomLowerIndex(n int) int {
+	for {
+		i, j := in.rng.Intn(n), in.rng.Intn(n)
+		if i >= j {
+			return i + j*n
+		}
+	}
+}

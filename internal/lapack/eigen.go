@@ -1,0 +1,214 @@
+package lapack
+
+import (
+	"fmt"
+
+	"exadla/internal/blas"
+)
+
+// Sytd2 reduces the n×n symmetric matrix A (lower triangle stored) to
+// tridiagonal form T = Qᵀ·A·Q by Householder similarity transforms.
+// On return, d (length n) holds the diagonal of T, e (length n−1) the
+// subdiagonal, tau (length n−1) the reflector scales, and A's strictly
+// lower part holds the reflector vectors (column j stores v in rows
+// j+2..n−1 with the implicit 1 at row j+1).
+func Sytd2[T blas.Float](n int, a []T, lda int, d, e, tau []T) {
+	if n == 0 {
+		return
+	}
+	w := make([]T, n)
+	for j := 0; j < n-1; j++ {
+		// Generate the reflector zeroing A[j+2:, j].
+		col := a[j*lda:]
+		var tailLen = n - j - 1
+		beta, tj := Larfg(tailLen, col[j+1], col[j+2:j+2+max(0, tailLen-1)], 1)
+		e[j] = beta
+		tau[j] = tj
+		if tj != 0 {
+			// Two-sided update of the trailing matrix B = A[j+1:, j+1:]:
+			// B ← (I − τvvᵀ)·B·(I − τvvᵀ) via the symmetric rank-2 form
+			// B -= v·wᵀ + w·vᵀ with w = τ·B·v − (τ²/2)(vᵀBv)·v.
+			col[j+1] = 1
+			v := col[j+1 : j+1+tailLen]
+			m := tailLen
+			sub := a[j+1+(j+1)*lda:]
+			blas.Symv(blas.Lower, m, tj, sub, lda, v, 1, 0, w[:m], 1)
+			alpha := -tj / 2 * blas.Dot(m, w, 1, v, 1)
+			blas.Axpy(m, alpha, v, 1, w[:m], 1)
+			// B -= v wᵀ + w vᵀ (lower triangle only).
+			for c := 0; c < m; c++ {
+				vc, wc := v[c], w[c]
+				bcol := sub[c*lda:]
+				for r := c; r < m; r++ {
+					bcol[r] -= v[r]*wc + w[r]*vc
+				}
+			}
+			col[j+1] = beta
+		}
+		d[j] = col[j]
+	}
+	d[n-1] = a[n-1+(n-1)*lda]
+}
+
+// Orgtr overwrites A with the explicit orthogonal matrix Q of the Sytd2
+// reduction (lower storage): Q = H₀·H₁···H_{n−2}.
+func Orgtr[T blas.Float](n int, a []T, lda int, tau []T) {
+	if n == 0 {
+		return
+	}
+	// Build Q by applying reflectors to the identity from the last to the
+	// first; reflector j acts on rows/cols j+1..n−1.
+	q := make([]T, n*n)
+	for i := 0; i < n; i++ {
+		q[i+i*n] = 1
+	}
+	work := make([]T, n)
+	for j := n - 2; j >= 0; j-- {
+		if tau[j] == 0 {
+			continue
+		}
+		col := a[j*lda:]
+		save := col[j+1]
+		col[j+1] = 1
+		m := n - j - 1
+		// Q[j+1:, j+1:] ← H_j·Q[j+1:, j+1:].
+		Larf(blas.Left, m, m, col[j+1:j+1+m], 1, tau[j], q[j+1+(j+1)*n:], n, work)
+		col[j+1] = save
+	}
+	Lacpy(General, n, n, q, n, a, lda)
+}
+
+// Steqr computes all eigenvalues (and, if z is non-nil, eigenvectors) of a
+// symmetric tridiagonal matrix with diagonal d (length n) and subdiagonal e
+// (length ≥ n−1), using the implicit QL algorithm with Wilkinson shifts.
+// d is overwritten with the eigenvalues in ascending order; z (n×n,
+// leading dimension ldz), when given, must contain the matrix that reduced
+// the original A to tridiagonal form (or the identity) and is overwritten
+// with the eigenvectors as columns, reordered consistently with d.
+func Steqr[T blas.Float](n int, d, e []T, z []T, ldz int) error {
+	if n == 0 {
+		return nil
+	}
+	eps := Epsilon[T]()
+	const maxIter = 64
+	// Workspace copy of e with a trailing zero slot.
+	ee := make([]T, n)
+	copy(ee, e[:n-1])
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find the first negligible subdiagonal at or after l.
+			m := l
+			for ; m < n-1; m++ {
+				ad := absT(d[m]) + absT(d[m+1])
+				if absT(ee[m]) <= eps*ad {
+					break
+				}
+			}
+			if m == l {
+				break // eigenvalue converged
+			}
+			if iter >= maxIter {
+				return fmt.Errorf("lapack: Steqr failed to converge at eigenvalue %d", l)
+			}
+			// Wilkinson-style shift from the leading 2×2.
+			g := (d[l+1] - d[l]) / (2 * ee[l])
+			r := hypot(g, 1)
+			g = d[m] - d[l] + ee[l]/(g+copySign(r, g))
+			s, c := T(1), T(1)
+			p := T(0)
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					// Recover from underflow: drop the rotation and retry.
+					d[i+1] -= p
+					ee[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if z != nil {
+					// Apply the rotation to columns i and i+1 of Z.
+					for k := 0; k < n; k++ {
+						f := z[k+(i+1)*ldz]
+						z[k+(i+1)*ldz] = s*z[k+i*ldz] + c*f
+						z[k+i*ldz] = c*z[k+i*ldz] - s*f
+					}
+				}
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort eigenvalues ascending, carrying eigenvectors along (straight
+	// selection, as dsteqr does).
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if d[j] < d[k] {
+				k = j
+			}
+		}
+		if k != i {
+			d[i], d[k] = d[k], d[i]
+			if z != nil {
+				blas.Swap(n, z[i*ldz:], 1, z[k*ldz:], 1)
+			}
+		}
+	}
+	return nil
+}
+
+// Syev computes all eigenvalues, and optionally eigenvectors, of the n×n
+// symmetric matrix A (lower triangle stored). With vectors true, A is
+// overwritten with orthonormal eigenvectors as columns (A = V·diag(d)·Vᵀ);
+// otherwise A's contents are destroyed. d must have length n.
+func Syev[T blas.Float](vectors bool, n int, a []T, lda int, d []T) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		d[0] = a[0]
+		if vectors {
+			a[0] = 1
+		}
+		return nil
+	}
+	e := make([]T, n-1)
+	tau := make([]T, n-1)
+	Sytd2(n, a, lda, d, e, tau)
+	if !vectors {
+		return Steqr(n, d, e, nil, 0)
+	}
+	Orgtr(n, a, lda, tau)
+	return Steqr(n, d, e, a, lda)
+}
+
+func absT[T blas.Float](x T) T {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func copySign[T blas.Float](mag, sign T) T {
+	if sign < 0 {
+		return -absT(mag)
+	}
+	return absT(mag)
+}

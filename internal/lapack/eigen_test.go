@@ -1,0 +1,216 @@
+package lapack_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+)
+
+// eigResidual computes max_k ‖A·v_k − λ_k·v_k‖∞ / (‖A‖∞·n·ε).
+func eigResidual(n int, a []float64, v []float64, d []float64) float64 {
+	anorm := lapack.Lange(lapack.InfNorm, n, n, a, n)
+	var worst float64
+	av := make([]float64, n)
+	for k := 0; k < n; k++ {
+		blas.Gemv(blas.NoTrans, n, n, 1, a, n, v[k*n:k*n+n], 1, 0, av, 1)
+		for i := 0; i < n; i++ {
+			if r := math.Abs(av[i] - d[k]*v[i+k*n]); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst / (anorm * float64(n) * 0x1p-52)
+}
+
+// symmetrize fills the full matrix from the lower triangle.
+func symmetrize(n int, a []float64) []float64 {
+	out := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			out[i+j*n] = a[i+j*n]
+			out[j+i*n] = a[i+j*n]
+		}
+	}
+	return out
+}
+
+func TestSyevDiagonalMatrix(t *testing.T) {
+	n := 5
+	a := make([]float64, n*n)
+	want := []float64{-3, -1, 0, 2, 7}
+	perm := []int{3, 0, 4, 1, 2} // scatter them unsorted
+	for i, p := range perm {
+		a[i+i*n] = want[p]
+	}
+	d := make([]float64, n)
+	if err := lapack.Syev(true, n, a, n, d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-13 {
+			t.Errorf("λ[%d] = %v want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestSyevTridiagonalKnownSpectrum(t *testing.T) {
+	// The (−1, 2, −1) tridiagonal matrix has eigenvalues
+	// 2 − 2cos(kπ/(n+1)), k = 1..n.
+	n := 20
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i+i*n] = 2
+		if i+1 < n {
+			a[i+1+i*n] = -1
+		}
+	}
+	d := make([]float64, n)
+	if err := lapack.Syev(false, n, a, n, d); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(d[k-1]-want) > 1e-12 {
+			t.Errorf("λ[%d] = %v want %v", k-1, d[k-1], want)
+		}
+	}
+}
+
+func TestSyevEigenpairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 10, 50, 120} {
+		aL := matgen.DiagDomSPD[float64](rng, n)
+		full := symmetrize(n, aL)
+		v := append([]float64(nil), aL...)
+		d := make([]float64, n)
+		if err := lapack.Syev(true, n, v, n, d); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Ascending eigenvalues.
+		for i := 1; i < n; i++ {
+			if d[i] < d[i-1] {
+				t.Fatalf("n=%d: eigenvalues not sorted", n)
+			}
+		}
+		// Residual and orthonormality.
+		if r := eigResidual(n, full, v, d); r > 100 {
+			t.Errorf("n=%d: eigenpair residual %g", n, r)
+		}
+		vtv := make([]float64, n*n)
+		blas.Gemm(blas.Trans, blas.NoTrans, n, n, n, 1, v, n, v, n, 0, vtv, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(vtv[i+j*n]-want) > 1e-12*float64(n) {
+					t.Fatalf("n=%d: VᵀV(%d,%d) = %v", n, i, j, vtv[i+j*n])
+				}
+			}
+		}
+		// Trace preservation: Σλ = trace(A).
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += full[i+i*n]
+			sum += d[i]
+		}
+		if math.Abs(trace-sum) > 1e-10*(1+math.Abs(trace)) {
+			t.Errorf("n=%d: Σλ = %v, trace = %v", n, sum, trace)
+		}
+	}
+}
+
+func TestSyevRecoversPrescribedSpectrum(t *testing.T) {
+	// matgen.SPDWithCond promises log-spaced eigenvalues in [1/cond, 1];
+	// the eigensolver must recover exactly that spectrum — a deep
+	// cross-validation of generator and solver.
+	rng := rand.New(rand.NewSource(2))
+	n, cond := 40, 1e6
+	a := matgen.SPDWithCond[float64](rng, n, cond)
+	d := make([]float64, n)
+	if err := lapack.Syev(false, n, a, n, d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tt := float64(n-1-i) / float64(n-1)
+		want := math.Pow(cond, -tt)
+		if math.Abs(d[i]-want) > 1e-9*(1+want)+1e-12*cond*0 {
+			if math.Abs(d[i]-want)/want > 1e-7 {
+				t.Errorf("λ[%d] = %v want %v", i, d[i], want)
+			}
+		}
+	}
+	if got := d[n-1] / d[0]; math.Abs(got-cond)/cond > 1e-6 {
+		t.Errorf("condition λmax/λmin = %v want %v", got, cond)
+	}
+}
+
+func TestSyevIndefinite(t *testing.T) {
+	// Works for indefinite symmetric matrices too (not just SPD).
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	g := matgen.Dense[float64](rng, n, n)
+	// A = G + Gᵀ is symmetric indefinite.
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			a[i+j*n] = g[i+j*n] + g[j+i*n]
+		}
+	}
+	full := symmetrize(n, a)
+	v := append([]float64(nil), a...)
+	d := make([]float64, n)
+	if err := lapack.Syev(true, n, v, n, d); err != nil {
+		t.Fatal(err)
+	}
+	if d[0] >= 0 || d[n-1] <= 0 {
+		t.Errorf("expected mixed signs: λmin=%v λmax=%v", d[0], d[n-1])
+	}
+	if r := eigResidual(n, full, v, d); r > 100 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestSteqrPlainTridiagonal(t *testing.T) {
+	// Eigenvalues-only path on a directly-specified tridiagonal.
+	n := 12
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = -1
+	}
+	if err := lapack.Steqr(n, d, e, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(d[k-1]-want) > 1e-12 {
+			t.Errorf("λ[%d] = %v want %v", k-1, d[k-1], want)
+		}
+	}
+}
+
+func TestSyevHilbert(t *testing.T) {
+	// The 8×8 Hilbert matrix: all eigenvalues positive, the largest ≈1.696,
+	// κ ≈ 1.5e10 — a stiff accuracy test for the QL iteration.
+	n := 8
+	h := matgen.Hilbert[float64](n)
+	d := make([]float64, n)
+	if err := lapack.Syev(false, n, h, n, d); err != nil {
+		t.Fatal(err)
+	}
+	if d[0] <= 0 {
+		t.Errorf("Hilbert λmin = %v, want > 0", d[0])
+	}
+	if math.Abs(d[n-1]-1.6959389969219) > 1e-9 {
+		t.Errorf("Hilbert λmax = %v", d[n-1])
+	}
+}

@@ -1,0 +1,146 @@
+package lapack
+
+import "exadla/internal/blas"
+
+// Getf2 computes the unblocked LU factorization with partial pivoting of
+// the m×n matrix A: A = P·L·U. L is unit lower triangular, U upper
+// triangular; both overwrite A. ipiv must have length min(m, n); on return
+// ipiv[i] is the row (zero-based, ≥ i) swapped with row i at step i.
+//
+// Like reference GETRF, an exactly zero pivot is reported as a
+// *SingularError but the factorization continues, so the caller receives a
+// complete (rank-revealing at that column) factorization either way.
+func Getf2[T blas.Float](m, n int, a []T, lda int, ipiv []int) error {
+	k := min(m, n)
+	if len(ipiv) < k {
+		panic("lapack: ipiv too short")
+	}
+	var firstZero = -1
+	for j := 0; j < k; j++ {
+		// Find pivot in column j at or below the diagonal.
+		col := a[j*lda:]
+		p := j
+		mx := col[j]
+		if mx < 0 {
+			mx = -mx
+		}
+		for i := j + 1; i < m; i++ {
+			v := col[i]
+			if v < 0 {
+				v = -v
+			}
+			if v > mx {
+				mx, p = v, i
+			}
+		}
+		ipiv[j] = p
+		if col[p] == 0 {
+			if firstZero < 0 {
+				firstZero = j
+			}
+			continue // zero column below diagonal: L entries stay zero
+		}
+		if p != j {
+			blas.Swap(n, a[j:], lda, a[p:], lda)
+		}
+		// Scale multipliers.
+		inv := 1 / col[j]
+		for i := j + 1; i < m; i++ {
+			col[i] *= inv
+		}
+		// Trailing update A[j+1:, j+1:] -= A[j+1:, j]·A[j, j+1:].
+		if j+1 < n {
+			blas.Ger(m-j-1, n-j-1, -1, col[j+1:], 1, a[j+(j+1)*lda:], lda, a[j+1+(j+1)*lda:], lda)
+		}
+	}
+	if firstZero >= 0 {
+		return &SingularError{Index: firstZero}
+	}
+	return nil
+}
+
+// Laswp applies the row interchanges recorded in ipiv[k1:k2] to the
+// columns of the m×n matrix A: for i = k1..k2-1, row i is swapped with row
+// ipiv[i]. This matches dlaswp with increment 1 (zero-based).
+func Laswp[T blas.Float](n int, a []T, lda int, k1, k2 int, ipiv []int) {
+	for i := k1; i < k2; i++ {
+		p := ipiv[i]
+		if p != i {
+			blas.Swap(n, a[i:], lda, a[p:], lda)
+		}
+	}
+}
+
+// Getrf computes the blocked LU factorization with partial pivoting of the
+// m×n matrix A in place. ipiv has the same meaning as in Getf2.
+func Getrf[T blas.Float](m, n int, a []T, lda int, ipiv []int) error {
+	k := min(m, n)
+	if len(ipiv) < k {
+		panic("lapack: ipiv too short")
+	}
+	if k <= blockSize {
+		return Getf2(m, n, a, lda, ipiv)
+	}
+	var firstErr error
+	for j := 0; j < k; j += blockSize {
+		jb := min(blockSize, k-j)
+		// Factor the panel A[j:m, j:j+jb].
+		if err := Getf2(m-j, jb, a[j+j*lda:], lda, ipiv[j:j+jb]); err != nil {
+			if firstErr == nil {
+				serr := err.(*SingularError)
+				firstErr = &SingularError{Index: j + serr.Index}
+			}
+		}
+		// Panel pivots are relative to row j.
+		for i := j; i < j+jb; i++ {
+			ipiv[i] += j
+		}
+		// Apply interchanges to the columns left of the panel...
+		Laswp(j, a, lda, j, j+jb, ipiv)
+		if j+jb < n {
+			// ...and right of it.
+			Laswp(n-j-jb, a[(j+jb)*lda:], lda, j, j+jb, ipiv)
+			// U block row: solve L11·U12 = A12.
+			blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit,
+				jb, n-j-jb, 1, a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
+			// Trailing update A22 -= L21·U12.
+			if j+jb < m {
+				blas.Gemm(blas.NoTrans, blas.NoTrans, m-j-jb, n-j-jb, jb,
+					-1, a[j+jb+j*lda:], lda, a[j+(j+jb)*lda:], lda,
+					1, a[j+jb+(j+jb)*lda:], lda)
+			}
+		}
+	}
+	return firstErr
+}
+
+// Getrs solves op(A)·X = B given the LU factorization from Getrf. B is
+// n×nrhs and is overwritten with X.
+func Getrs[T blas.Float](trans blas.Transpose, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
+	if trans == blas.NoTrans {
+		// Pᵀ... apply the recorded swaps to B, then L·U·X = P·B.
+		Laswp(nrhs, b, ldb, 0, n, ipiv)
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, n, nrhs, 1, a, lda, b, ldb)
+		blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, n, nrhs, 1, a, lda, b, ldb)
+		return
+	}
+	// Aᵀ·X = B ⇒ Uᵀ·Lᵀ·Pᵀ·X = B: solve Uᵀ, then Lᵀ, then undo the swaps in
+	// reverse order.
+	blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, n, nrhs, 1, a, lda, b, ldb)
+	blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.Unit, n, nrhs, 1, a, lda, b, ldb)
+	for i := n - 1; i >= 0; i-- {
+		if p := ipiv[i]; p != i {
+			blas.Swap(nrhs, b[i:], ldb, b[p:], ldb)
+		}
+	}
+}
+
+// Gesv factors the n×n matrix A with partial pivoting (overwriting it) and
+// solves A·X = B in place. ipiv must have length n.
+func Gesv[T blas.Float](n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) error {
+	if err := Getrf(n, n, a, lda, ipiv); err != nil {
+		return err
+	}
+	Getrs(blas.NoTrans, n, nrhs, a, lda, ipiv, b, ldb)
+	return nil
+}

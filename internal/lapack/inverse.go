@@ -1,0 +1,211 @@
+package lapack
+
+import "exadla/internal/blas"
+
+// Trti2 computes the unblocked inverse of a triangular matrix in place.
+func Trti2[T blas.Float](uplo blas.Uplo, diag blas.Diag, n int, a []T, lda int) error {
+	unit := diag == blas.Unit
+	if uplo == blas.Upper {
+		for j := 0; j < n; j++ {
+			var ajj T
+			if unit {
+				ajj = -1
+			} else {
+				if a[j+j*lda] == 0 {
+					return &SingularError{Index: j}
+				}
+				a[j+j*lda] = 1 / a[j+j*lda]
+				ajj = -a[j+j*lda]
+			}
+			// Compute elements 0..j-1 of column j.
+			blas.Trmv(blas.Upper, blas.NoTrans, diag, j, a, lda, a[j*lda:], 1)
+			blas.Scal(j, ajj, a[j*lda:], 1)
+		}
+		return nil
+	}
+	for j := n - 1; j >= 0; j-- {
+		var ajj T
+		if unit {
+			ajj = -1
+		} else {
+			if a[j+j*lda] == 0 {
+				return &SingularError{Index: j}
+			}
+			a[j+j*lda] = 1 / a[j+j*lda]
+			ajj = -a[j+j*lda]
+		}
+		if j < n-1 {
+			// Elements j+1..n-1 of column j.
+			sub := a[j+1+(j+1)*lda:]
+			col := a[j+1+j*lda:]
+			blas.Trmv(blas.Lower, blas.NoTrans, diag, n-j-1, sub, lda, col, 1)
+			blas.Scal(n-j-1, ajj, col, 1)
+		}
+	}
+	return nil
+}
+
+// Trtri computes the blocked inverse of a triangular matrix in place.
+func Trtri[T blas.Float](uplo blas.Uplo, diag blas.Diag, n int, a []T, lda int) error {
+	// Check singularity up front, as reference dtrtri does.
+	if diag == blas.NonUnit {
+		for i := 0; i < n; i++ {
+			if a[i+i*lda] == 0 {
+				return &SingularError{Index: i}
+			}
+		}
+	}
+	if n <= blockSize {
+		return Trti2(uplo, diag, n, a, lda)
+	}
+	if uplo == blas.Upper {
+		for j := 0; j < n; j += blockSize {
+			jb := min(blockSize, n-j)
+			// Update block column j: A[0:j, j:j+jb] gets U₁₁⁻¹·(-A₁₂·U₂₂⁻¹)
+			// via the standard two triangular multiplies.
+			blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, diag, j, jb, 1, a, lda, a[j*lda:], lda)
+			blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, diag, j, jb, -1, a[j+j*lda:], lda, a[j*lda:], lda)
+			if err := Trti2(blas.Upper, diag, jb, a[j+j*lda:], lda); err != nil {
+				return &SingularError{Index: j + err.(*SingularError).Index}
+			}
+		}
+		return nil
+	}
+	nn := ((n - 1) / blockSize) * blockSize
+	for j := nn; j >= 0; j -= blockSize {
+		jb := min(blockSize, n-j)
+		if j+jb < n {
+			// A[j+jb:, j:j+jb] ← -L₃₃⁻¹·A₃₂·L₂₂⁻¹.
+			blas.Trmm(blas.Left, blas.Lower, blas.NoTrans, diag, n-j-jb, jb, 1,
+				a[j+jb+(j+jb)*lda:], lda, a[j+jb+j*lda:], lda)
+			blas.Trsm(blas.Right, blas.Lower, blas.NoTrans, diag, n-j-jb, jb, -1,
+				a[j+j*lda:], lda, a[j+jb+j*lda:], lda)
+		}
+		if err := Trti2(blas.Lower, diag, jb, a[j+j*lda:], lda); err != nil {
+			return &SingularError{Index: j + err.(*SingularError).Index}
+		}
+	}
+	return nil
+}
+
+// Lauu2 computes the unblocked product U·Uᵀ or Lᵀ·L of a triangular factor
+// in place (the "LAUUM" operation used by POTRI).
+func Lauu2[T blas.Float](uplo blas.Uplo, n int, a []T, lda int) {
+	if uplo == blas.Upper {
+		// A ← U·Uᵀ (upper triangle of result).
+		for i := 0; i < n; i++ {
+			aii := a[i+i*lda]
+			if i < n-1 {
+				// a[i][i] = row i of U · row i of Uᵀ = Σ_{k≥i} U[i,k]².
+				row := make([]T, n-i)
+				for k := i; k < n; k++ {
+					row[k-i] = a[i+k*lda]
+				}
+				a[i+i*lda] = blas.Dot(n-i, row, 1, row, 1)
+				// a[0:i, i] = A[0:i, i:n]·U[i, i:n]ᵀ.
+				blas.Gemv(blas.NoTrans, i, n-i-1, 1, a[(i+1)*lda:], lda, row[1:], 1, aii, a[i*lda:], 1)
+			} else {
+				blas.Scal(i+1, aii, a[i*lda:], 1)
+			}
+		}
+		return
+	}
+	// A ← Lᵀ·L (lower triangle of result).
+	for i := 0; i < n; i++ {
+		aii := a[i+i*lda]
+		if i < n-1 {
+			col := a[i+i*lda : i+i*lda+n-i]
+			a[i+i*lda] = blas.Dot(n-i, col, 1, col, 1)
+			// a[i, 0:i] = L[i:n, i]ᵀ·L[i:n, 0:i] → stored at a[i + k*lda].
+			blas.Gemv(blas.Trans, n-i-1, i, 1, a[i+1:], lda, a[i+1+i*lda:], 1, aii, a[i:], lda)
+		} else {
+			blas.Scal(i+1, aii, a[i:], lda)
+		}
+	}
+}
+
+// Lauum is the blocked version of Lauu2.
+func Lauum[T blas.Float](uplo blas.Uplo, n int, a []T, lda int) {
+	if n <= blockSize {
+		Lauu2(uplo, n, a, lda)
+		return
+	}
+	if uplo == blas.Upper {
+		for i := 0; i < n; i += blockSize {
+			ib := min(blockSize, n-i)
+			// A₀₁ ← A₀₁·U₁₁ᵀ + A₀₂·U₁₂ᵀ... following dlauum.
+			blas.Trmm(blas.Right, blas.Upper, blas.Trans, blas.NonUnit, i, ib, 1,
+				a[i+i*lda:], lda, a[i*lda:], lda)
+			Lauu2(blas.Upper, ib, a[i+i*lda:], lda)
+			if i+ib < n {
+				blas.Gemm(blas.NoTrans, blas.Trans, i, ib, n-i-ib, 1,
+					a[(i+ib)*lda:], lda, a[i+(i+ib)*lda:], lda, 1, a[i*lda:], lda)
+				blas.Syrk(blas.Upper, blas.NoTrans, ib, n-i-ib, 1,
+					a[i+(i+ib)*lda:], lda, 1, a[i+i*lda:], lda)
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i += blockSize {
+		ib := min(blockSize, n-i)
+		blas.Trmm(blas.Left, blas.Lower, blas.Trans, blas.NonUnit, ib, i, 1,
+			a[i+i*lda:], lda, a[i:], lda)
+		Lauu2(blas.Lower, ib, a[i+i*lda:], lda)
+		if i+ib < n {
+			blas.Gemm(blas.Trans, blas.NoTrans, ib, i, n-i-ib, 1,
+				a[i+ib+i*lda:], lda, a[i+ib:], lda, 1, a[i:], lda)
+			blas.Syrk(blas.Lower, blas.Trans, ib, n-i-ib, 1,
+				a[i+ib+i*lda:], lda, 1, a[i+i*lda:], lda)
+		}
+	}
+}
+
+// Potri computes the inverse of an SPD matrix from its Cholesky factor
+// (as produced by Potrf): A⁻¹ = (L⁻¹)ᵀ·L⁻¹ or U⁻¹·(U⁻¹)ᵀ, in place.
+func Potri[T blas.Float](uplo blas.Uplo, n int, a []T, lda int) error {
+	if err := Trtri(uplo, blas.NonUnit, n, a, lda); err != nil {
+		return err
+	}
+	Lauum(uplo, n, a, lda)
+	return nil
+}
+
+// Getri computes the inverse of a general matrix from its LU factorization
+// (as produced by Getrf with pivots ipiv), in place.
+func Getri[T blas.Float](n int, a []T, lda int, ipiv []int) error {
+	// inv(U) in place.
+	if err := Trtri(blas.Upper, blas.NonUnit, n, a, lda); err != nil {
+		return err
+	}
+	// Solve inv(A)·L = inv(U) for inv(A), one column block at a time from
+	// the right, like dgetri.
+	work := make([]T, n*blockSize)
+	nn := ((n - 1) / blockSize) * blockSize
+	for j := nn; j >= 0; j -= blockSize {
+		jb := min(blockSize, n-j)
+		// Copy the strictly-lower part of columns j..j+jb-1 (the L
+		// multipliers) into work and zero it in A.
+		for jj := 0; jj < jb; jj++ {
+			col := a[(j+jj)*lda:]
+			for i := j + jj + 1; i < n; i++ {
+				work[i+jj*n] = col[i]
+				col[i] = 0
+			}
+		}
+		// A[:, j:j+jb] -= A[:, j+jb:]·L[j+jb:, j:j+jb].
+		if j+jb < n {
+			blas.Gemm(blas.NoTrans, blas.NoTrans, n, jb, n-j-jb,
+				-1, a[(j+jb)*lda:], lda, work[j+jb:], n, 1, a[j*lda:], lda)
+		}
+		// A[:, j:j+jb] ← A[:, j:j+jb]·L₁₁⁻¹ (unit lower).
+		blas.Trsm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, n, jb, 1,
+			work[j:], n, a[j*lda:], lda)
+	}
+	// Apply column interchanges: columns swapped in reverse pivot order.
+	for j := n - 1; j >= 0; j-- {
+		if p := ipiv[j]; p != j {
+			blas.Swap(n, a[j*lda:], 1, a[p*lda:], 1)
+		}
+	}
+	return nil
+}

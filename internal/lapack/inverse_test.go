@@ -1,0 +1,183 @@
+package lapack_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+)
+
+// identityResidual computes ‖X·Y − I‖_max/(n·ε).
+func identityResidual(n int, x, y []float64) float64 {
+	prod := make([]float64, n*n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, x, n, y, n, 0, prod, n)
+	var d float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if v := math.Abs(prod[i+j*n] - want); v > d {
+				d = v
+			}
+		}
+	}
+	return d / (float64(n) * 0x1p-52)
+}
+
+func triDense(uplo blas.Uplo, diag blas.Diag, n int, a []float64, lda int) []float64 {
+	out := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			switch {
+			case i == j:
+				if diag == blas.Unit {
+					out[i+j*n] = 1
+				} else {
+					out[i+j*n] = a[i+j*lda]
+				}
+			case (uplo == blas.Lower && i > j) || (uplo == blas.Upper && i < j):
+				out[i+j*n] = a[i+j*lda]
+			}
+		}
+	}
+	return out
+}
+
+func TestTrtri(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 17, 64, 65, 150} {
+		for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+			for _, diag := range []blas.Diag{blas.NonUnit, blas.Unit} {
+				a := matgen.Dense[float64](rng, n, n)
+				// Keep the triangle well conditioned: a random unit
+				// triangular matrix has an exponentially large inverse, so
+				// scale the off-diagonal entries down and dominate the
+				// diagonal.
+				scale := 1 / float64(n)
+				for i := range a {
+					a[i] *= scale
+				}
+				for i := 0; i < n; i++ {
+					a[i+i*n] = 2 + math.Abs(a[i+i*n])
+				}
+				orig := triDense(uplo, diag, n, a, n)
+				inv := append([]float64(nil), a...)
+				if err := lapack.Trtri(uplo, diag, n, inv, n); err != nil {
+					t.Fatalf("n=%d %v %v: %v", n, uplo, diag, err)
+				}
+				invD := triDense(uplo, diag, n, inv, n)
+				if r := identityResidual(n, orig, invD); r > 1e4 {
+					t.Errorf("n=%d %v %v: T·T⁻¹ residual %g", n, uplo, diag, r)
+				}
+			}
+		}
+	}
+}
+
+func TestTrtriSingular(t *testing.T) {
+	n := 6
+	a := matgen.Identity[float64](n)
+	a[4+4*n] = 0
+	err := lapack.Trtri(blas.Upper, blas.NonUnit, n, a, n)
+	var se *lapack.SingularError
+	if !errors.As(err, &se) || se.Index != 4 {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestLauumMatchesExplicitProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 5, 64, 100} {
+		for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+			a := matgen.Dense[float64](rng, n, n)
+			tri := triDense(uplo, blas.NonUnit, n, a, n)
+			want := make([]float64, n*n)
+			if uplo == blas.Upper {
+				blas.Gemm(blas.NoTrans, blas.Trans, n, n, n, 1, tri, n, tri, n, 0, want, n)
+			} else {
+				blas.Gemm(blas.Trans, blas.NoTrans, n, n, n, 1, tri, n, tri, n, 0, want, n)
+			}
+			got := append([]float64(nil), a...)
+			lapack.Lauum(uplo, n, got, n)
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					inTri := (uplo == blas.Upper && i <= j) || (uplo == blas.Lower && i >= j)
+					if !inTri {
+						continue
+					}
+					if math.Abs(got[i+j*n]-want[i+j*n]) > 1e-10*float64(n) {
+						t.Fatalf("n=%d %v: (%d,%d) = %v want %v", n, uplo, i, j, got[i+j*n], want[i+j*n])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPotri(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 10, 80, 130} {
+		for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+			a := matgen.DiagDomSPD[float64](rng, n)
+			f := append([]float64(nil), a...)
+			if err := lapack.Potrf(uplo, n, f, n); err != nil {
+				t.Fatal(err)
+			}
+			if err := lapack.Potri(uplo, n, f, n); err != nil {
+				t.Fatal(err)
+			}
+			// Symmetrize the stored triangle into a dense inverse.
+			inv := make([]float64, n*n)
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					if (uplo == blas.Lower && i >= j) || (uplo == blas.Upper && i <= j) {
+						inv[i+j*n] = f[i+j*n]
+					} else {
+						inv[i+j*n] = f[j+i*n]
+					}
+				}
+			}
+			if r := identityResidual(n, a, inv); r > 1e5 {
+				t.Errorf("n=%d %v: A·A⁻¹ residual %g", n, uplo, r)
+			}
+		}
+	}
+}
+
+func TestGetri(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 7, 64, 65, 120} {
+		a := matgen.Dense[float64](rng, n, n)
+		f := append([]float64(nil), a...)
+		ipiv := make([]int, n)
+		if err := lapack.Getrf(n, n, f, n, ipiv); err != nil {
+			t.Fatal(err)
+		}
+		if err := lapack.Getri(n, f, n, ipiv); err != nil {
+			t.Fatal(err)
+		}
+		if r := identityResidual(n, a, f); r > 1e6 {
+			t.Errorf("n=%d: A·A⁻¹ residual %g", n, r)
+		}
+		// Both sides: A⁻¹·A ≈ I too.
+		if r := identityResidual(n, f, a); r > 1e6 {
+			t.Errorf("n=%d: A⁻¹·A residual %g", n, r)
+		}
+	}
+}
+
+func TestGetriSingular(t *testing.T) {
+	n := 4
+	a := make([]float64, n*n)
+	ipiv := make([]int, n)
+	_ = lapack.Getrf(n, n, a, n, ipiv) // reports singular, factors anyway
+	if err := lapack.Getri(n, a, n, ipiv); err == nil {
+		t.Error("expected singular error")
+	}
+}

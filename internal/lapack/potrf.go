@@ -1,0 +1,136 @@
+package lapack
+
+import "exadla/internal/blas"
+
+// Potf2 computes the unblocked Cholesky factorization of the n×n symmetric
+// positive definite matrix A: A = L·Lᵀ (uplo == Lower) or A = Uᵀ·U
+// (uplo == Upper). The factor overwrites the referenced triangle.
+func Potf2[T blas.Float](uplo blas.Uplo, n int, a []T, lda int) error {
+	if uplo == blas.Lower {
+		for j := 0; j < n; j++ {
+			// A[j,j] -= A[j,0:j]·A[j,0:j]ᵀ (row of L, strided).
+			d := a[j+j*lda]
+			for k := 0; k < j; k++ {
+				v := a[j+k*lda]
+				d -= v * v
+			}
+			if d <= 0 {
+				return &NotPositiveDefiniteError{Index: j}
+			}
+			d = sqrt(d)
+			a[j+j*lda] = d
+			if j+1 < n {
+				// A[j+1:,j] = (A[j+1:,j] − A[j+1:,0:j]·A[j,0:j]ᵀ) / d.
+				col := a[j*lda:]
+				for k := 0; k < j; k++ {
+					ljk := a[j+k*lda]
+					if ljk == 0 {
+						continue
+					}
+					ck := a[k*lda:]
+					for i := j + 1; i < n; i++ {
+						col[i] -= ljk * ck[i]
+					}
+				}
+				inv := 1 / d
+				for i := j + 1; i < n; i++ {
+					col[i] *= inv
+				}
+			}
+		}
+		return nil
+	}
+	// Upper: A = UᵀU.
+	for j := 0; j < n; j++ {
+		col := a[j*lda:]
+		d := col[j]
+		for k := 0; k < j; k++ {
+			d -= col[k] * col[k]
+		}
+		if d <= 0 {
+			return &NotPositiveDefiniteError{Index: j}
+		}
+		d = sqrt(d)
+		col[j] = d
+		if j+1 < n {
+			// U[j,j+1:] = (A[j,j+1:] − U[0:j,j]ᵀ·U[0:j,j+1:]) / d.
+			for jj := j + 1; jj < n; jj++ {
+				cjj := a[jj*lda:]
+				s := cjj[j]
+				for k := 0; k < j; k++ {
+					s -= col[k] * cjj[k]
+				}
+				cjj[j] = s / d
+			}
+		}
+	}
+	return nil
+}
+
+// Potrf computes the blocked Cholesky factorization of the n×n symmetric
+// positive definite matrix A in place, using level-3 updates on panels of
+// width blockSize.
+func Potrf[T blas.Float](uplo blas.Uplo, n int, a []T, lda int) error {
+	if n <= blockSize {
+		return Potf2(uplo, n, a, lda)
+	}
+	if uplo == blas.Lower {
+		for j := 0; j < n; j += blockSize {
+			jb := min(blockSize, n-j)
+			// Diagonal block: A[j:j+jb, j:j+jb] -= L21·L21ᵀ.
+			blas.Syrk(blas.Lower, blas.NoTrans, jb, j, -1, a[j:], lda, 1, a[j+j*lda:], lda)
+			if err := Potf2(blas.Lower, jb, a[j+j*lda:], lda); err != nil {
+				perr := err.(*NotPositiveDefiniteError)
+				return &NotPositiveDefiniteError{Index: j + perr.Index}
+			}
+			if j+jb < n {
+				// Panel below: A[j+jb:, j:j+jb] -= A[j+jb:, 0:j]·A[j:j+jb, 0:j]ᵀ.
+				blas.Gemm(blas.NoTrans, blas.Trans, n-j-jb, jb, j,
+					-1, a[j+jb:], lda, a[j:], lda, 1, a[j+jb+j*lda:], lda)
+				// Solve against the new diagonal block.
+				blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
+					n-j-jb, jb, 1, a[j+j*lda:], lda, a[j+jb+j*lda:], lda)
+			}
+		}
+		return nil
+	}
+	// Upper.
+	for j := 0; j < n; j += blockSize {
+		jb := min(blockSize, n-j)
+		blas.Syrk(blas.Upper, blas.Trans, jb, j, -1, a[j*lda:], lda, 1, a[j+j*lda:], lda)
+		if err := Potf2(blas.Upper, jb, a[j+j*lda:], lda); err != nil {
+			perr := err.(*NotPositiveDefiniteError)
+			return &NotPositiveDefiniteError{Index: j + perr.Index}
+		}
+		if j+jb < n {
+			// A[j:j+jb, j+jb:] -= A[0:j, j:j+jb]ᵀ·A[0:j, j+jb:], then solve.
+			blas.Gemm(blas.Trans, blas.NoTrans, jb, n-j-jb, j,
+				-1, a[j*lda:], lda, a[(j+jb)*lda:], lda, 1, a[j+(j+jb)*lda:], lda)
+			blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit,
+				jb, n-j-jb, 1, a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
+		}
+	}
+	return nil
+}
+
+// Potrs solves A·X = B for nrhs right-hand sides given the Cholesky factor
+// computed by Potrf. B is n×nrhs and is overwritten with X.
+func Potrs[T blas.Float](uplo blas.Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) {
+	if uplo == blas.Lower {
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.NonUnit, n, nrhs, 1, a, lda, b, ldb)
+		blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.NonUnit, n, nrhs, 1, a, lda, b, ldb)
+		return
+	}
+	blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, n, nrhs, 1, a, lda, b, ldb)
+	blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, n, nrhs, 1, a, lda, b, ldb)
+}
+
+// Posv factors the symmetric positive definite matrix A (overwriting it)
+// and solves A·X = B in place.
+func Posv[T blas.Float](uplo blas.Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) error {
+	if err := Potrf(uplo, n, a, lda); err != nil {
+		return err
+	}
+	Potrs(uplo, n, nrhs, a, lda, b, ldb)
+	return nil
+}

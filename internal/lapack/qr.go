@@ -1,0 +1,259 @@
+package lapack
+
+import "exadla/internal/blas"
+
+// Larfg generates an elementary Householder reflector H such that
+//
+//	H·[alpha, x]ᵀ = [beta, 0]ᵀ,  H = I − tau·v·vᵀ,  v = [1, vTail]ᵀ.
+//
+// On return x is overwritten with vTail. n is the order of the reflector
+// (1 + len of x's logical vector). It returns beta and tau; tau == 0 means
+// H is the identity.
+func Larfg[T blas.Float](n int, alpha T, x []T, incX int) (beta, tau T) {
+	if n <= 1 {
+		return alpha, 0
+	}
+	xnorm := blas.Nrm2(n-1, x, incX)
+	if xnorm == 0 {
+		return alpha, 0
+	}
+	// beta = -sign(alpha)·‖[alpha, x]‖ for stability.
+	beta = hypot(alpha, xnorm)
+	if alpha > 0 {
+		beta = -beta
+	}
+	tau = (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	blas.Scal(n-1, scale, x, incX)
+	return beta, tau
+}
+
+func hypot[T blas.Float](a, b T) T {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a < b {
+		a, b = b, a
+	}
+	if a == 0 {
+		return 0
+	}
+	r := b / a
+	return a * sqrt(1+r*r)
+}
+
+// Larf applies the reflector H = I − tau·v·vᵀ to the m×n matrix C from the
+// left (side == Left, v has length m) or right (side == Right, v has length
+// n). work must have length ≥ n (Left) or m (Right).
+func Larf[T blas.Float](side blas.Side, m, n int, v []T, incV int, tau T, c []T, ldc int, work []T) {
+	if tau == 0 {
+		return
+	}
+	if side == blas.Left {
+		// work = Cᵀ·v; C -= tau·v·workᵀ.
+		blas.Gemv(blas.Trans, m, n, 1, c, ldc, v, incV, 0, work[:n], 1)
+		blas.Ger(m, n, -tau, v, incV, work, 1, c, ldc)
+		return
+	}
+	// work = C·v; C -= tau·work·vᵀ.
+	blas.Gemv(blas.NoTrans, m, n, 1, c, ldc, v, incV, 0, work[:m], 1)
+	blas.Ger(m, n, -tau, work, 1, v, incV, c, ldc)
+}
+
+// Geqr2 computes the unblocked QR factorization of the m×n matrix A:
+// A = Q·R. R overwrites the upper triangle; the Householder vectors
+// overwrite the strict lower triangle and tau (length min(m, n)) holds the
+// reflector scales. work must have length ≥ n.
+func Geqr2[T blas.Float](m, n int, a []T, lda int, tau, work []T) {
+	k := min(m, n)
+	for j := 0; j < k; j++ {
+		col := a[j*lda:]
+		beta, t := Larfg(m-j, col[j], col[j+1:j+1+max(0, m-j-1)], 1)
+		tau[j] = t
+		if j+1 < n {
+			// Apply H to the trailing A[j:, j+1:] with v implicit in A.
+			col[j] = 1
+			Larf(blas.Left, m-j, n-j-1, col[j:j+m-j], 1, t, a[j+(j+1)*lda:], lda, work)
+		}
+		col[j] = beta
+	}
+}
+
+// Larft forms the upper-triangular block reflector factor T of the compact
+// WY representation: H₁·H₂···H_k = I − V·T·Vᵀ, with the reflectors stored
+// forward and columnwise in the m×k matrix V (unit diagonal implied).
+// t is k×k with leading dimension ldt.
+func Larft[T blas.Float](m, k int, v []T, ldv int, tau []T, t []T, ldt int) {
+	for i := 0; i < k; i++ {
+		ti := tau[i]
+		if ti == 0 {
+			for j := 0; j <= i; j++ {
+				t[j+i*ldt] = 0
+			}
+			continue
+		}
+		// t[0:i, i] = −tau[i]·V[:, 0:i]ᵀ·v_i, exploiting that v_i has an
+		// implicit leading 1 at row i and zeros above.
+		for j := 0; j < i; j++ {
+			t[j+i*ldt] = -ti * v[i+j*ldv] // contribution of the implicit 1
+		}
+		if i+1 < m {
+			// += −tau·V[i+1:, 0:i]ᵀ·V[i+1:, i].
+			blas.Gemv(blas.Trans, m-i-1, i, -ti, v[i+1:], ldv, v[i+1+i*ldv:], 1, 1, t[i*ldt:], 1)
+		}
+		// t[0:i, i] = T[0:i, 0:i]·t[0:i, i].
+		blas.Trmv(blas.Upper, blas.NoTrans, blas.NonUnit, i, t, ldt, t[i*ldt:], 1)
+		t[i+i*ldt] = ti
+	}
+}
+
+// Larfb applies the block reflector H = I − V·T·Vᵀ (or its transpose) to
+// the m×n matrix C from the left, with V m×k forward/columnwise and T from
+// Larft. work must have length ≥ n*k.
+func Larfb[T blas.Float](side blas.Side, trans blas.Transpose, m, n, k int, v []T, ldv int, t []T, ldt int, c []T, ldc int, work []T) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if side != blas.Left {
+		panic("lapack: Larfb implements side == Left only")
+	}
+	// W = CᵀV (n×k), exploiting V's unit lower trapezoidal structure:
+	// V = [V1; V2] with V1 k×k unit lower triangular.
+	w := work[:n*k]
+	// W = C1ᵀ (n×k) where C1 is the first k rows of C.
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			w[i+j*n] = c[j+i*ldc]
+		}
+	}
+	// W = W·V1 (unit lower): Trmm Right Lower NoTrans Unit.
+	blas.Trmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, n, k, 1, v, ldv, w, n)
+	if m > k {
+		// W += C2ᵀ·V2.
+		blas.Gemm(blas.Trans, blas.NoTrans, n, k, m-k, 1, c[k:], ldc, v[k:], ldv, 1, w, n)
+	}
+	// W = W·Tᵀ (trans==NoTrans applies H = I − V·T·Vᵀ) or W·T (Hᵀ).
+	tt := blas.Trans
+	if trans == blas.Trans {
+		tt = blas.NoTrans
+	}
+	blas.Trmm(blas.Right, blas.Upper, tt, blas.NonUnit, n, k, 1, t, ldt, w, n)
+	// C -= V·Wᵀ: C2 -= V2·Wᵀ, then C1 -= V1·Wᵀ.
+	if m > k {
+		blas.Gemm(blas.NoTrans, blas.Trans, m-k, n, k, -1, v[k:], ldv, w, n, 1, c[k:], ldc)
+	}
+	// Wᵀ update for C1: W = W·V1ᵀ then C1 -= Wᵀ.
+	blas.Trmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, n, k, 1, v, ldv, w, n)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			c[j+i*ldc] -= w[i+j*n]
+		}
+	}
+}
+
+// Geqrf computes the blocked QR factorization of the m×n matrix A in
+// place, with tau of length min(m, n), using compact-WY panel updates.
+func Geqrf[T blas.Float](m, n int, a []T, lda int, tau []T) {
+	k := min(m, n)
+	if k == 0 {
+		return
+	}
+	work := make([]T, max(n, 1)*blockSize)
+	tmat := make([]T, blockSize*blockSize)
+	for j := 0; j < k; j += blockSize {
+		jb := min(blockSize, k-j)
+		Geqr2(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], work)
+		if j+jb < n {
+			Larft(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], tmat, jb)
+			Larfb(blas.Left, blas.Trans, m-j, n-j-jb, jb,
+				a[j+j*lda:], lda, tmat, jb, a[j+(j+jb)*lda:], lda, work)
+		}
+	}
+}
+
+// Org2r generates the first k columns of the orthogonal factor Q from the
+// reflectors stored by Geqr2/Geqrf in the m×n matrix A (n ≥ k). On return
+// A holds the explicit m×n Q panel.
+func Org2r[T blas.Float](m, n, k int, a []T, lda int, tau []T) {
+	if n == 0 {
+		return
+	}
+	work := make([]T, n)
+	// Initialise trailing columns k..n-1 to identity columns.
+	for j := k; j < n; j++ {
+		col := a[j*lda:]
+		for i := 0; i < m; i++ {
+			col[i] = 0
+		}
+		col[j] = 1
+	}
+	for j := k - 1; j >= 0; j-- {
+		col := a[j*lda:]
+		t := tau[j]
+		if j+1 < n {
+			col[j] = 1
+			Larf(blas.Left, m-j, n-j-1, col[j:j+m-j], 1, t, a[j+(j+1)*lda:], lda, work)
+		}
+		if j+1 < m {
+			blas.Scal(m-j-1, -t, col[j+1:], 1)
+		}
+		col[j] = 1 - t
+		for i := 0; i < j; i++ {
+			col[i] = 0
+		}
+	}
+}
+
+// Orgqr generates the explicit m×n orthogonal factor Q (n ≥ k columns)
+// from Geqrf output. It currently delegates to the unblocked Org2r; Q is
+// only materialised in tests and small drivers.
+func Orgqr[T blas.Float](m, n, k int, a []T, lda int, tau []T) {
+	Org2r(m, n, k, a, lda, tau)
+}
+
+// Ormqr applies Q or Qᵀ (from Geqrf's reflectors in A, k of them) to the
+// m×n matrix C from the left: C ← op(Q)·C.
+func Ormqr[T blas.Float](trans blas.Transpose, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
+	work := make([]T, max(m, n))
+	// Q = H₀H₁···H_{k−1}. Q·C applies reflectors in reverse order, Qᵀ·C in
+	// forward order.
+	apply := func(j int) {
+		col := a[j*lda:]
+		save := col[j]
+		col[j] = 1
+		Larf(blas.Left, m-j, n, col[j:j+m-j], 1, tau[j], c[j:], ldc, work)
+		col[j] = save
+	}
+	if trans == blas.Trans {
+		for j := 0; j < k; j++ {
+			apply(j)
+		}
+	} else {
+		for j := k - 1; j >= 0; j-- {
+			apply(j)
+		}
+	}
+}
+
+// Gels solves the overdetermined least-squares problem min‖A·x − b‖₂ for a
+// full-rank m×n matrix A with m ≥ n, via QR: x = R⁻¹·(Qᵀb)[0:n]. A and b
+// are overwritten; the solution is the first n entries of b. It returns a
+// *SingularError if R has an exactly zero diagonal entry.
+func Gels[T blas.Float](m, n int, a []T, lda int, b []T) error {
+	if m < n {
+		panic("lapack: Gels requires m ≥ n")
+	}
+	tau := make([]T, n)
+	Geqrf(m, n, a, lda, tau)
+	Ormqr(blas.Trans, m, 1, n, a, lda, tau, b, m)
+	for i := 0; i < n; i++ {
+		if a[i+i*lda] == 0 {
+			return &SingularError{Index: i}
+		}
+	}
+	blas.Trsv(blas.Upper, blas.NoTrans, blas.NonUnit, n, a, lda, b, 1)
+	return nil
+}

@@ -1,0 +1,152 @@
+package lapack_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+)
+
+// Property: for any random SPD matrix, Potrf produces a factor whose
+// reconstruction matches to a size-scaled tolerance, and every diagonal
+// entry of L is strictly positive.
+func TestQuickPotrfProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(96)
+		a := matgen.DiagDomSPD[float64](rng, n)
+		fac := append([]float64(nil), a...)
+		if err := lapack.Potrf(blas.Lower, n, fac, n); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if fac[i+i*n] <= 0 {
+				return false
+			}
+		}
+		l := extractLower(n, fac, n, false)
+		recon := make([]float64, n*n)
+		blas.Gemm(blas.NoTrans, blas.Trans, n, n, n, 1, l, n, l, n, 0, recon, n)
+		return residual(recon, a, n) < 100
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any random square matrix, Getrf's reconstruction matches
+// and every pivot index points at or below its row.
+func TestQuickGetrfProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(96)
+		a := matgen.Dense[float64](rng, n, n)
+		fac := append([]float64(nil), a...)
+		ipiv := make([]int, n)
+		if err := lapack.Getrf(n, n, fac, n, ipiv); err != nil {
+			return true // exactly singular random matrix: astronomically rare, but legal
+		}
+		for i, p := range ipiv {
+			if p < i || p >= n {
+				return false
+			}
+		}
+		recon := reconstructLU(n, n, fac, n, ipiv)
+		return residual(recon, a, n) < 100
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QR preserves column norms — ‖A·e_j‖₂ equals ‖R[0:j+1, j]‖₂
+// (orthogonal transforms are isometries).
+func TestQuickGeqrfColumnNorms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(80)
+		n := 1 + rng.Intn(m)
+		a := matgen.Dense[float64](rng, m, n)
+		fac := append([]float64(nil), a...)
+		tau := make([]float64, n)
+		lapack.Geqrf(m, n, fac, m, tau)
+		for j := 0; j < n; j++ {
+			orig := blas.Nrm2(m, a[j*m:j*m+m], 1)
+			rcol := blas.Nrm2(min(j+1, m), fac[j*m:j*m+min(j+1, m)], 1)
+			if math.Abs(orig-rcol) > 1e-11*(1+orig)*float64(m) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solving with the factorization inverts matrix application for
+// well-conditioned systems — Getrs(Getrf(A), A·x) ≈ x.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		a := matgen.WithCond[float64](rng, n, n, 100)
+		x := matgen.Dense[float64](rng, n, 1)
+		b := make([]float64, n)
+		blas.Gemv(blas.NoTrans, n, n, 1, a, n, x, 1, 0, b, 1)
+		fac := append([]float64(nil), a...)
+		ipiv := make([]int, n)
+		if err := lapack.Getrf(n, n, fac, n, ipiv); err != nil {
+			return false
+		}
+		lapack.Getrs(blas.NoTrans, n, 1, fac, n, ipiv, b, n)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-9*(1+math.Abs(x[i]))*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Trtri really inverses — T·T⁻¹ ≈ I for well-conditioned
+// triangles of either orientation.
+func TestQuickTrtriProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80)
+		uplo := blas.Lower
+		if seed%2 == 0 {
+			uplo = blas.Upper
+		}
+		a := matgen.Dense[float64](rng, n, n)
+		for i := range a {
+			a[i] /= float64(n)
+		}
+		for i := 0; i < n; i++ {
+			a[i+i*n] = 1 + math.Abs(a[i+i*n])
+		}
+		inv := append([]float64(nil), a...)
+		if err := lapack.Trtri(uplo, blas.NonUnit, n, inv, n); err != nil {
+			return false
+		}
+		t1 := triDense(uplo, blas.NonUnit, n, a, n)
+		t2 := triDense(uplo, blas.NonUnit, n, inv, n)
+		return identityResidual(n, t1, t2) < 1e5
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package lapack
+
+import (
+	"math"
+
+	"exadla/internal/blas"
+)
+
+// sqrt computes the square root in the operand's own precision.
+func sqrt[T blas.Float](x T) T {
+	return T(math.Sqrt(float64(x)))
+}
+
+// Epsilon returns the machine epsilon (unit roundoff ulp of 1.0) for T.
+func Epsilon[T blas.Float]() T {
+	var one T = 1
+	switch any(one).(type) {
+	case float32:
+		return T(math.Float32frombits(0x34000000)) // 2^-23
+	default:
+		return T(0x1p-52)
+	}
+}

@@ -1,0 +1,225 @@
+// Package matgen generates dense test matrices with prescribed structure:
+// random general matrices, symmetric positive definite matrices (both cheap
+// diagonally dominant ones and ones with an exact prescribed condition
+// number), and classical ill-conditioned examples.
+//
+// All matrices are column-major with leading dimension equal to the row
+// count unless stated otherwise. Generators take an explicit *rand.Rand so
+// callers control determinism.
+package matgen
+
+import (
+	"math"
+	"math/rand"
+
+	"exadla/internal/blas"
+)
+
+// Dense returns an m×n matrix with independent standard normal entries.
+func Dense[T blas.Float](rng *rand.Rand, m, n int) []T {
+	a := make([]T, m*n)
+	for i := range a {
+		a[i] = T(rng.NormFloat64())
+	}
+	return a
+}
+
+// DiagDomSPD returns an n×n symmetric positive definite matrix built from a
+// random symmetric matrix made strictly diagonally dominant. Generation is
+// O(n²), so it is the generator of choice for large benchmark inputs. The
+// matrix is well conditioned (condition number typically below ~100).
+func DiagDomSPD[T blas.Float](rng *rand.Rand, n int) []T {
+	a := make([]T, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			v := T(rng.NormFloat64())
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		var s T
+		for j := 0; j < n; j++ {
+			v := a[i+j*n]
+			if v < 0 {
+				v = -v
+			}
+			s += v
+		}
+		a[i+i*n] = s + 1
+	}
+	return a
+}
+
+// SPDWithCond returns an n×n symmetric positive definite matrix with
+// condition number exactly cond (in the 2-norm, up to rounding): A = Q·D·Qᵀ
+// where Q is a random orthogonal matrix (a product of n Householder
+// reflectors) and D has log-spaced eigenvalues in [1/cond, 1].
+// Generation is O(n³); intended for accuracy studies at moderate sizes.
+func SPDWithCond[T blas.Float](rng *rand.Rand, n int, cond float64) []T {
+	if cond < 1 {
+		panic("matgen: condition number must be ≥ 1")
+	}
+	d := logSpaced(n, cond)
+	q := RandomOrthogonal[T](rng, n)
+	// A = Q·D·Qᵀ: scale columns of Q by D, multiply by Qᵀ.
+	qd := make([]T, n*n)
+	for j := 0; j < n; j++ {
+		s := T(d[j])
+		for i := 0; i < n; i++ {
+			qd[i+j*n] = q[i+j*n] * s
+		}
+	}
+	a := make([]T, n*n)
+	blas.Gemm(blas.NoTrans, blas.Trans, n, n, n, 1, qd, n, q, n, 0, a, n)
+	// Resymmetrize to kill rounding asymmetry.
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			v := (a[i+j*n] + a[j+i*n]) / 2
+			a[i+j*n], a[j+i*n] = v, v
+		}
+	}
+	return a
+}
+
+// WithCond returns an m×n matrix with prescribed 2-norm condition number:
+// A = U·Σ·Vᵀ with log-spaced singular values in [1/cond, 1] and random
+// orthogonal U, V. Generation is O((m+n)·m·n).
+func WithCond[T blas.Float](rng *rand.Rand, m, n int, cond float64) []T {
+	if cond < 1 {
+		panic("matgen: condition number must be ≥ 1")
+	}
+	k := min(m, n)
+	sigma := logSpaced(k, cond)
+	// Start from the m×n "diagonal" matrix Σ and apply random reflectors
+	// from the left and right: A = H_L Σ H_Rᵀ remains U Σ Vᵀ shaped.
+	a := make([]T, m*n)
+	for i := 0; i < k; i++ {
+		a[i+i*m] = T(sigma[i])
+	}
+	applyRandomReflectorsLeft(rng, m, n, a, m)
+	applyRandomReflectorsRight(rng, m, n, a, m)
+	return a
+}
+
+// RandomOrthogonal returns a random n×n orthogonal matrix as a product of n
+// random Householder reflectors applied to the identity.
+func RandomOrthogonal[T blas.Float](rng *rand.Rand, n int) []T {
+	q := make([]T, n*n)
+	for i := 0; i < n; i++ {
+		q[i+i*n] = 1
+	}
+	applyRandomReflectorsLeft(rng, n, n, q, n)
+	return q
+}
+
+// applyRandomReflectorsLeft applies min(m, 8)+1 random Householder
+// reflectors H = I − 2vvᵀ/‖v‖² to A from the left. A handful of dense
+// reflectors already mixes every row with every other; using n reflectors
+// would produce a Haar-distributed factor but costs no extra correctness.
+func applyRandomReflectorsLeft[T blas.Float](rng *rand.Rand, m, n int, a []T, lda int) {
+	if m < 2 {
+		return
+	}
+	v := make([]T, m)
+	w := make([]T, n)
+	for r := 0; r < min(m, 8)+1; r++ {
+		var nrm2 T
+		for i := range v {
+			v[i] = T(rng.NormFloat64())
+			nrm2 += v[i] * v[i]
+		}
+		// w = AᵀV; A -= (2/‖v‖²)·v·wᵀ.
+		blas.Gemv(blas.Trans, m, n, 1, a, lda, v, 1, 0, w, 1)
+		blas.Ger(m, n, -2/nrm2, v, 1, w, 1, a, lda)
+	}
+}
+
+func applyRandomReflectorsRight[T blas.Float](rng *rand.Rand, m, n int, a []T, lda int) {
+	if n < 2 {
+		return
+	}
+	v := make([]T, n)
+	w := make([]T, m)
+	for r := 0; r < min(n, 8)+1; r++ {
+		var nrm2 T
+		for i := range v {
+			v[i] = T(rng.NormFloat64())
+			nrm2 += v[i] * v[i]
+		}
+		// w = A·v; A -= (2/‖v‖²)·w·vᵀ.
+		blas.Gemv(blas.NoTrans, m, n, 1, a, lda, v, 1, 0, w, 1)
+		blas.Ger(m, n, -2/nrm2, w, 1, v, 1, a, lda)
+	}
+}
+
+// Hilbert returns the n×n Hilbert matrix H[i][j] = 1/(i+j+1), a classically
+// ill-conditioned symmetric positive definite matrix.
+func Hilbert[T blas.Float](n int) []T {
+	a := make([]T, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			a[i+j*n] = T(1 / float64(i+j+1))
+		}
+	}
+	return a
+}
+
+// Poisson2D returns the n²×n² pentadiagonal matrix of the 5-point Laplacian
+// stencil on an n×n grid: 4 on the diagonal, -1 on grid-neighbour entries.
+// It is symmetric positive definite with condition number Θ(n²).
+func Poisson2D[T blas.Float](n int) []T {
+	nn := n * n
+	a := make([]T, nn*nn)
+	idx := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r := idx(i, j)
+			a[r+r*nn] = 4
+			if i > 0 {
+				a[r+idx(i-1, j)*nn] = -1
+			}
+			if i < n-1 {
+				a[r+idx(i+1, j)*nn] = -1
+			}
+			if j > 0 {
+				a[r+idx(i, j-1)*nn] = -1
+			}
+			if j < n-1 {
+				a[r+idx(i, j+1)*nn] = -1
+			}
+		}
+	}
+	return a
+}
+
+// Identity returns the n×n identity matrix.
+func Identity[T blas.Float](n int) []T {
+	a := make([]T, n*n)
+	for i := 0; i < n; i++ {
+		a[i+i*n] = 1
+	}
+	return a
+}
+
+// RHSForSolution returns b = A·x for a given m×n matrix and solution x, so
+// solver tests know the exact answer.
+func RHSForSolution[T blas.Float](m, n int, a []T, lda int, x []T) []T {
+	b := make([]T, m)
+	blas.Gemv(blas.NoTrans, m, n, 1, a, lda, x, 1, 0, b, 1)
+	return b
+}
+
+// logSpaced returns k values log-spaced from 1 down to 1/cond.
+func logSpaced(k int, cond float64) []float64 {
+	s := make([]float64, k)
+	if k == 1 {
+		s[0] = 1
+		return s
+	}
+	for i := range s {
+		t := float64(i) / float64(k-1)
+		s[i] = math.Pow(cond, -t)
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package matgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/blas"
+)
+
+func TestRandomOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 32} {
+		q := RandomOrthogonal[float64](rng, n)
+		// QᵀQ must be the identity.
+		qtq := make([]float64, n*n)
+		blas.Gemm(blas.Trans, blas.NoTrans, n, n, n, 1, q, n, q, n, 0, qtq, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(qtq[i+j*n]-want) > 1e-12*float64(n) {
+					t.Fatalf("n=%d: QᵀQ[%d,%d] = %v", n, i, j, qtq[i+j*n])
+				}
+			}
+		}
+	}
+}
+
+func TestDiagDomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 40
+	a := DiagDomSPD[float64](rng, n)
+	for j := 0; j < n; j++ {
+		if a[j+j*n] <= 0 {
+			t.Fatalf("diagonal %d not positive: %v", j, a[j+j*n])
+		}
+		var off float64
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			if a[i+j*n] != a[j+i*n] {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+			off += math.Abs(a[i+j*n])
+		}
+		if a[j+j*n] <= off {
+			t.Fatalf("row %d not strictly diagonally dominant", j)
+		}
+	}
+}
+
+func TestSPDWithCondTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, cond := 24, 1e4
+	a := SPDWithCond[float64](rng, n, cond)
+	// Orthogonal similarity preserves the trace: trace(A) = Σ eigenvalues.
+	wantTrace := 0.0
+	for _, d := range logSpaced(n, cond) {
+		wantTrace += d
+	}
+	gotTrace := 0.0
+	for i := 0; i < n; i++ {
+		gotTrace += a[i+i*n]
+	}
+	if math.Abs(gotTrace-wantTrace) > 1e-10*wantTrace*float64(n) {
+		t.Errorf("trace: got %v want %v", gotTrace, wantTrace)
+	}
+	// Symmetry.
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if a[i+j*n] != a[j+i*n] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestWithCondFrobenius(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, n, cond := 30, 18, 1e3
+	a := WithCond[float64](rng, m, n, cond)
+	// Orthogonal transforms preserve ‖A‖_F = sqrt(Σ σᵢ²).
+	want := 0.0
+	for _, s := range logSpaced(min(m, n), cond) {
+		want += s * s
+	}
+	want = math.Sqrt(want)
+	got := blas.Nrm2(m*n, a, 1)
+	if math.Abs(got-want) > 1e-10*want*float64(m) {
+		t.Errorf("‖A‖_F: got %v want %v", got, want)
+	}
+}
+
+func TestHilbert(t *testing.T) {
+	h := Hilbert[float64](3)
+	want := []float64{1, 0.5, 1.0 / 3, 0.5, 1.0 / 3, 0.25, 1.0 / 3, 0.25, 0.2}
+	for i := range want {
+		if math.Abs(h[i]-want[i]) > 1e-15 {
+			t.Fatalf("Hilbert[%d]: got %v want %v", i, h[i], want[i])
+		}
+	}
+}
+
+func TestPoisson2D(t *testing.T) {
+	n := 3
+	a := Poisson2D[float64](n)
+	nn := n * n
+	// Symmetric, diagonal of 4, row sums between 0 and 4 (boundary rows > 0).
+	for j := 0; j < nn; j++ {
+		if a[j+j*nn] != 4 {
+			t.Fatalf("diagonal %d: %v", j, a[j+j*nn])
+		}
+		for i := 0; i < nn; i++ {
+			if a[i+j*nn] != a[j+i*nn] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Interior row (center of 3×3 grid) has four -1 neighbours.
+	center := 4
+	count := 0
+	for i := 0; i < nn; i++ {
+		if i != center && a[i+center*nn] == -1 {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("center row has %d neighbours, want 4", count)
+	}
+}
+
+func TestRHSForSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n := 6, 4
+	a := Dense[float64](rng, m, n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	b := RHSForSolution(m, n, a, m, x)
+	for i := 0; i < m; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += a[i+j*m] * x[j]
+		}
+		if math.Abs(b[i]-want) > 1e-12 {
+			t.Fatalf("b[%d]: got %v want %v", i, b[i], want)
+		}
+	}
+}
+
+func TestGeneratorsFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := DiagDomSPD[float32](rng, 8)
+	if len(a) != 64 {
+		t.Fatal("wrong size")
+	}
+	q := RandomOrthogonal[float32](rng, 8)
+	qtq := make([]float32, 64)
+	blas.Gemm(blas.Trans, blas.NoTrans, 8, 8, 8, 1, q, 8, q, 8, 0, qtq, 8)
+	for i := 0; i < 8; i++ {
+		if math.Abs(float64(qtq[i+i*8]-1)) > 1e-5 {
+			t.Fatalf("float32 QᵀQ diag: %v", qtq[i+i*8])
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package rnd_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/blas"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+	"exadla/internal/rnd"
+)
+
+func lsResidual(m, n int, a []float64, b, x []float64) float64 {
+	r := append([]float64(nil), b...)
+	blas.Gemv(blas.NoTrans, m, n, -1, a, m, x, 1, 1, r, 1)
+	return blas.Nrm2(m, r, 1)
+}
+
+func TestLSQRConsistentSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 200, 30
+	a := matgen.Dense[float64](rng, m, n)
+	xTrue := matgen.Dense[float64](rng, n, 1)
+	b := make([]float64, m)
+	blas.Gemv(blas.NoTrans, m, n, 1, a, m, xTrue, 1, 0, b, 1)
+	res := rnd.LSQR(&rnd.DenseOp{M: m, N: n, A: a, LDA: m}, b, 1e-13, 500)
+	if !res.Converged {
+		t.Error("LSQR did not converge")
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v want %v", i, res.X[i], xTrue[i])
+		}
+	}
+}
+
+func TestLSQRMatchesQRSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n := 150, 20
+	a := matgen.Dense[float64](rng, m, n)
+	b := matgen.Dense[float64](rng, m, 1)
+	res := rnd.LSQR(&rnd.DenseOp{M: m, N: n, A: a, LDA: m}, b, 1e-13, 1000)
+	aCopy := append([]float64(nil), a...)
+	bCopy := append([]float64(nil), b...)
+	if err := lapack.Gels(m, n, aCopy, m, bCopy); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(res.X[i]-bCopy[i]) > 1e-7*(1+math.Abs(bCopy[i])) {
+			t.Fatalf("x[%d] = %v, QR %v", i, res.X[i], bCopy[i])
+		}
+	}
+}
+
+func TestLSQRZeroRHS(t *testing.T) {
+	a := matgen.Identity[float64](5)
+	b := make([]float64, 5)
+	res := rnd.LSQR(&rnd.DenseOp{M: 5, N: 5, A: a, LDA: 5}, b, 1e-12, 10)
+	if !res.Converged {
+		t.Error("zero RHS should converge immediately")
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Error("nonzero solution for zero RHS")
+		}
+	}
+}
+
+func TestSolveLSMatchesQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 400, 25
+	a := matgen.WithCond[float64](rng, m, n, 1e6) // ill-conditioned on purpose
+	b := matgen.Dense[float64](rng, m, 1)
+	x, stats, err := rnd.SolveLS(rng, m, n, a, m, b, 2.0, 1e-14, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Error("preconditioned LSQR did not converge")
+	}
+	aCopy := append([]float64(nil), a...)
+	bCopy := append([]float64(nil), b...)
+	if err := lapack.Gels(m, n, aCopy, m, bCopy); err != nil {
+		t.Fatal(err)
+	}
+	rRand := lsResidual(m, n, a, b, x)
+	rQR := lsResidual(m, n, a, b, bCopy[:n])
+	if rRand > rQR*(1+1e-6) {
+		t.Errorf("randomized residual %g exceeds QR residual %g", rRand, rQR)
+	}
+}
+
+func TestSolveLSIterationCountIsSmall(t *testing.T) {
+	// The headline property of sketch-to-precondition: iteration count is
+	// essentially independent of conditioning.
+	rng := rand.New(rand.NewSource(4))
+	m, n := 500, 20
+	var iters []int
+	for _, cond := range []float64{1e1, 1e8} {
+		a := matgen.WithCond[float64](rng, m, n, cond)
+		b := matgen.Dense[float64](rng, m, 1)
+		_, stats, err := rnd.SolveLS(rng, m, n, a, m, b, 3.0, 1e-12, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Converged {
+			t.Fatalf("cond=%g: not converged", cond)
+		}
+		iters = append(iters, stats.LSQRIterations)
+	}
+	if iters[1] > 5*iters[0]+20 {
+		t.Errorf("iterations blew up with conditioning: %v", iters)
+	}
+}
+
+func TestSketchAndSolveRoughAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n := 600, 15
+	a := matgen.Dense[float64](rng, m, n)
+	xTrue := matgen.Dense[float64](rng, n, 1)
+	b := make([]float64, m)
+	blas.Gemv(blas.NoTrans, m, n, 1, a, m, xTrue, 1, 0, b, 1)
+	// Add noise so the LS problem has a nonzero residual.
+	for i := range b {
+		b[i] += 0.01 * rng.NormFloat64()
+	}
+	x, _, err := rnd.SketchAndSolve(rng, m, n, a, m, b, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sketch-and-solve must land in the right neighbourhood (its residual
+	// within a modest factor of optimal).
+	aCopy := append([]float64(nil), a...)
+	bCopy := append([]float64(nil), b...)
+	if err := lapack.Gels(m, n, aCopy, m, bCopy); err != nil {
+		t.Fatal(err)
+	}
+	rSketch := lsResidual(m, n, a, b, x)
+	rOpt := lsResidual(m, n, a, b, bCopy[:n])
+	if rSketch > 2*rOpt {
+		t.Errorf("sketch-and-solve residual %g ≫ optimal %g", rSketch, rOpt)
+	}
+}
+
+func TestCondEst2(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, cond := range []float64{1, 100, 1e5} {
+		m, n := 200, 40
+		a := matgen.WithCond[float64](rng, m, n, cond)
+		est := rnd.CondEst2(rng, m, n, a, m, 50)
+		if est < cond/10 || est > cond*10 {
+			t.Errorf("cond %g estimated as %g", cond, est)
+		}
+	}
+}
+
+func TestCondEst2Singular(t *testing.T) {
+	m, n := 20, 5
+	a := make([]float64, m*n)
+	rng := rand.New(rand.NewSource(7))
+	if est := rnd.CondEst2(rng, m, n, a, m, 10); !math.IsInf(est, 1) {
+		t.Errorf("singular matrix estimated cond %g, want +Inf", est)
+	}
+}
+
+func TestGaussianSketchEmbedding(t *testing.T) {
+	// A (2n)-row sketch must approximately preserve norms of vectors in
+	// the column space: ‖S·A·x‖ ≈ ‖A·x‖ within ~50%.
+	rng := rand.New(rand.NewSource(8))
+	m, n, s := 2000, 10, 80
+	a := matgen.Dense[float64](rng, m, n)
+	sk := rnd.GaussianSketch(rng, s, m)
+	sa := make([]float64, s*n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, s, n, m, 1, sk, s, a, m, 0, sa, s)
+	for trial := 0; trial < 10; trial++ {
+		x := matgen.Dense[float64](rng, n, 1)
+		ax := make([]float64, m)
+		blas.Gemv(blas.NoTrans, m, n, 1, a, m, x, 1, 0, ax, 1)
+		sax := make([]float64, s)
+		blas.Gemv(blas.NoTrans, s, n, 1, sa, s, x, 1, 0, sax, 1)
+		ratio := blas.Nrm2(s, sax, 1) / blas.Nrm2(m, ax, 1)
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Fatalf("trial %d: embedding ratio %g", trial, ratio)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package sched
+
+import "time"
+
+// traceClock provides monotonic nanosecond timestamps relative to a shared
+// process epoch, so events from different workers align on one timeline.
+type traceClock struct{}
+
+var traceEpoch = time.Now()
+
+func newTraceClock() traceClock { return traceClock{} }
+
+func (traceClock) now() int64 { return int64(time.Since(traceEpoch)) }

@@ -1,0 +1,186 @@
+package sched
+
+import "time"
+
+// GraphNode is one task in a recorded graph.
+type GraphNode struct {
+	// Name is the kernel label.
+	Name string
+	// Cost is the measured execution time in seconds.
+	Cost float64
+	// Deps are indices of nodes this one depends on (always smaller than
+	// the node's own index: graphs are recorded in topological order).
+	Deps []int
+	// Priority mirrors Task.Priority.
+	Priority int
+	// Barrier marks a synthetic fork–join barrier node (zero cost).
+	Barrier bool
+	// Reads and Writes preserve the task's declared data accesses, so
+	// analyses (communication counting, locality studies) can replay data
+	// placement decisions over the graph.
+	Reads, Writes []Handle
+}
+
+// Graph is a recorded task DAG with measured costs, replayable under any
+// virtual worker count by Simulate.
+type Graph struct {
+	Nodes []GraphNode
+}
+
+// TotalWork returns the sum of node costs in seconds.
+func (g *Graph) TotalWork() float64 {
+	var s float64
+	for _, n := range g.Nodes {
+		s += n.Cost
+	}
+	return s
+}
+
+// CriticalPath returns the length in seconds of the longest dependence
+// chain — the makespan lower bound at infinite parallelism.
+func (g *Graph) CriticalPath() float64 {
+	finish := make([]float64, len(g.Nodes))
+	var cp float64
+	for i, n := range g.Nodes {
+		var start float64
+		for _, d := range n.Deps {
+			if finish[d] > start {
+				start = finish[d]
+			}
+		}
+		finish[i] = start + n.Cost
+		if finish[i] > cp {
+			cp = finish[i]
+		}
+	}
+	return cp
+}
+
+// Tasks returns the number of non-barrier nodes.
+func (g *Graph) Tasks() int {
+	c := 0
+	for _, n := range g.Nodes {
+		if !n.Barrier {
+			c++
+		}
+	}
+	return c
+}
+
+// Recorder is a Scheduler that executes tasks inline (sequentially, in
+// submission order — always a legal schedule), measures their cost, and
+// captures the dependence graph. Wait inserts a barrier node, so fork–join
+// algorithms record their barriers and dataflow algorithms record none.
+//
+// Recorder is not safe for concurrent submission; recording is inherently
+// sequential.
+type Recorder struct {
+	graph       Graph
+	last        map[Handle]*raccess
+	lastBarrier int // index of most recent barrier node, -1 if none
+	sinceBar    []int
+	run         bool
+}
+
+type raccess struct {
+	lastWriter int // node index, -1 if none
+	readers    []int
+}
+
+// NewRecorder returns a Recorder that executes and times each task as it is
+// submitted.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		last:        make(map[Handle]*raccess),
+		lastBarrier: -1,
+		run:         true,
+	}
+}
+
+// NewModelRecorder returns a Recorder that does not execute tasks; callers
+// must fill costs afterwards (or accept zero costs and use the graph for
+// structural analysis only).
+func NewModelRecorder() *Recorder {
+	r := NewRecorder()
+	r.run = false
+	return r
+}
+
+// Submit records (and, by default, executes and times) one task.
+func (rec *Recorder) Submit(t Task) {
+	idx := len(rec.graph.Nodes)
+	node := GraphNode{
+		Name:     t.Name,
+		Priority: t.Priority,
+		Reads:    append([]Handle(nil), t.Reads...),
+		Writes:   append([]Handle(nil), t.Writes...),
+	}
+	deps := map[int]bool{}
+	if rec.lastBarrier >= 0 {
+		deps[rec.lastBarrier] = true
+	}
+
+	written := make(map[Handle]bool, len(t.Writes))
+	for _, h := range t.Writes {
+		written[h] = true
+	}
+	for _, h := range t.Reads {
+		acc := rec.acc(h)
+		if acc.lastWriter >= 0 {
+			deps[acc.lastWriter] = true
+		}
+		if !written[h] {
+			acc.readers = append(acc.readers, idx)
+		}
+	}
+	for _, h := range t.Writes {
+		acc := rec.acc(h)
+		if acc.lastWriter >= 0 {
+			deps[acc.lastWriter] = true
+		}
+		for _, rd := range acc.readers {
+			deps[rd] = true
+		}
+		acc.lastWriter = idx
+		acc.readers = acc.readers[:0]
+	}
+	for d := range deps {
+		if d != idx {
+			node.Deps = append(node.Deps, d)
+		}
+	}
+
+	if rec.run && t.Fn != nil {
+		start := time.Now()
+		t.Fn()
+		node.Cost = time.Since(start).Seconds()
+	}
+	rec.graph.Nodes = append(rec.graph.Nodes, node)
+	rec.sinceBar = append(rec.sinceBar, idx)
+}
+
+func (rec *Recorder) acc(h Handle) *raccess {
+	a := rec.last[h]
+	if a == nil {
+		a = &raccess{lastWriter: -1}
+		rec.last[h] = a
+	}
+	return a
+}
+
+// Wait records a fork–join barrier: every subsequent task will depend on
+// everything submitted so far. Tasks were already executed inline, so there
+// is nothing to wait for. Consecutive barriers collapse.
+func (rec *Recorder) Wait() {
+	if len(rec.sinceBar) == 0 {
+		return
+	}
+	idx := len(rec.graph.Nodes)
+	node := GraphNode{Name: "barrier", Barrier: true, Deps: append([]int(nil), rec.sinceBar...)}
+	rec.graph.Nodes = append(rec.graph.Nodes, node)
+	rec.lastBarrier = idx
+	rec.sinceBar = rec.sinceBar[:0]
+}
+
+// Graph returns the recorded DAG.
+func (rec *Recorder) Graph() *Graph { return &rec.graph }

@@ -1,0 +1,302 @@
+// Package sched implements the dataflow task runtime at the core of the
+// library — the Go analogue of PLASMA's QUARK scheduler.
+//
+// Algorithms submit Tasks that declare which data they read and write
+// through opaque comparable Handles (in practice: matrix tiles). The runtime
+// derives read-after-write, write-after-read and write-after-write
+// dependences automatically, in submission order, and executes tasks on a
+// worker pool as soon as their dependences are satisfied. This is the
+// "dynamic DAG scheduling" the extreme-scale argument advocates over
+// fork–join: no artificial barriers, idle time limited to genuine critical
+// path constraints.
+//
+// Two Scheduler implementations are provided:
+//
+//   - Runtime executes tasks on a pool of goroutines, honouring priorities.
+//   - Recorder captures the task graph (executing tasks inline, sequentially,
+//     and timing them) so the graph can be replayed under Simulate with any
+//     number of virtual workers — the mechanism this repository uses to
+//     reproduce scaling behaviour on small hosts.
+//
+// A fork–join baseline needs no separate implementation: algorithms express
+// barriers by calling Wait between phases, which Runtime executes as a real
+// join and Recorder records as an all-to-all dependence.
+package sched
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Handle identifies a datum (typically one matrix tile) for dependence
+// tracking. Any comparable value works; equal values alias the same datum.
+type Handle any
+
+// Task is one unit of work with declared data accesses.
+type Task struct {
+	// Name labels the kernel for traces ("potrf", "gemm", ...).
+	Name string
+	// Reads lists data the task reads. A handle appearing in both Reads
+	// and Writes is treated as read-modify-write.
+	Reads []Handle
+	// Writes lists data the task writes.
+	Writes []Handle
+	// Priority orders ready tasks: higher runs first. Use it to favour the
+	// critical path (e.g. panel factorizations over trailing updates).
+	Priority int
+	// Fn performs the work. It must touch only the declared data.
+	Fn func()
+}
+
+// Scheduler is the submission interface shared by the real runtime and the
+// recorder. Wait blocks until every task submitted so far has completed,
+// and doubles as the phase barrier for fork–join style algorithms.
+type Scheduler interface {
+	Submit(t Task)
+	Wait()
+}
+
+// node is the runtime's internal task state.
+type node struct {
+	task     Task
+	succs    []*node
+	nDeps    int // remaining unmet dependences; guarded by Runtime.mu
+	seq      int // submission order, for FIFO tie-breaking
+	enqueued bool
+	done     bool // completed; guarded by Runtime.mu
+}
+
+// Runtime executes tasks on a fixed pool of worker goroutines.
+type Runtime struct {
+	workers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    readyQueue
+	last     map[Handle]*access
+	inFlight int // submitted but not yet completed
+	seq      int
+	shutdown bool
+	panicked any // first task panic, re-raised by Wait
+
+	tracer Tracer
+}
+
+// access records the dependence frontier for one handle.
+type access struct {
+	lastWriter *node
+	readers    []*node // readers since lastWriter
+}
+
+// Tracer receives task lifecycle events from a Runtime. Implementations
+// must be safe for concurrent use.
+type Tracer interface {
+	// TaskRan reports a completed task: which worker ran it and its start
+	// and end times in nanoseconds since the trace epoch.
+	TaskRan(name string, worker int, start, end int64)
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithTracer attaches a tracer to the runtime.
+func WithTracer(tr Tracer) Option {
+	return func(r *Runtime) { r.tracer = tr }
+}
+
+// New creates a Runtime with the given number of worker goroutines
+// (minimum 1). Call Shutdown when done.
+func New(workers int, opts ...Option) *Runtime {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runtime{
+		workers: workers,
+		last:    make(map[Handle]*access),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for _, o := range opts {
+		o(r)
+	}
+	for w := 0; w < workers; w++ {
+		go r.worker(w)
+	}
+	return r
+}
+
+// Submit registers a task. Dependences on previously submitted tasks are
+// derived from the declared handles; the task runs as soon as they are all
+// satisfied. Submit is safe for concurrent use, though dependence order
+// follows the serialization of the Submit calls themselves.
+func (r *Runtime) Submit(t Task) {
+	n := &node{task: t}
+	r.mu.Lock()
+	if r.shutdown {
+		r.mu.Unlock()
+		panic("sched: Submit after Shutdown")
+	}
+	n.seq = r.seq
+	r.seq++
+	r.inFlight++
+	r.link(n)
+	if n.nDeps == 0 {
+		r.enqueueLocked(n)
+	}
+	r.mu.Unlock()
+}
+
+// link derives dependences for n and registers it in the access map.
+// Caller holds r.mu.
+func (r *Runtime) link(n *node) {
+	addDep := func(from *node) {
+		if from == nil || from == n || from.done {
+			return
+		}
+		from.succs = append(from.succs, n)
+		n.nDeps++
+	}
+	// Reads: RAW on the last writer.
+	written := make(map[Handle]bool, len(n.task.Writes))
+	for _, h := range n.task.Writes {
+		written[h] = true
+	}
+	for _, h := range n.task.Reads {
+		acc := r.acc(h)
+		addDep(acc.lastWriter)
+		if !written[h] {
+			acc.readers = append(acc.readers, n)
+		}
+	}
+	// Writes: WAW on the last writer, WAR on readers since.
+	for _, h := range n.task.Writes {
+		acc := r.acc(h)
+		addDep(acc.lastWriter)
+		for _, rd := range acc.readers {
+			addDep(rd)
+		}
+		acc.lastWriter = n
+		acc.readers = acc.readers[:0]
+	}
+}
+
+func (r *Runtime) acc(h Handle) *access {
+	a := r.last[h]
+	if a == nil {
+		a = &access{}
+		r.last[h] = a
+	}
+	return a
+}
+
+// enqueueLocked puts a dependence-free task on the ready queue.
+func (r *Runtime) enqueueLocked(n *node) {
+	if n.enqueued {
+		return
+	}
+	n.enqueued = true
+	heap.Push(&r.ready, n)
+	r.cond.Broadcast()
+}
+
+func (r *Runtime) worker(id int) {
+	clock := newTraceClock()
+	for {
+		r.mu.Lock()
+		for len(r.ready) == 0 && !r.shutdown {
+			r.cond.Wait()
+		}
+		if r.shutdown && len(r.ready) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		n := heap.Pop(&r.ready).(*node)
+		r.mu.Unlock()
+
+		start := clock.now()
+		if n.task.Fn != nil {
+			r.runTask(n)
+		}
+		end := clock.now()
+		if r.tracer != nil {
+			r.tracer.TaskRan(n.task.Name, id, start, end)
+		}
+
+		r.mu.Lock()
+		n.done = true
+		for _, s := range n.succs {
+			s.nDeps--
+			if s.nDeps == 0 {
+				r.enqueueLocked(s)
+			}
+		}
+		r.inFlight--
+		if r.inFlight == 0 {
+			r.cond.Broadcast()
+		}
+		r.mu.Unlock()
+	}
+}
+
+// runTask executes a task body, capturing any panic so one faulty kernel
+// cannot deadlock the pool; the first panic is re-raised on Wait.
+func (r *Runtime) runTask(n *node) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.mu.Lock()
+			if r.panicked == nil {
+				r.panicked = p
+			}
+			r.mu.Unlock()
+		}
+	}()
+	n.task.Fn()
+}
+
+// Wait blocks until all tasks submitted so far have completed. It is the
+// fork–join barrier when called between phases. If any task panicked, Wait
+// re-raises the first panic on the caller's goroutine.
+func (r *Runtime) Wait() {
+	r.mu.Lock()
+	for r.inFlight > 0 {
+		r.cond.Wait()
+	}
+	p := r.panicked
+	r.panicked = nil
+	r.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// Shutdown waits for outstanding tasks and stops the workers. The Runtime
+// must not be used afterwards.
+func (r *Runtime) Shutdown() {
+	r.Wait()
+	r.mu.Lock()
+	r.shutdown = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Workers reports the size of the worker pool.
+func (r *Runtime) Workers() int { return r.workers }
+
+// readyQueue is a max-heap on (Priority, FIFO seq).
+type readyQueue []*node
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].task.Priority != q[j].task.Priority {
+		return q[i].task.Priority > q[j].task.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(*node)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*q = old[:len(old)-1]
+	return n
+}

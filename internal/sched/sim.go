@@ -1,0 +1,162 @@
+package sched
+
+import "container/heap"
+
+// SimResult summarizes a simulated execution of a recorded graph.
+type SimResult struct {
+	// Makespan is the simulated wall-clock time in seconds.
+	Makespan float64
+	// Busy is the total worker-busy time in seconds (equals the graph's
+	// TotalWork).
+	Busy float64
+	// Utilization is Busy / (Workers · Makespan) in [0, 1].
+	Utilization float64
+	// Workers echoes the simulated worker count.
+	Workers int
+}
+
+// SimEvent is one task execution in a simulated schedule, attributed to a
+// virtual worker; times are in seconds.
+type SimEvent struct {
+	Name   string
+	Worker int
+	Start  float64
+	End    float64
+}
+
+// Simulate replays a recorded graph under the given number of virtual
+// workers using event-driven greedy list scheduling: whenever a worker is
+// free, it takes the highest-priority ready task (FIFO tie-break). This is
+// the same policy the real Runtime uses, so simulated scaling reflects what
+// the runtime would do on a machine with that many cores.
+func Simulate(g *Graph, workers int) SimResult {
+	res, _ := simulate(g, workers, false)
+	return res
+}
+
+// SimulateEvents is Simulate returning the per-task schedule for Gantt
+// rendering and timeline analysis. Barrier nodes are omitted from events.
+func SimulateEvents(g *Graph, workers int) (SimResult, []SimEvent) {
+	return simulate(g, workers, true)
+}
+
+func simulate(g *Graph, workers int, record bool) (SimResult, []SimEvent) {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(g.Nodes)
+	if n == 0 {
+		return SimResult{Workers: workers, Utilization: 1}, nil
+	}
+
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i, node := range g.Nodes {
+		indeg[i] = len(node.Deps)
+		for _, d := range node.Deps {
+			succs[d] = append(succs[d], i)
+		}
+	}
+	var ready simReadyQueue // deps met
+	var running simRunningQueue
+	for i := range g.Nodes {
+		if indeg[i] == 0 {
+			heap.Push(&ready, simTask{idx: i, prio: g.Nodes[i].Priority})
+		}
+	}
+
+	// Free-worker IDs for event attribution.
+	freeIDs := make([]int, workers)
+	for i := range freeIDs {
+		freeIDs[i] = workers - 1 - i // pop order: 0, 1, 2, ...
+	}
+	var events []SimEvent
+
+	now := 0.0
+	var makespan, busy float64
+	for {
+		// Start as many ready tasks as there are free workers.
+		for len(freeIDs) > 0 && ready.Len() > 0 {
+			t := heap.Pop(&ready).(simTask)
+			w := freeIDs[len(freeIDs)-1]
+			freeIDs = freeIDs[:len(freeIDs)-1]
+			cost := g.Nodes[t.idx].Cost
+			finish := now + cost
+			heap.Push(&running, simEvent{time: finish, idx: t.idx, worker: w})
+			busy += cost
+			if record && !g.Nodes[t.idx].Barrier {
+				events = append(events, SimEvent{
+					Name: g.Nodes[t.idx].Name, Worker: w, Start: now, End: finish,
+				})
+			}
+		}
+		if running.Len() == 0 {
+			break // nothing running and nothing ready: done
+		}
+		now = running[0].time
+		// Complete everything finishing at 'now'.
+		for running.Len() > 0 && running[0].time <= now {
+			ev := heap.Pop(&running).(simEvent)
+			freeIDs = append(freeIDs, ev.worker)
+			if ev.time > makespan {
+				makespan = ev.time
+			}
+			for _, s := range succs[ev.idx] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					heap.Push(&ready, simTask{idx: s, prio: g.Nodes[s].Priority, seq: s})
+				}
+			}
+		}
+	}
+	res := SimResult{Makespan: makespan, Busy: busy, Workers: workers}
+	if makespan > 0 {
+		res.Utilization = busy / (float64(workers) * makespan)
+	} else {
+		res.Utilization = 1
+	}
+	return res, events
+}
+
+type simTask struct {
+	idx  int
+	prio int
+	seq  int
+}
+
+type simReadyQueue []simTask
+
+func (q simReadyQueue) Len() int { return len(q) }
+func (q simReadyQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio > q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q simReadyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *simReadyQueue) Push(x any)   { *q = append(*q, x.(simTask)) }
+func (q *simReadyQueue) Pop() any {
+	old := *q
+	t := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return t
+}
+
+type simEvent struct {
+	time   float64
+	idx    int
+	worker int
+}
+
+type simRunningQueue []simEvent
+
+func (q simRunningQueue) Len() int           { return len(q) }
+func (q simRunningQueue) Less(i, j int) bool { return q[i].time < q[j].time }
+func (q simRunningQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *simRunningQueue) Push(x any)        { *q = append(*q, x.(simEvent)) }
+func (q *simRunningQueue) Pop() any {
+	old := *q
+	t := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return t
+}

@@ -1,0 +1,181 @@
+// Package tile implements the tiled matrix layout used by the tile
+// algorithms: the matrix is stored as an MT×NT grid of nb×nb column-major
+// tiles, each in its own contiguous allocation. Tiles are the unit of both
+// data locality and dependence tracking — a tile's identity doubles as the
+// scheduler handle for the data it holds.
+package tile
+
+import (
+	"fmt"
+
+	"exadla/internal/blas"
+	"exadla/internal/sched"
+)
+
+// Matrix is an M×N matrix stored as a grid of NB×NB column-major tiles.
+// Boundary tiles are trimmed to the remaining rows/columns.
+type Matrix[T blas.Float] struct {
+	// M and N are the global matrix dimensions.
+	M, N int
+	// NB is the tile size.
+	NB int
+	// MT and NT are the number of tile rows and tile columns.
+	MT, NT int
+
+	tiles [][]T
+	id    *int // unique identity for scheduler handles
+}
+
+// Handle identifies one tile of one matrix for dependence tracking.
+type Handle struct {
+	mat  *int
+	i, j int
+}
+
+var _ sched.Handle = Handle{}
+
+// Coords returns the tile-grid coordinates the handle names, for placement
+// and communication analyses.
+func (h Handle) Coords() (i, j int) { return h.i, h.j }
+
+// New allocates an M×N tiled matrix with tile size nb, zero-initialized.
+func New[T blas.Float](m, n, nb int) *Matrix[T] {
+	if m < 0 || n < 0 || nb < 1 {
+		panic(fmt.Sprintf("tile: invalid dimensions %d×%d nb=%d", m, n, nb))
+	}
+	mt := (m + nb - 1) / nb
+	nt := (n + nb - 1) / nb
+	if mt == 0 {
+		mt = 1
+	}
+	if nt == 0 {
+		nt = 1
+	}
+	a := &Matrix[T]{M: m, N: n, NB: nb, MT: mt, NT: nt, id: new(int)}
+	a.tiles = make([][]T, mt*nt)
+	for j := 0; j < nt; j++ {
+		for i := 0; i < mt; i++ {
+			a.tiles[i+j*mt] = make([]T, a.TileRows(i)*a.TileCols(j))
+		}
+	}
+	return a
+}
+
+// TileRows returns the row count of tiles in tile-row i.
+func (a *Matrix[T]) TileRows(i int) int {
+	if i < 0 || i >= a.MT {
+		panic("tile: tile row out of range")
+	}
+	if r := a.M - i*a.NB; r < a.NB {
+		return max(r, 0)
+	}
+	return a.NB
+}
+
+// TileCols returns the column count of tiles in tile-column j.
+func (a *Matrix[T]) TileCols(j int) int {
+	if j < 0 || j >= a.NT {
+		panic("tile: tile column out of range")
+	}
+	if c := a.N - j*a.NB; c < a.NB {
+		return max(c, 0)
+	}
+	return a.NB
+}
+
+// Tile returns the backing slice of tile (i, j), column-major with leading
+// dimension TileRows(i).
+func (a *Matrix[T]) Tile(i, j int) []T {
+	return a.tiles[i+j*a.MT]
+}
+
+// SetTile replaces the backing slice of tile (i, j). The slice must have
+// exactly TileRows(i)·TileCols(j) elements. It is used by fault-recovery
+// code that swaps in reconstructed tiles.
+func (a *Matrix[T]) SetTile(i, j int, data []T) {
+	if len(data) != a.TileRows(i)*a.TileCols(j) {
+		panic("tile: SetTile size mismatch")
+	}
+	a.tiles[i+j*a.MT] = data
+}
+
+// Handle returns the scheduler handle naming tile (i, j).
+func (a *Matrix[T]) Handle(i, j int) Handle {
+	if i < 0 || i >= a.MT || j < 0 || j >= a.NT {
+		panic("tile: handle out of range")
+	}
+	return Handle{mat: a.id, i: i, j: j}
+}
+
+// At returns element (i, j) in global coordinates. It is intended for tests
+// and small drivers, not inner loops.
+func (a *Matrix[T]) At(i, j int) T {
+	ti, tj := i/a.NB, j/a.NB
+	ii, jj := i%a.NB, j%a.NB
+	return a.Tile(ti, tj)[ii+jj*a.TileRows(ti)]
+}
+
+// Set assigns element (i, j) in global coordinates.
+func (a *Matrix[T]) Set(i, j int, v T) {
+	ti, tj := i/a.NB, j/a.NB
+	ii, jj := i%a.NB, j%a.NB
+	a.Tile(ti, tj)[ii+jj*a.TileRows(ti)] = v
+}
+
+// FromColMajor converts an m×n column-major matrix with leading dimension
+// lda into tiled layout with tile size nb.
+func FromColMajor[T blas.Float](m, n int, src []T, lda, nb int) *Matrix[T] {
+	a := New[T](m, n, nb)
+	for tj := 0; tj < a.NT; tj++ {
+		tc := a.TileCols(tj)
+		for ti := 0; ti < a.MT; ti++ {
+			tr := a.TileRows(ti)
+			dst := a.Tile(ti, tj)
+			for jj := 0; jj < tc; jj++ {
+				srcOff := (ti * a.NB) + (tj*a.NB+jj)*lda
+				copy(dst[jj*tr:jj*tr+tr], src[srcOff:srcOff+tr])
+			}
+		}
+	}
+	return a
+}
+
+// ToColMajor converts the tiled matrix back to column-major with leading
+// dimension m.
+func (a *Matrix[T]) ToColMajor() []T {
+	out := make([]T, a.M*a.N)
+	for tj := 0; tj < a.NT; tj++ {
+		tc := a.TileCols(tj)
+		for ti := 0; ti < a.MT; ti++ {
+			tr := a.TileRows(ti)
+			src := a.Tile(ti, tj)
+			for jj := 0; jj < tc; jj++ {
+				dstOff := (ti * a.NB) + (tj*a.NB+jj)*a.M
+				copy(out[dstOff:dstOff+tr], src[jj*tr:jj*tr+tr])
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no storage with a (its handles are
+// distinct from a's: the copy is a different datum).
+func (a *Matrix[T]) Clone() *Matrix[T] {
+	b := New[T](a.M, a.N, a.NB)
+	for idx, t := range a.tiles {
+		copy(b.tiles[idx], t)
+	}
+	return b
+}
+
+// Convert returns a copy of the matrix in the other precision.
+func Convert[D, S blas.Float](a *Matrix[S]) *Matrix[D] {
+	b := New[D](a.M, a.N, a.NB)
+	for idx, t := range a.tiles {
+		dst := b.tiles[idx]
+		for k, v := range t {
+			dst[k] = D(v)
+		}
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package tile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"exadla/internal/matgen"
+)
+
+func TestRoundTripColMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range [][3]int{{1, 1, 4}, {4, 4, 4}, {5, 3, 2}, {10, 10, 3}, {100, 37, 16}, {64, 64, 64}, {65, 65, 64}} {
+		m, n, nb := d[0], d[1], d[2]
+		src := matgen.Dense[float64](rng, m, n)
+		a := FromColMajor(m, n, src, m, nb)
+		out := a.ToColMajor()
+		for i := range src {
+			if src[i] != out[i] {
+				t.Fatalf("m=%d n=%d nb=%d: round trip differs at %d", m, n, nb, i)
+			}
+		}
+	}
+}
+
+func TestTileDims(t *testing.T) {
+	a := New[float64](10, 7, 4)
+	if a.MT != 3 || a.NT != 2 {
+		t.Fatalf("MT=%d NT=%d", a.MT, a.NT)
+	}
+	wantRows := []int{4, 4, 2}
+	wantCols := []int{4, 3}
+	for i, w := range wantRows {
+		if a.TileRows(i) != w {
+			t.Errorf("TileRows(%d)=%d want %d", i, a.TileRows(i), w)
+		}
+	}
+	for j, w := range wantCols {
+		if a.TileCols(j) != w {
+			t.Errorf("TileCols(%d)=%d want %d", j, a.TileCols(j), w)
+		}
+	}
+	if len(a.Tile(2, 1)) != 2*3 {
+		t.Errorf("corner tile len %d", len(a.Tile(2, 1)))
+	}
+}
+
+func TestAtSetConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(30), 1+rng.Intn(30)
+		nb := 1 + rng.Intn(10)
+		a := New[float64](m, n, nb)
+		ref := make([]float64, m*n)
+		for k := 0; k < 50; k++ {
+			i, j := rng.Intn(m), rng.Intn(n)
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			ref[i+j*m] = v
+		}
+		out := a.ToColMajor()
+		for i := range ref {
+			if out[i] != ref[i] {
+				return false
+			}
+		}
+		for k := 0; k < 50; k++ {
+			i, j := rng.Intn(m), rng.Intn(n)
+			if a.At(i, j) != ref[i+j*m] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandlesDistinguishTilesAndMatrices(t *testing.T) {
+	a := New[float64](8, 8, 4)
+	b := New[float64](8, 8, 4)
+	if a.Handle(0, 0) == a.Handle(0, 1) {
+		t.Error("distinct tiles share a handle")
+	}
+	if a.Handle(0, 0) != a.Handle(0, 0) {
+		t.Error("same tile's handle not stable")
+	}
+	if a.Handle(0, 0) == b.Handle(0, 0) {
+		t.Error("tiles of distinct matrices share a handle")
+	}
+	c := a.Clone()
+	if a.Handle(1, 1) == c.Handle(1, 1) {
+		t.Error("clone shares handles with original")
+	}
+}
+
+func TestConvertPrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := matgen.Dense[float64](rng, 9, 5)
+	a := FromColMajor(9, 5, src, 9, 4)
+	s := Convert[float32](a)
+	d := Convert[float64](s)
+	out := d.ToColMajor()
+	for i := range src {
+		if float32(src[i]) != float32(out[i]) {
+			t.Fatalf("precision round trip differs at %d", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New[float64](4, 4, 2)
+	a.Set(1, 1, 5)
+	b := a.Clone()
+	b.Set(1, 1, 9)
+	if a.At(1, 1) != 5 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestSetTile(t *testing.T) {
+	a := New[float64](6, 6, 4)
+	repl := make([]float64, a.TileRows(1)*a.TileCols(1))
+	for i := range repl {
+		repl[i] = 7
+	}
+	a.SetTile(1, 1, repl)
+	if a.At(5, 5) != 7 {
+		t.Error("SetTile contents not visible")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTile with wrong size must panic")
+		}
+	}()
+	a.SetTile(0, 0, make([]float64, 3))
+}

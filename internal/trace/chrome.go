@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), renderable at chrome://tracing or ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	// Ts and Dur are in microseconds per the format.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+}
+
+// WriteChrome renders the log in the Chrome trace-event JSON format: one
+// process, one thread lane per worker, one complete event per task.
+func (l *Log) WriteChrome(w io.Writer) error {
+	events := l.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name:  e.Name,
+			Phase: "X",
+			Ts:    float64(e.Start) / 1e3,
+			Dur:   float64(e.End-e.Start) / 1e3,
+			PID:   1,
+			TID:   e.Worker,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encode chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package trace collects per-task execution events from the scheduler and
+// derives the utilization statistics and Gantt-style visualisations the
+// extreme-scale argument is made with: how much of each worker's time is
+// spent computing versus idling at barriers.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event records one executed task.
+type Event struct {
+	// Name is the kernel label.
+	Name string
+	// Worker is the worker index that ran the task.
+	Worker int
+	// Start and End are nanoseconds since the trace epoch.
+	Start, End int64
+}
+
+// Log accumulates events; it implements sched.Tracer.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty trace log.
+func NewLog() *Log { return &Log{} }
+
+// TaskRan implements the scheduler's Tracer interface.
+func (l *Log) TaskRan(name string, worker int, start, end int64) {
+	l.mu.Lock()
+	l.events = append(l.events, Event{Name: name, Worker: worker, Start: start, End: end})
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	out := append([]Event(nil), l.events...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Reset discards all recorded events.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.events = l.events[:0]
+	l.mu.Unlock()
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	// Tasks is the number of events.
+	Tasks int
+	// Workers is the number of distinct workers observed.
+	Workers int
+	// Span is the wall-clock extent in seconds from first start to last end.
+	Span float64
+	// Busy is the summed task durations in seconds.
+	Busy float64
+	// Utilization is Busy / (Workers·Span).
+	Utilization float64
+	// ByKernel maps kernel name to summed seconds.
+	ByKernel map[string]float64
+}
+
+// Analyze computes summary statistics for the log.
+func (l *Log) Analyze() Stats {
+	events := l.Events()
+	st := Stats{ByKernel: map[string]float64{}}
+	if len(events) == 0 {
+		return st
+	}
+	st.Tasks = len(events)
+	workers := map[int]bool{}
+	first, last := events[0].Start, events[0].End
+	for _, e := range events {
+		workers[e.Worker] = true
+		if e.Start < first {
+			first = e.Start
+		}
+		if e.End > last {
+			last = e.End
+		}
+		d := float64(e.End-e.Start) / 1e9
+		st.Busy += d
+		st.ByKernel[e.Name] += d
+	}
+	st.Workers = len(workers)
+	st.Span = float64(last-first) / 1e9
+	if st.Span > 0 && st.Workers > 0 {
+		st.Utilization = st.Busy / (float64(st.Workers) * st.Span)
+	}
+	return st
+}
+
+// Gantt renders an ASCII Gantt chart of the trace to w: one row per worker,
+// time bucketed into width columns, each cell showing the initial of the
+// kernel that occupied most of that bucket ('.' for idle).
+func (l *Log) Gantt(w io.Writer, width int) error {
+	events := l.Events()
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	if width < 10 {
+		width = 10
+	}
+	first, last := events[0].Start, events[0].End
+	maxWorker := 0
+	for _, e := range events {
+		if e.Start < first {
+			first = e.Start
+		}
+		if e.End > last {
+			last = e.End
+		}
+		if e.Worker > maxWorker {
+			maxWorker = e.Worker
+		}
+	}
+	span := last - first
+	if span <= 0 {
+		span = 1
+	}
+	rows := make([][]byte, maxWorker+1)
+	occupancy := make([][]int64, maxWorker+1) // ns of busy time per bucket
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+		occupancy[i] = make([]int64, width)
+	}
+	bucketNS := span / int64(width)
+	if bucketNS == 0 {
+		bucketNS = 1
+	}
+	for _, e := range events {
+		b0 := int((e.Start - first) / bucketNS)
+		b1 := int((e.End - first) / bucketNS)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		initial := byte('?')
+		if len(e.Name) > 0 {
+			initial = e.Name[0]
+		}
+		for b := b0; b <= b1; b++ {
+			lo := first + int64(b)*bucketNS
+			hi := lo + bucketNS
+			s, t := e.Start, e.End
+			if s < lo {
+				s = lo
+			}
+			if t > hi {
+				t = hi
+			}
+			if d := t - s; d > occupancy[e.Worker][b] {
+				occupancy[e.Worker][b] = d
+				rows[e.Worker][b] = initial
+			}
+		}
+	}
+	for i, row := range rows {
+		if _, err := fmt.Fprintf(w, "w%-3d |%s|\n", i, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      %s\n", legend(events))
+	return err
+}
+
+func legend(events []Event) string {
+	seen := map[string]bool{}
+	var names []string
+	for _, e := range events {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("legend:")
+	for _, n := range names {
+		initial := "?"
+		if len(n) > 0 {
+			initial = string(n[0])
+		}
+		fmt.Fprintf(&b, " %s=%s", initial, n)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	l := NewLog()
+	// Two workers, each busy 1s over a 2s span → utilization 0.5.
+	l.TaskRan("gemm", 0, 0, 1e9)
+	l.TaskRan("trsm", 1, 1e9, 2e9)
+	st := l.Analyze()
+	if st.Tasks != 2 || st.Workers != 2 {
+		t.Fatalf("tasks=%d workers=%d", st.Tasks, st.Workers)
+	}
+	if math.Abs(st.Span-2) > 1e-9 {
+		t.Errorf("span %v", st.Span)
+	}
+	if math.Abs(st.Busy-2) > 1e-9 {
+		t.Errorf("busy %v", st.Busy)
+	}
+	if math.Abs(st.Utilization-0.5) > 1e-9 {
+		t.Errorf("utilization %v", st.Utilization)
+	}
+	if math.Abs(st.ByKernel["gemm"]-1) > 1e-9 {
+		t.Errorf("gemm time %v", st.ByKernel["gemm"])
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := NewLog().Analyze()
+	if st.Tasks != 0 || st.Utilization != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	l := NewLog()
+	l.TaskRan("b", 0, 100, 200)
+	l.TaskRan("a", 0, 0, 50)
+	ev := l.Events()
+	if ev[0].Name != "a" || ev[1].Name != "b" {
+		t.Errorf("events not sorted: %v", ev)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLog()
+	l.TaskRan("a", 0, 0, 1)
+	l.Reset()
+	if len(l.Events()) != 0 {
+		t.Error("reset did not clear events")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	l := NewLog()
+	l.TaskRan("potrf", 0, 0, 5e8)
+	l.TaskRan("gemm", 1, 5e8, 1e9)
+	var sb strings.Builder
+	if err := l.Gantt(&sb, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "w0") || !strings.Contains(out, "w1") {
+		t.Errorf("missing worker rows:\n%s", out)
+	}
+	if !strings.Contains(out, "p") || !strings.Contains(out, "g") {
+		t.Errorf("missing kernel initials:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// Worker 0 idle in the second half: its row must contain '.' cells.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], ".") {
+		t.Errorf("worker 0 shows no idle time:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewLog().Gantt(&sb, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("unexpected output: %s", sb.String())
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	l := NewLog()
+	l.TaskRan("potrf", 0, 1000, 2000)
+	l.TaskRan("gemm", 1, 2000, 5000)
+	var sb strings.Builder
+	if err := l.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0]["name"] != "potrf" || events[0]["ph"] != "X" {
+		t.Errorf("first event: %v", events[0])
+	}
+	if events[1]["dur"].(float64) != 3 { // 3000ns = 3µs
+		t.Errorf("duration: %v", events[1]["dur"])
+	}
+	if events[1]["tid"].(float64) != 1 {
+		t.Errorf("worker lane: %v", events[1]["tid"])
+	}
+}

@@ -1,0 +1,330 @@
+package exadla
+
+import (
+	"fmt"
+	"math/rand"
+
+	"exadla/internal/blas"
+	"exadla/internal/ca"
+	"exadla/internal/core"
+	"exadla/internal/lapack"
+	"exadla/internal/mixed"
+	"exadla/internal/rnd"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// coreGemm hides the generic instantiation from matrix.go.
+func coreGemm(s sched.Scheduler, a, b, c *tile.Matrix[float64]) {
+	core.Gemm(s, blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+	s.Wait()
+}
+
+// CholeskyFactor is a reusable tile Cholesky factorization.
+type CholeskyFactor struct {
+	ctx *Context
+	l   *tile.Matrix[float64]
+	n   int
+}
+
+// Cholesky computes the tile Cholesky factorization A = L·Lᵀ of a symmetric
+// positive definite matrix (lower triangle referenced; A untouched).
+func (c *Context) Cholesky(a *Matrix) (*CholeskyFactor, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: Cholesky needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	t := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, c.tileSizeFor("cholesky", a.rows))
+	if err := core.Cholesky(c.scheduler(), t); err != nil {
+		return nil, err
+	}
+	return &CholeskyFactor{ctx: c, l: t, n: a.rows}, nil
+}
+
+// Solve solves A·X = B using the factorization. B is untouched.
+func (f *CholeskyFactor) Solve(b *Matrix) (*Matrix, error) {
+	if b.rows != f.n {
+		return nil, fmt.Errorf("exadla: RHS has %d rows, factor is %d×%d", b.rows, f.n, f.n)
+	}
+	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, f.l.NB)
+	s := f.ctx.scheduler()
+	core.TrsmLower(s, blas.NoTrans, f.l, tb)
+	core.TrsmLower(s, blas.Trans, f.l, tb)
+	s.Wait()
+	return FromSlice(b.rows, b.cols, tb.ToColMajor()), nil
+}
+
+// L returns the explicit lower-triangular factor as a Matrix.
+func (f *CholeskyFactor) L() *Matrix {
+	data := f.l.ToColMajor()
+	// Zero the (meaningless) strict upper triangle.
+	for j := 0; j < f.n; j++ {
+		for i := 0; i < j; i++ {
+			data[i+j*f.n] = 0
+		}
+	}
+	return FromSlice(f.n, f.n, data)
+}
+
+// SolveSPD factors A (SPD) and solves A·X = B in one dataflow graph, the
+// recommended one-shot driver.
+func (c *Context) SolveSPD(a, b *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: SolveSPD needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("exadla: RHS has %d rows, matrix has %d", b.rows, a.rows)
+	}
+	nb := c.tileSizeFor("cholesky", a.rows)
+	ta := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, nb)
+	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, nb)
+	if err := core.Posv(c.scheduler(), ta, tb); err != nil {
+		return nil, err
+	}
+	return FromSlice(b.rows, b.cols, tb.ToColMajor()), nil
+}
+
+// LUFactor is a reusable tile LU factorization (incremental pivoting).
+type LUFactor struct {
+	ctx *Context
+	f   *core.LUFactors[float64]
+	n   int
+}
+
+// LU computes the tile LU factorization of a square matrix with
+// incremental (block pairwise) pivoting. See DESIGN.md for the stability
+// trade-off versus classic partial pivoting.
+func (c *Context) LU(a *Matrix) (*LUFactor, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: LU needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	t := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, c.tileSizeFor("lu", a.rows))
+	f, err := core.LU(c.scheduler(), t)
+	if err != nil {
+		return nil, err
+	}
+	return &LUFactor{ctx: c, f: f, n: a.rows}, nil
+}
+
+// Solve solves A·X = B using the factorization. B is untouched.
+func (f *LUFactor) Solve(b *Matrix) (*Matrix, error) {
+	if b.rows != f.n {
+		return nil, fmt.Errorf("exadla: RHS has %d rows, factor is %d×%d", b.rows, f.n, f.n)
+	}
+	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, f.f.A.NB)
+	s := f.ctx.scheduler()
+	core.ApplyLU(s, f.f, tb)
+	core.TrsmUpper(s, f.f.A, tb)
+	s.Wait()
+	return FromSlice(b.rows, b.cols, tb.ToColMajor()), nil
+}
+
+// Solve factors A (general square) and solves A·X = B in one dataflow
+// graph.
+func (c *Context) Solve(a, b *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: Solve needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("exadla: RHS has %d rows, matrix has %d", b.rows, a.rows)
+	}
+	nb := c.tileSizeFor("lu", a.rows)
+	ta := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, nb)
+	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, nb)
+	if _, err := core.Gesv(c.scheduler(), ta, tb); err != nil {
+		return nil, err
+	}
+	return FromSlice(b.rows, b.cols, tb.ToColMajor()), nil
+}
+
+// QRFactor is a reusable tile QR factorization.
+type QRFactor struct {
+	ctx  *Context
+	f    *core.QRFactors[float64]
+	m, n int
+}
+
+// QR computes the tile QR factorization of an m×n matrix (A untouched)
+// using the flat elimination order.
+func (c *Context) QR(a *Matrix) *QRFactor {
+	t := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, c.tileSizeFor("qr", a.rows))
+	f := core.QR(c.scheduler(), t)
+	return &QRFactor{ctx: c, f: f, m: a.rows, n: a.cols}
+}
+
+// QRTree computes the tile QR factorization with a binary reduction tree
+// per panel (CAQR order) — shorter critical path on tall matrices at the
+// cost of extra reflector storage. The factor behaves identically to QR's.
+func (c *Context) QRTree(a *Matrix) *QRFactor {
+	t := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, c.tileSizeFor("qr", a.rows))
+	f := core.QRTree(c.scheduler(), t)
+	return &QRFactor{ctx: c, f: f, m: a.rows, n: a.cols}
+}
+
+// R returns the n×n upper-triangular factor (for m ≥ n).
+func (f *QRFactor) R() *Matrix {
+	data := f.f.A.ToColMajor()
+	n := f.n
+	r := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j && i < f.m; i++ {
+			r.Set(i, j, data[i+j*f.m])
+		}
+	}
+	return r
+}
+
+// QTb applies Qᵀ to a matrix (for least-squares pipelines). B is untouched.
+func (f *QRFactor) QTb(b *Matrix) *Matrix {
+	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, f.f.A.NB)
+	s := f.ctx.scheduler()
+	core.ApplyQT(s, f.f, tb)
+	s.Wait()
+	return FromSlice(b.rows, b.cols, tb.ToColMajor())
+}
+
+// LeastSquares solves min‖A·x − b‖₂ for a tall full-rank matrix A (m ≥ n)
+// via tile QR. It returns the n×nrhs solution.
+func (c *Context) LeastSquares(a, b *Matrix) (*Matrix, error) {
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("exadla: LeastSquares needs m ≥ n, got %d×%d", a.rows, a.cols)
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("exadla: RHS has %d rows, matrix has %d", b.rows, a.rows)
+	}
+	nb := c.tileSizeFor("qr", a.rows)
+	ta := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, nb)
+	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, nb)
+	core.Gels(c.scheduler(), ta, tb)
+	full := tb.ToColMajor()
+	x := NewMatrix(a.cols, b.cols)
+	for j := 0; j < b.cols; j++ {
+		copy(x.data[j*a.cols:(j+1)*a.cols], full[j*b.rows:j*b.rows+a.cols])
+	}
+	return x, nil
+}
+
+// MixedResult re-exports the mixed-precision convergence report.
+type MixedResult = mixed.Result
+
+// SolveMixed solves A·x = b with float32 LU factorization plus float64
+// iterative refinement (the dsgesv scheme), falling back to a full float64
+// solve for hopelessly conditioned systems. b must have one column.
+func (c *Context) SolveMixed(a, b *Matrix) (*Matrix, MixedResult, error) {
+	if a.rows != a.cols {
+		return nil, MixedResult{}, fmt.Errorf("exadla: SolveMixed needs square matrix")
+	}
+	if b.rows != a.rows || b.cols != 1 {
+		return nil, MixedResult{}, fmt.Errorf("exadla: SolveMixed needs an n×1 RHS")
+	}
+	x := NewMatrix(a.rows, 1)
+	res, err := mixed.SolveLU(a.rows, a.data, a.rows, b.data, x.data)
+	return x, res, err
+}
+
+// SolveMixedHalf solves A·x = b with three precisions: an emulated
+// half-precision factorization (fp16 storage, fp32 compute — the
+// tensor-core model), float32 correction solves, and float64 residuals.
+// It only converges for mildly conditioned systems (cond ≲ 10³) and falls
+// back to float64 beyond; see the E9 experiment.
+func (c *Context) SolveMixedHalf(a, b *Matrix) (*Matrix, MixedResult, error) {
+	if a.rows != a.cols {
+		return nil, MixedResult{}, fmt.Errorf("exadla: SolveMixedHalf needs square matrix")
+	}
+	if b.rows != a.rows || b.cols != 1 {
+		return nil, MixedResult{}, fmt.Errorf("exadla: SolveMixedHalf needs an n×1 RHS")
+	}
+	x := NewMatrix(a.rows, 1)
+	res, err := mixed.SolveLUHalf(a.rows, a.data, a.rows, b.data, x.data)
+	return x, res, err
+}
+
+// SolveMixedSPD is SolveMixed with a Cholesky kernel for SPD systems.
+func (c *Context) SolveMixedSPD(a, b *Matrix) (*Matrix, MixedResult, error) {
+	if a.rows != a.cols {
+		return nil, MixedResult{}, fmt.Errorf("exadla: SolveMixedSPD needs square matrix")
+	}
+	if b.rows != a.rows || b.cols != 1 {
+		return nil, MixedResult{}, fmt.Errorf("exadla: SolveMixedSPD needs an n×1 RHS")
+	}
+	x := NewMatrix(a.rows, 1)
+	res, err := mixed.SolveCholesky(a.rows, a.data, a.rows, b.data, x.data)
+	return x, res, err
+}
+
+// TSQRLeastSquares solves min‖A·x − b‖₂ with communication-avoiding TSQR
+// over nblocks row blocks. b must have one column.
+func (c *Context) TSQRLeastSquares(a, b *Matrix, nblocks int) (*Matrix, error) {
+	if b.cols != 1 || b.rows != a.rows {
+		return nil, fmt.Errorf("exadla: TSQRLeastSquares needs an m×1 RHS")
+	}
+	x, err := ca.LeastSquares(c.scheduler(), a.rows, a.cols, a.data, a.rows, b.data, nblocks)
+	if err != nil {
+		return nil, err
+	}
+	return FromSlice(a.cols, 1, x), nil
+}
+
+// RandomizedLeastSquares solves min‖A·x − b‖₂ with the
+// sketch-to-precondition scheme (Gaussian sketch + QR preconditioner +
+// LSQR). b must have one column.
+func (c *Context) RandomizedLeastSquares(rng *rand.Rand, a, b *Matrix) (*Matrix, error) {
+	if b.cols != 1 || b.rows != a.rows {
+		return nil, fmt.Errorf("exadla: RandomizedLeastSquares needs an m×1 RHS")
+	}
+	x, stats, err := rnd.SolveLS(rng, a.rows, a.cols, a.data, a.rows, b.data, 2.0, 1e-14, 300)
+	if err != nil {
+		return nil, err
+	}
+	if !stats.Converged {
+		return nil, fmt.Errorf("exadla: randomized solver did not converge in %d iterations", stats.LSQRIterations)
+	}
+	return FromSlice(a.cols, 1, x), nil
+}
+
+// CondEst estimates the 2-norm condition number of a tall or square matrix.
+func (c *Context) CondEst(rng *rand.Rand, a *Matrix) float64 {
+	return rnd.CondEst2(rng, a.rows, a.cols, a.data, a.rows, 40)
+}
+
+// Invert computes the inverse of a general square matrix via LU with
+// partial pivoting (A untouched). Prefer Solve for linear systems —
+// explicit inverses cost ~3× a solve and amplify rounding — but covariance
+// and sensitivity computations legitimately need them.
+func (c *Context) Invert(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: Invert needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	n := a.rows
+	f := a.Clone()
+	ipiv := make([]int, n)
+	if err := lapack.Getrf(n, n, f.data, n, ipiv); err != nil {
+		return nil, err
+	}
+	if err := lapack.Getri(n, f.data, n, ipiv); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// InvertSPD computes the inverse of a symmetric positive definite matrix
+// (lower triangle referenced; A untouched) with the tile dataflow pipeline:
+// Cholesky → triangular inverse → Wᵀ·W, all one task graph. The full
+// symmetric inverse is returned.
+func (c *Context) InvertSPD(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: InvertSPD needs square matrix, got %d×%d", a.rows, a.cols)
+	}
+	n := a.rows
+	t := tile.FromColMajor(n, n, a.data, n, c.tileSizeFor("cholesky", n))
+	if err := core.Potri(c.scheduler(), t); err != nil {
+		return nil, err
+	}
+	f := FromSlice(n, n, t.ToColMajor())
+	// Mirror the computed lower triangle.
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			f.data[j+i*n] = f.data[i+j*n]
+		}
+	}
+	return f, nil
+}
