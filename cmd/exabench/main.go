@@ -15,6 +15,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"exadla/internal/metrics"
 )
 
 type experiment struct {
@@ -37,8 +39,12 @@ var experiments = []experiment{
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: e1..e8 or all")
 	quick := flag.Bool("quick", false, "use reduced sizes for a fast pass")
+	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and dump a JSON snapshot per experiment")
 	flag.Parse()
 
+	if *showMetrics {
+		metrics.Enable()
+	}
 	want := strings.ToLower(*exp)
 	ran := false
 	for _, e := range experiments {
@@ -48,11 +54,27 @@ func main() {
 		ran = true
 		fmt.Printf("\n=== %s ===\n\n", e.title)
 		e.run(*quick)
+		if *showMetrics {
+			dumpMetrics(e.name)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: e1..e8, all\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// dumpMetrics prints the accumulated metrics snapshot for one experiment as
+// a single JSON document, then zeroes the registry so the next experiment
+// starts from a clean slate.
+func dumpMetrics(name string) {
+	fmt.Printf("\n--- metrics[%s] ---\n", name)
+	snap := metrics.Default().Snapshot()
+	if err := snap.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+	}
+	fmt.Println()
+	metrics.Reset()
 }
 
 // table is a minimal fixed-width table printer.

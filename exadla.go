@@ -24,6 +24,7 @@ import (
 	"runtime"
 
 	"exadla/internal/autotune"
+	"exadla/internal/metrics"
 	"exadla/internal/sched"
 	"exadla/internal/trace"
 )
@@ -69,6 +70,15 @@ func WithTileSize(nb int) Option {
 // and Context.TraceLog.
 func WithTracing() Option {
 	return func(c *Context) { c.tracing = true }
+}
+
+// WithMetrics enables runtime metrics collection (scheduler task counts and
+// occupancy, per-kernel latency histograms, BLAS flop rates, factorization
+// phase timings). The underlying registry is process-global: enabling it on
+// one Context enables it for every Context in the process, and it stays
+// enabled after the Context is closed. See Context.Metrics.
+func WithMetrics() Option {
+	return func(c *Context) { metrics.Enable() }
 }
 
 // WithTuningTable loads the autotuner's persistent table (as written by
@@ -144,6 +154,21 @@ func (c *Context) ResetTrace() {
 	if c.log != nil {
 		c.log.Reset()
 	}
+}
+
+// Metrics returns a point-in-time snapshot of the process-global metrics
+// registry: counters, gauges and latency histograms accumulated since the
+// last ResetMetrics. With metrics never enabled (see WithMetrics) the
+// snapshot is empty. Use Snapshot.WriteJSON or Snapshot.WriteText to export
+// it; see DESIGN.md for the metric-name catalogue and how to read one.
+func (c *Context) Metrics() metrics.Snapshot {
+	return metrics.Default().Snapshot()
+}
+
+// ResetMetrics zeroes all accumulated metrics, keeping collection enabled or
+// disabled as it was. Like the registry itself this is process-global.
+func (c *Context) ResetMetrics() {
+	metrics.Reset()
 }
 
 // scheduler returns the Context's scheduler.

@@ -30,6 +30,7 @@ func Gemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda in
 	if m == 0 || n == 0 {
 		return
 	}
+	start := gemmMetrics.Start()
 
 	// C ← β·C.
 	if beta != 1 {
@@ -47,6 +48,7 @@ func Gemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda in
 		}
 	}
 	if alpha == 0 || k == 0 {
+		gemmMetrics.Stop(start, int64(m)*int64(n)) // β-scaling only
 		return
 	}
 
@@ -60,6 +62,7 @@ func Gemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda in
 	default:
 		gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
 	}
+	gemmMetrics.Stop(start, 2*int64(m)*int64(n)*int64(k))
 }
 
 // gemmNN computes C += α·A·B. The kernel accumulates axpy updates of

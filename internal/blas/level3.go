@@ -18,6 +18,8 @@ func Syrk[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int
 	if n == 0 {
 		return
 	}
+	start := syrkMetrics.Start()
+	defer func() { syrkMetrics.Stop(start, int64(n)*int64(n+1)*int64(k)) }()
 
 	// Scale the referenced triangle of C.
 	if beta != 1 {
@@ -137,6 +139,8 @@ func Trmm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 	if m == 0 || n == 0 {
 		return
 	}
+	start := trmmMetrics.Start()
+	defer func() { trmmMetrics.Stop(start, int64(m)*int64(n)*int64(na)) }()
 	if side == Left {
 		// Apply the triangular product column-by-column of B via Trmv.
 		for j := 0; j < n; j++ {
@@ -186,6 +190,8 @@ func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 	if m == 0 || n == 0 {
 		return
 	}
+	start := trsmMetrics.Start()
+	defer func() { trsmMetrics.Stop(start, int64(m)*int64(n)*int64(na)) }()
 	if alpha != 1 {
 		for j := 0; j < n; j++ {
 			col := b[j*ldb : j*ldb+m]

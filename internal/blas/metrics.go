@@ -1,0 +1,19 @@
+package blas
+
+import "exadla/internal/metrics"
+
+// Per-kernel flop and wall-time accounting for the level-3 BLAS, feeding
+// the "blas.<kernel>.flops" / ".ns" counters and the derived ".gflops"
+// gauge in the default metrics registry. The handles are resolved once at
+// init; with metrics disabled (the default) each instrumented call costs a
+// single atomic load, and recording happens per kernel invocation — never
+// inside the compute loops.
+//
+// Symm is not separately instrumented: it expands the symmetric operand and
+// delegates to Gemm, so its work is reported under blas.gemm.
+var (
+	gemmMetrics = metrics.Default().Kernel("blas.gemm")
+	syrkMetrics = metrics.Default().Kernel("blas.syrk")
+	trmmMetrics = metrics.Default().Kernel("blas.trmm")
+	trsmMetrics = metrics.Default().Kernel("blas.trsm")
+)

@@ -42,7 +42,7 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 			Priority: prioPanel(k, nt),
 			Reads:    nil,
 			Writes:   []sched.Handle{a.Handle(k, k)},
-			Fn: func() {
+			Fn: timed(panelNs, func() {
 				if es.failed() {
 					return
 				}
@@ -51,7 +51,7 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 					perr := err.(*lapack.NotPositiveDefiniteError)
 					es.set(&lapack.NotPositiveDefiniteError{Index: k*a.NB + perr.Index})
 				}
-			},
+			}),
 		})
 		if forkJoin {
 			s.Wait()
@@ -63,7 +63,7 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 				Priority: prioSolve(k, nt),
 				Reads:    []sched.Handle{a.Handle(k, k)},
 				Writes:   []sched.Handle{a.Handle(i, k)},
-				Fn: func() {
+				Fn: timed(solveNs, func() {
 					if es.failed() {
 						return
 					}
@@ -71,7 +71,7 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 					blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
 						a.TileRows(i), a.TileCols(k), 1,
 						a.Tile(k, k), a.TileRows(k), a.Tile(i, k), a.TileRows(i))
-				},
+				}),
 			})
 		}
 		if forkJoin {
@@ -84,14 +84,14 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 				Priority: prioUpdate(k, nt),
 				Reads:    []sched.Handle{a.Handle(j, k)},
 				Writes:   []sched.Handle{a.Handle(j, j)},
-				Fn: func() {
+				Fn: timed(updateNs, func() {
 					if es.failed() {
 						return
 					}
 					// A[j][j] -= A[j][k]·A[j][k]ᵀ.
 					blas.Syrk(blas.Lower, blas.NoTrans, a.TileCols(j), a.TileCols(k),
 						-1, a.Tile(j, k), a.TileRows(j), 1, a.Tile(j, j), a.TileRows(j))
-				},
+				}),
 			})
 			for i := j + 1; i < a.MT; i++ {
 				i := i
@@ -100,7 +100,7 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 					Priority: prioUpdate(k, nt),
 					Reads:    []sched.Handle{a.Handle(i, k), a.Handle(j, k)},
 					Writes:   []sched.Handle{a.Handle(i, j)},
-					Fn: func() {
+					Fn: timed(updateNs, func() {
 						if es.failed() {
 							return
 						}
@@ -110,7 +110,7 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 							-1, a.Tile(i, k), a.TileRows(i),
 							a.Tile(j, k), a.TileRows(j),
 							1, a.Tile(i, j), a.TileRows(i))
-					},
+					}),
 				})
 			}
 		}
@@ -136,11 +136,11 @@ func TrsmLower[F blas.Float](s sched.Scheduler, trans blas.Transpose, a *tile.Ma
 					Priority: prioSolve(k, nt),
 					Reads:    []sched.Handle{a.Handle(k, k)},
 					Writes:   []sched.Handle{b.Handle(k, j)},
-					Fn: func() {
+					Fn: timed(solveNs, func() {
 						blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.NonUnit,
 							b.TileRows(k), b.TileCols(j), 1,
 							a.Tile(k, k), a.TileRows(k), b.Tile(k, j), b.TileRows(k))
-					},
+					}),
 				})
 				for i := k + 1; i < nt; i++ {
 					i := i
@@ -149,13 +149,13 @@ func TrsmLower[F blas.Float](s sched.Scheduler, trans blas.Transpose, a *tile.Ma
 						Priority: prioUpdate(k, nt),
 						Reads:    []sched.Handle{a.Handle(i, k), b.Handle(k, j)},
 						Writes:   []sched.Handle{b.Handle(i, j)},
-						Fn: func() {
+						Fn: timed(updateNs, func() {
 							blas.Gemm(blas.NoTrans, blas.NoTrans,
 								b.TileRows(i), b.TileCols(j), b.TileRows(k),
 								-1, a.Tile(i, k), a.TileRows(i),
 								b.Tile(k, j), b.TileRows(k),
 								1, b.Tile(i, j), b.TileRows(i))
-						},
+						}),
 					})
 				}
 			}
@@ -172,11 +172,11 @@ func TrsmLower[F blas.Float](s sched.Scheduler, trans blas.Transpose, a *tile.Ma
 				Priority: prioSolve(nt-1-k, nt),
 				Reads:    []sched.Handle{a.Handle(k, k)},
 				Writes:   []sched.Handle{b.Handle(k, j)},
-				Fn: func() {
+				Fn: timed(solveNs, func() {
 					blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.NonUnit,
 						b.TileRows(k), b.TileCols(j), 1,
 						a.Tile(k, k), a.TileRows(k), b.Tile(k, j), b.TileRows(k))
-				},
+				}),
 			})
 			for i := 0; i < k; i++ {
 				i := i
@@ -185,14 +185,14 @@ func TrsmLower[F blas.Float](s sched.Scheduler, trans blas.Transpose, a *tile.Ma
 					Priority: prioUpdate(nt-1-k, nt),
 					Reads:    []sched.Handle{a.Handle(k, i), b.Handle(k, j)},
 					Writes:   []sched.Handle{b.Handle(i, j)},
-					Fn: func() {
+					Fn: timed(updateNs, func() {
 						// B[i][j] -= A[k][i]ᵀ·B[k][j] (L[k][i] stored at (k,i)).
 						blas.Gemm(blas.Trans, blas.NoTrans,
 							b.TileRows(i), b.TileCols(j), b.TileRows(k),
 							-1, a.Tile(k, i), a.TileRows(k),
 							b.Tile(k, j), b.TileRows(k),
 							1, b.Tile(i, j), b.TileRows(i))
-					},
+					}),
 				})
 			}
 		}
@@ -213,14 +213,14 @@ func TrsmUpper[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], b *tile.Matri
 				Priority: prioSolve(nt-1-k, nt),
 				Reads:    []sched.Handle{a.Handle(k, k)},
 				Writes:   []sched.Handle{b.Handle(k, j)},
-				Fn: func() {
+				Fn: timed(solveNs, func() {
 					// Only the top TileCols(k) rows of B's tile-row k carry
 					// the triangular system (they equal the tile size except
 					// possibly at the boundary of a tall least-squares B).
 					blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit,
 						a.TileCols(k), b.TileCols(j), 1,
 						a.Tile(k, k), a.TileRows(k), b.Tile(k, j), b.TileRows(k))
-				},
+				}),
 			})
 			for i := 0; i < k; i++ {
 				i := i
@@ -229,13 +229,13 @@ func TrsmUpper[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], b *tile.Matri
 					Priority: prioUpdate(nt-1-k, nt),
 					Reads:    []sched.Handle{a.Handle(i, k), b.Handle(k, j)},
 					Writes:   []sched.Handle{b.Handle(i, j)},
-					Fn: func() {
+					Fn: timed(updateNs, func() {
 						blas.Gemm(blas.NoTrans, blas.NoTrans,
 							a.TileCols(i), b.TileCols(j), a.TileCols(k),
 							-1, a.Tile(i, k), a.TileRows(i),
 							b.Tile(k, j), b.TileRows(k),
 							1, b.Tile(i, j), b.TileRows(i))
-					},
+					}),
 				})
 			}
 		}

@@ -69,7 +69,7 @@ func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, fo
 			Name:     "getrf",
 			Priority: prioPanel(k, kt),
 			Writes:   []sched.Handle{a.Handle(k, k)},
-			Fn: func() {
+			Fn: timed(panelNs, func() {
 				tr, tc := a.TileRows(k), a.TileCols(k)
 				piv := make([]int, min(tr, tc))
 				if err := lapack.Getf2(tr, tc, a.Tile(k, k), tr, piv); err != nil {
@@ -77,7 +77,7 @@ func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, fo
 					es.set(&lapack.SingularError{Index: k*a.NB + serr.Index})
 				}
 				f.DiagPiv[k] = piv
-			},
+			}),
 		})
 		if forkJoin {
 			s.Wait()
@@ -89,11 +89,11 @@ func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, fo
 				Priority: prioSolve(k, kt),
 				Reads:    []sched.Handle{a.Handle(k, k)},
 				Writes:   []sched.Handle{a.Handle(k, j)},
-				Fn: func() {
+				Fn: timed(solveNs, func() {
 					gessm(a.TileRows(k), a.TileCols(j), min(a.TileRows(k), a.TileCols(k)),
 						f.DiagPiv[k], a.Tile(k, k), a.TileRows(k),
 						a.Tile(k, j), a.TileRows(k))
-				},
+				}),
 			})
 		}
 		if forkJoin {
@@ -105,7 +105,7 @@ func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, fo
 				Name:     "tstrf",
 				Priority: prioPanel(k, kt),
 				Writes:   []sched.Handle{a.Handle(k, k), a.Handle(i, k)},
-				Fn: func() {
+				Fn: timed(panelNs, func() {
 					tc := a.TileCols(k)
 					tr2 := a.TileRows(i)
 					l, piv, err := tstrf(tc, tr2,
@@ -117,7 +117,7 @@ func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, fo
 					}
 					f.StackL[f.stackIdx(i, k)] = l
 					f.StackPiv[f.stackIdx(i, k)] = piv
-				},
+				}),
 			})
 			for j := k + 1; j < a.NT; j++ {
 				j := j
@@ -126,12 +126,12 @@ func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, fo
 					Priority: prioUpdate(k, kt),
 					Reads:    []sched.Handle{a.Handle(i, k)},
 					Writes:   []sched.Handle{a.Handle(k, j), a.Handle(i, j)},
-					Fn: func() {
+					Fn: timed(updateNs, func() {
 						ssssm(a.TileCols(k), a.TileRows(i), a.TileCols(j),
 							f.StackL[f.stackIdx(i, k)], f.StackPiv[f.stackIdx(i, k)],
 							a.Tile(k, j), a.TileRows(k),
 							a.Tile(i, j), a.TileRows(i))
-					},
+					}),
 				})
 			}
 			if forkJoin {
@@ -224,11 +224,11 @@ func ApplyLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], b *tile.Matrix[F]
 				Priority: prioSolve(k, kt),
 				Reads:    []sched.Handle{a.Handle(k, k)},
 				Writes:   []sched.Handle{b.Handle(k, j)},
-				Fn: func() {
+				Fn: timed(solveNs, func() {
 					gessm(b.TileRows(k), b.TileCols(j), min(a.TileRows(k), a.TileCols(k)),
 						f.DiagPiv[k], a.Tile(k, k), a.TileRows(k),
 						b.Tile(k, j), b.TileRows(k))
-				},
+				}),
 			})
 		}
 		for i := k + 1; i < a.MT; i++ {
@@ -240,12 +240,12 @@ func ApplyLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], b *tile.Matrix[F]
 					Priority: prioUpdate(k, kt),
 					Reads:    []sched.Handle{a.Handle(i, k)},
 					Writes:   []sched.Handle{b.Handle(k, j), b.Handle(i, j)},
-					Fn: func() {
+					Fn: timed(updateNs, func() {
 						ssssm(a.TileCols(k), a.TileRows(i), b.TileCols(j),
 							f.StackL[f.stackIdx(i, k)], f.StackPiv[f.stackIdx(i, k)],
 							b.Tile(k, j), b.TileRows(k),
 							b.Tile(i, j), b.TileRows(i))
-					},
+					}),
 				})
 			}
 		}

@@ -50,9 +50,9 @@ func submitQR[F blas.Float](s sched.Scheduler, f *QRFactors[F], forkJoin bool) {
 			Name:     "geqrt",
 			Priority: prioPanel(k, kt),
 			Writes:   []sched.Handle{a.Handle(k, k), t.Handle(k, k)},
-			Fn: func() {
+			Fn: timed(panelNs, func() {
 				geqrt(a.TileRows(k), a.TileCols(k), a.Tile(k, k), a.TileRows(k), t.Tile(k, k), t.TileRows(k))
-			},
+			}),
 		})
 		if forkJoin {
 			s.Wait()
@@ -64,11 +64,11 @@ func submitQR[F blas.Float](s sched.Scheduler, f *QRFactors[F], forkJoin bool) {
 				Priority: prioSolve(k, kt),
 				Reads:    []sched.Handle{a.Handle(k, k), t.Handle(k, k)},
 				Writes:   []sched.Handle{a.Handle(k, j)},
-				Fn: func() {
+				Fn: timed(solveNs, func() {
 					unmqr(a.TileRows(k), a.TileCols(j), min(a.TileRows(k), a.TileCols(k)),
 						a.Tile(k, k), a.TileRows(k), t.Tile(k, k), t.TileRows(k),
 						a.Tile(k, j), a.TileRows(k))
-				},
+				}),
 			})
 		}
 		if forkJoin {
@@ -81,12 +81,12 @@ func submitQR[F blas.Float](s sched.Scheduler, f *QRFactors[F], forkJoin bool) {
 				Priority: prioPanel(k, kt),
 				Reads:    nil,
 				Writes:   []sched.Handle{a.Handle(k, k), a.Handle(i, k), t.Handle(i, k)},
-				Fn: func() {
+				Fn: timed(panelNs, func() {
 					tsqrt(a.TileCols(k), a.TileRows(i),
 						a.Tile(k, k), a.TileRows(k),
 						a.Tile(i, k), a.TileRows(i),
 						t.Tile(i, k), t.TileRows(i))
-				},
+				}),
 			})
 			for j := k + 1; j < a.NT; j++ {
 				j := j
@@ -95,13 +95,13 @@ func submitQR[F blas.Float](s sched.Scheduler, f *QRFactors[F], forkJoin bool) {
 					Priority: prioUpdate(k, kt),
 					Reads:    []sched.Handle{a.Handle(i, k), t.Handle(i, k)},
 					Writes:   []sched.Handle{a.Handle(k, j), a.Handle(i, j)},
-					Fn: func() {
+					Fn: timed(updateNs, func() {
 						tsmqr(blas.Trans, a.TileCols(k), a.TileRows(i), a.TileCols(j),
 							a.Tile(i, k), a.TileRows(i),
 							t.Tile(i, k), t.TileRows(i),
 							a.Tile(k, j), a.TileRows(k),
 							a.Tile(i, j), a.TileRows(i))
-					},
+					}),
 				})
 			}
 			if forkJoin {
@@ -209,11 +209,11 @@ func ApplyQT[F blas.Float](s sched.Scheduler, f *QRFactors[F], b *tile.Matrix[F]
 				Priority: prioSolve(k, kt),
 				Reads:    []sched.Handle{a.Handle(k, k), t.Handle(k, k)},
 				Writes:   []sched.Handle{b.Handle(k, j)},
-				Fn: func() {
+				Fn: timed(solveNs, func() {
 					unmqr(b.TileRows(k), b.TileCols(j), min(a.TileRows(k), a.TileCols(k)),
 						a.Tile(k, k), a.TileRows(k), t.Tile(k, k), t.TileRows(k),
 						b.Tile(k, j), b.TileRows(k))
-				},
+				}),
 			})
 		}
 		for i := k + 1; i < a.MT; i++ {
@@ -225,13 +225,13 @@ func ApplyQT[F blas.Float](s sched.Scheduler, f *QRFactors[F], b *tile.Matrix[F]
 					Priority: prioUpdate(k, kt),
 					Reads:    []sched.Handle{a.Handle(i, k), t.Handle(i, k)},
 					Writes:   []sched.Handle{b.Handle(k, j), b.Handle(i, j)},
-					Fn: func() {
+					Fn: timed(updateNs, func() {
 						tsmqr(blas.Trans, a.TileCols(k), a.TileRows(i), b.TileCols(j),
 							a.Tile(i, k), a.TileRows(i),
 							t.Tile(i, k), t.TileRows(i),
 							b.Tile(k, j), b.TileRows(k),
 							b.Tile(i, j), b.TileRows(i))
-					},
+					}),
 				})
 			}
 		}

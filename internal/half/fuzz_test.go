@@ -1,0 +1,121 @@
+package half
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHalfRoundTrip exercises the storage-format invariant the mixed-
+// precision solvers rely on: every half value survives a round trip through
+// float32 unchanged. Float32 is exact (binary16 ⊂ binary32), so
+// FromFloat32 must map each widened value back onto the identical bit
+// pattern — for normals, subnormals, signed zeros and ±Inf alike. NaNs are
+// the one exception: the payload is not preserved, only NaN-ness.
+func FuzzHalfRoundTrip(f *testing.F) {
+	seeds := []uint16{
+		0x0000, 0x8000, // ±0
+		0x0001, 0x8001, // smallest subnormals
+		0x03ff, 0x83ff, // largest subnormals
+		0x0400, 0x8400, // smallest normals
+		0x3c00, 0xbc00, // ±1
+		0x3555,         // ~1/3
+		0x7bff, 0xfbff, // ±MaxValue
+		0x7c00, 0xfc00, // ±Inf
+		0x7c01, 0x7e00, 0xfe00, 0xffff, // NaNs
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, u uint16) {
+		h := Half(u)
+		w := h.Float32()
+		back := FromFloat32(w)
+
+		if h.IsNaN() {
+			if !math.IsNaN(float64(w)) {
+				t.Fatalf("%#04x: NaN widened to %g", u, w)
+			}
+			if !back.IsNaN() {
+				t.Fatalf("%#04x: NaN round-tripped to %#04x", u, uint16(back))
+			}
+			return
+		}
+		if back != h {
+			t.Fatalf("%#04x: round trip gave %#04x (via %g)", u, uint16(back), w)
+		}
+		if h.IsInf() != math.IsInf(float64(w), 0) {
+			t.Fatalf("%#04x: infinity mismatch (widened %g)", u, w)
+		}
+		// The widened value must be sign-consistent, zeros included.
+		if math.Signbit(float64(w)) != (u&0x8000 != 0) {
+			t.Fatalf("%#04x: sign lost in widening (%g)", u, w)
+		}
+	})
+}
+
+// FuzzHalfFromFloat32Nearest checks FromFloat32 against the rounding spec
+// directly: for any finite float32, the chosen half must be at minimal
+// distance among all 65536 candidates, ties must resolve to the even
+// mantissa, and magnitudes at or beyond the overflow threshold (65520, the
+// midpoint between MaxValue and the next unbounded-exponent step) must
+// produce ±Inf. Exhaustive comparison is cheap at 2¹⁶ candidates and leaves
+// no corner of the subnormal or boundary ranges unchecked.
+func FuzzHalfFromFloat32Nearest(f *testing.F) {
+	seedFloats := []float32{
+		0, float32(math.Copysign(0, -1)),
+		1, -1, 0.1, 1.0 / 3.0,
+		65504, 65519.996, 65520, 65536, -65520,
+		0x1p-14, 0x1p-24, 0x1p-25, 0x1.8p-25, 0x1p-26,
+		5.960464e-8, // ≈ half of the smallest subnormal
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+	}
+	for _, s := range seedFloats {
+		f.Add(math.Float32bits(s))
+	}
+	f.Fuzz(func(t *testing.T, ub uint32) {
+		x := math.Float32frombits(ub)
+		h := FromFloat32(x)
+		xd := float64(x)
+
+		if math.IsNaN(xd) {
+			if !h.IsNaN() {
+				t.Fatalf("%g: converted to non-NaN %#04x", x, uint16(h))
+			}
+			return
+		}
+		if math.IsInf(xd, 0) || math.Abs(xd) >= 65520 {
+			want := PosInf
+			if math.Signbit(xd) {
+				want = NegInf
+			}
+			if h != want {
+				t.Fatalf("%g: got %#04x, want %#04x", x, uint16(h), uint16(want))
+			}
+			return
+		}
+		if h.IsNaN() || h.IsInf() {
+			t.Fatalf("%g: finite in-range input became %#04x", x, uint16(h))
+		}
+
+		err := math.Abs(float64(h.Float32()) - xd)
+		for c := 0; c < 1<<16; c++ {
+			cand := Half(c)
+			if cand.IsNaN() || cand.IsInf() || cand == h {
+				continue
+			}
+			cerr := math.Abs(float64(cand.Float32()) - xd)
+			if cerr < err {
+				t.Fatalf("%g: chose %#04x (err %g) over closer %#04x (err %g)",
+					x, uint16(h), err, uint16(cand), cerr)
+			}
+			if cerr == err && h&1 != 0 && cand&1 == 0 {
+				// A tie must resolve to the even mantissa. Signed-zero
+				// pairs widen to equal values and are not a real tie.
+				if h.Float32() != cand.Float32() {
+					t.Fatalf("%g: tie broken to odd %#04x instead of even %#04x",
+						x, uint16(h), uint16(cand))
+				}
+			}
+		}
+	})
+}

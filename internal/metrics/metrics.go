@@ -1,0 +1,465 @@
+// Package metrics is the runtime observability layer: allocation-free
+// atomic counters, gauges, and fixed-bucket latency histograms behind a
+// named registry with JSON and expvar-style text export.
+//
+// The package exists because the scheduling argument this repository
+// reproduces is quantitative — "fork–join idles cores, dataflow keeps them
+// busy" is only checkable if the runtime can report worker occupancy, queue
+// depth, and per-kernel latency while running at full speed. Hot paths
+// therefore pay at most one atomic operation per event, and instrumentation
+// can be disabled entirely:
+//
+//   - a nil *Registry is the no-op registry: every metric handle it returns
+//     is nil, and every operation on a nil handle returns immediately;
+//   - the package-level default registry additionally carries an on/off
+//     switch (Enable/Disable) checked with a single atomic load, so
+//     call sites resolved at package init stay no-ops until enabled.
+//
+// Metric handles (Counter, Gauge, Histogram, Kernel) are resolved once by
+// name — typically in a package var or a constructor — and then updated
+// without any map lookup, lock, or allocation.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (or at least add-only) int64.
+// All methods are safe on a nil receiver, which makes them no-ops.
+type Counter struct {
+	v  atomic.Int64
+	on *atomic.Bool
+}
+
+// Add increments the counter by d if metrics are enabled.
+func (c *Counter) Add(d int64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can be set, or driven monotonically upward as a
+// high-water mark. All methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+	on   *atomic.Bool
+}
+
+// Set stores v if metrics are enabled.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// lock-free high-water-mark update.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) ≤ v < 2^i
+// (bucket 0 holds v == 0). 64 buckets cover every non-negative int64.
+const histBuckets = 65
+
+// Histogram counts non-negative observations (typically nanoseconds) in
+// fixed power-of-two buckets. Observe is a single atomic add; there is no
+// locking and no allocation. All methods are safe on a nil receiver.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	on      *atomic.Bool
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count
+// observations v with Lo ≤ v ≤ Hi.
+type Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Max     int64    `json:"max"` // upper bound of the highest occupied bucket
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from the
+// bucket boundaries — exact to within the 2× bucket resolution.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Hi
+		}
+	}
+	return s.Max
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		var lo, hi int64
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+			hi = lo<<1 - 1
+			if hi < lo { // last bucket saturates at MaxInt64
+				hi = math.MaxInt64
+			}
+		}
+		s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+		s.Max = hi
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	return s
+}
+
+// Kernel bundles the standard per-kernel throughput metrics: a flop
+// counter, a nanosecond counter, and a derived GF/s gauge (flops/ns).
+// Obtain one from Registry.Kernel; use Start/Stop around each invocation.
+type Kernel struct {
+	Flops *Counter
+	Ns    *Counter
+	GFS   *Gauge
+	on    *atomic.Bool
+}
+
+// Start returns the kernel start time, or the zero Time when metrics are
+// disabled (making the matching Stop free). Safe on a nil receiver.
+func (k *Kernel) Start() time.Time {
+	if k == nil || !k.on.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop records one kernel invocation that performed flops floating point
+// operations since start, and refreshes the GF/s gauge. A zero start (from
+// a disabled Start) is ignored.
+func (k *Kernel) Stop(start time.Time, flops int64) {
+	if k == nil || start.IsZero() {
+		return
+	}
+	ns := time.Since(start).Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	k.Ns.Add(ns)
+	k.Flops.Add(flops)
+	// flops/ns ≡ GF/s. Loads of two counters race benignly with concurrent
+	// updates; the gauge converges on the true cumulative rate.
+	k.GFS.Set(float64(k.Flops.Load()) / float64(k.Ns.Load()))
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call New. A nil *Registry is the no-op registry: all lookups return nil
+// handles whose operations do nothing.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an enabled, empty registry.
+func New() *Registry {
+	r := &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enabled reports whether the registry records events (false for nil).
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled flips recording on or off. Handles already resolved observe
+// the change on their next operation.
+func (r *Registry) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Counter returns (creating if needed) the named counter, or nil on the
+// no-op registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{on: &r.enabled}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil on the no-op
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{on: &r.enabled}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil on
+// the no-op registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{on: &r.enabled}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Kernel returns the standard metric bundle for a kernel: counters
+// "<name>.flops" and "<name>.ns" plus gauge "<name>.gflops". On the no-op
+// registry all fields are nil and the bundle itself is nil.
+func (r *Registry) Kernel(name string) *Kernel {
+	if r == nil {
+		return nil
+	}
+	return &Kernel{
+		Flops: r.Counter(name + ".flops"),
+		Ns:    r.Counter(name + ".ns"),
+		GFS:   r.Gauge(name + ".gflops"),
+		on:    &r.enabled,
+	}
+}
+
+// Reset zeroes every registered metric (values only; handles stay valid).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// JSON-marshalable and sorted for stable text output.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric. It is safe to call
+// concurrently with updates; each metric is read atomically, the set as a
+// whole is not a consistent cut. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.v.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = math.Float64frombits(g.bits.Load())
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the snapshot in expvar-style "name value" lines,
+// sorted by name. Histograms print count, mean, and the p50/p95/p99
+// bucket upper bounds.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var err error
+		switch {
+		case s.Counters != nil && hasKeyI(s.Counters, n):
+			_, err = fmt.Fprintf(w, "%s %d\n", n, s.Counters[n])
+		case s.Gauges != nil && hasKeyF(s.Gauges, n):
+			_, err = fmt.Fprintf(w, "%s %g\n", n, s.Gauges[n])
+		default:
+			h := s.Histograms[n]
+			_, err = fmt.Fprintf(w, "%s count=%d mean=%.0f p50<=%d p95<=%d p99<=%d\n",
+				n, h.Count, h.Mean, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hasKeyI(m map[string]int64, k string) bool   { _, ok := m[k]; return ok }
+func hasKeyF(m map[string]float64, k string) bool { _, ok := m[k]; return ok }
+
+// The package default registry: always present so call sites can resolve
+// handles at init, but disabled until Enable — a disabled handle costs one
+// atomic bool load per event.
+var def = func() *Registry {
+	r := New()
+	r.SetEnabled(false)
+	return r
+}()
+
+// Default returns the package default registry (never nil, initially
+// disabled).
+func Default() *Registry { return def }
+
+// Enabled reports whether the default registry is recording.
+func Enabled() bool { return def.Enabled() }
+
+// Enable turns on recording in the default registry and returns it.
+func Enable() *Registry {
+	def.SetEnabled(true)
+	return def
+}
+
+// Disable turns off recording in the default registry.
+func Disable() { def.SetEnabled(false) }
+
+// Reset zeroes every metric in the default registry.
+func Reset() { def.Reset() }

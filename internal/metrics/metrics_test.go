@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Inc()
+	if got := c.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if c2 := r.Counter("c"); c2 != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Load(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	g.SetMax(1.0) // below current: no change
+	if got := g.Load(); got != 2.5 {
+		t.Fatalf("SetMax lowered gauge to %g", got)
+	}
+	g.SetMax(7.0)
+	if got := g.Load(); got != 7.0 {
+		t.Fatalf("SetMax = %g, want 7", got)
+	}
+}
+
+func TestNopRegistry(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	// Every handle is nil and every operation must be a safe no-op.
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c != nil || c.Load() != 0 {
+		t.Fatal("nil registry returned a live counter")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	g.SetMax(2)
+	if g != nil || g.Load() != 0 {
+		t.Fatal("nil registry returned a live gauge")
+	}
+	h := r.Histogram("x")
+	h.Observe(1)
+	if h != nil || h.Count() != 0 {
+		t.Fatal("nil registry returned a live histogram")
+	}
+	k := r.Kernel("x")
+	k.Stop(k.Start(), 100)
+	if k != nil {
+		t.Fatal("nil registry returned a live kernel")
+	}
+	r.Reset()
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	r.SetEnabled(false)
+	c.Add(10)
+	h.Observe(10)
+	if c.Load() != 0 || h.Count() != 0 {
+		t.Fatal("disabled registry recorded events")
+	}
+	r.SetEnabled(true)
+	c.Add(10)
+	h.Observe(10)
+	if c.Load() != 10 || h.Count() != 1 {
+		t.Fatal("re-enabled registry dropped events")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, 1 << 40, -5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if want := int64(0 + 1 + 2 + 3 + 4 + 1000 + (1 << 40) + 0); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	// Bucket boundaries: 0 and the clamped -5 land in the zero bucket.
+	if s.Buckets[0].Lo != 0 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket = %+v", s.Buckets[0])
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		if b.Count <= 0 || b.Lo > b.Hi {
+			t.Fatalf("malformed bucket %+v", b)
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	// Quantiles are monotone and bounded by Max.
+	var prev int64
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev || v > s.Max {
+			t.Fatalf("quantile(%g) = %d not monotone within [%d, %d]", q, v, prev, s.Max)
+		}
+		prev = v
+	}
+	if s.Quantile(1) < 1<<40 {
+		t.Fatalf("p100 = %d, want >= %d", s.Quantile(1), int64(1)<<40)
+	}
+}
+
+func TestKernelGFS(t *testing.T) {
+	r := New()
+	k := r.Kernel("blas.test")
+	start := k.Start()
+	if start.IsZero() {
+		t.Fatal("enabled kernel returned zero start")
+	}
+	k.Stop(start, 1e6)
+	if k.Flops.Load() != 1e6 {
+		t.Fatalf("flops = %d", k.Flops.Load())
+	}
+	if k.Ns.Load() < 1 {
+		t.Fatalf("ns = %d", k.Ns.Load())
+	}
+	want := float64(k.Flops.Load()) / float64(k.Ns.Load())
+	if got := k.GFS.Load(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("gflops gauge = %g, want %g", got, want)
+	}
+	snap := r.Snapshot()
+	for _, name := range []string{"blas.test.flops", "blas.test.ns"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Fatalf("snapshot missing counter %q", name)
+		}
+	}
+	if _, ok := snap.Gauges["blas.test.gflops"]; !ok {
+		t.Fatal("snapshot missing gflops gauge")
+	}
+}
+
+func TestSnapshotExports(t *testing.T) {
+	r := New()
+	r.Counter("a.count").Add(7)
+	r.Gauge("b.gauge").Set(1.5)
+	r.Histogram("c.lat").Observe(100)
+	snap := r.Snapshot()
+
+	var jsonBuf bytes.Buffer
+	if err := snap.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON export not well-formed: %v", err)
+	}
+	if decoded.Counters["a.count"] != 7 || decoded.Gauges["b.gauge"] != 1.5 {
+		t.Fatalf("JSON round trip lost values: %+v", decoded)
+	}
+	if decoded.Histograms["c.lat"].Count != 1 {
+		t.Fatalf("JSON round trip lost histogram: %+v", decoded.Histograms)
+	}
+
+	var textBuf bytes.Buffer
+	if err := snap.WriteText(&textBuf); err != nil {
+		t.Fatal(err)
+	}
+	text := textBuf.String()
+	for _, want := range []string{"a.count 7", "b.gauge 1.5", "c.lat count=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text export missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(5)
+	g.Set(5)
+	h.Observe(5)
+	r.Reset()
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset left values behind")
+	}
+	// Handles stay live after Reset.
+	c.Add(1)
+	if c.Load() != 1 {
+		t.Fatal("counter dead after Reset")
+	}
+}
+
+func TestDefaultRegistryToggle(t *testing.T) {
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	Reset()
+	c := Default().Counter("test.toggle")
+	c.Add(1)
+	if c.Load() != 0 {
+		t.Fatal("default registry recorded while disabled")
+	}
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enable did not enable")
+	}
+	c.Add(1)
+	if c.Load() != 1 {
+		t.Fatal("default registry dropped event while enabled")
+	}
+}
+
+// Concurrent updates must be linearizable per metric (exercised under -race
+// by CI).
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("hwm")
+	h := r.Histogram("h")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(float64(w*per + i))
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*per)
+	}
+	if want := float64(workers*per - 1); g.Load() != want {
+		t.Fatalf("hwm = %g, want %g", g.Load(), want)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

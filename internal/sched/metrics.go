@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"strconv"
+	"sync"
+
+	"exadla/internal/metrics"
+)
+
+// rtMetrics instruments one Runtime against a metrics.Registry. All handle
+// operations are nil-safe, and the per-task path is additionally gated on
+// the registry's enabled flag, so a Runtime built against the (disabled)
+// default registry pays one atomic load per task.
+//
+// Exported names, all under the "sched." prefix:
+//
+//	sched.tasks_submitted            counter
+//	sched.tasks_completed            counter
+//	sched.ready_depth                gauge (current ready-queue length)
+//	sched.ready_high_water           gauge (max ready-queue length seen)
+//	sched.worker.<id>.busy_ns        counter (time inside task bodies)
+//	sched.worker.<id>.idle_ns        counter (time waiting for work)
+//	sched.kernel.<name>.tasks        counter
+//	sched.kernel.<name>.ns           counter (total execution time)
+//	sched.kernel.<name>.latency_ns   histogram (per-task execution time)
+//
+// Runtimes sharing a registry (the default) aggregate into the same names.
+type rtMetrics struct {
+	reg       *metrics.Registry
+	submitted *metrics.Counter
+	completed *metrics.Counter
+	depth     *metrics.Gauge
+	highWater *metrics.Gauge
+	busy      []*metrics.Counter
+	idle      []*metrics.Counter
+
+	kernels sync.Map // kernel name -> *kernelStats
+}
+
+type kernelStats struct {
+	tasks *metrics.Counter
+	ns    *metrics.Counter
+	lat   *metrics.Histogram
+}
+
+func newRTMetrics(reg *metrics.Registry, workers int) *rtMetrics {
+	m := &rtMetrics{
+		reg:       reg,
+		submitted: reg.Counter("sched.tasks_submitted"),
+		completed: reg.Counter("sched.tasks_completed"),
+		depth:     reg.Gauge("sched.ready_depth"),
+		highWater: reg.Gauge("sched.ready_high_water"),
+		busy:      make([]*metrics.Counter, workers),
+		idle:      make([]*metrics.Counter, workers),
+	}
+	for w := 0; w < workers; w++ {
+		id := strconv.Itoa(w)
+		m.busy[w] = reg.Counter("sched.worker." + id + ".busy_ns")
+		m.idle[w] = reg.Counter("sched.worker." + id + ".idle_ns")
+	}
+	return m
+}
+
+func (m *rtMetrics) on() bool { return m.reg.Enabled() }
+
+// taskSubmitted records one submission.
+func (m *rtMetrics) taskSubmitted() { m.submitted.Inc() }
+
+// readyLen publishes the ready-queue length after an enqueue or dequeue,
+// maintaining the high-water mark. Called with Runtime.mu held.
+func (m *rtMetrics) readyLen(n int) {
+	m.depth.Set(float64(n))
+	m.highWater.SetMax(float64(n))
+}
+
+// taskDone records one completed task for worker w with execution time ns.
+func (m *rtMetrics) taskDone(name string, w int, ns int64) {
+	if !m.on() {
+		return
+	}
+	m.completed.Inc()
+	m.busy[w].Add(ns)
+	ks := m.kernel(name)
+	ks.tasks.Inc()
+	ks.ns.Add(ns)
+	ks.lat.Observe(ns)
+}
+
+// workerIdle records ns nanoseconds worker w spent without a task.
+func (m *rtMetrics) workerIdle(w int, ns int64) {
+	if !m.on() {
+		return
+	}
+	m.idle[w].Add(ns)
+}
+
+// kernel resolves (creating on first use) the per-kernel metric bundle.
+func (m *rtMetrics) kernel(name string) *kernelStats {
+	if name == "" {
+		name = "anon"
+	}
+	if v, ok := m.kernels.Load(name); ok {
+		return v.(*kernelStats)
+	}
+	ks := &kernelStats{
+		tasks: m.reg.Counter("sched.kernel." + name + ".tasks"),
+		ns:    m.reg.Counter("sched.kernel." + name + ".ns"),
+		lat:   m.reg.Histogram("sched.kernel." + name + ".latency_ns"),
+	}
+	v, _ := m.kernels.LoadOrStore(name, ks)
+	return v.(*kernelStats)
+}

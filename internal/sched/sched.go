@@ -26,6 +26,8 @@ package sched
 import (
 	"container/heap"
 	"sync"
+
+	"exadla/internal/metrics"
 )
 
 // Handle identifies a datum (typically one matrix tile) for dependence
@@ -80,6 +82,7 @@ type Runtime struct {
 	panicked any // first task panic, re-raised by Wait
 
 	tracer Tracer
+	met    *rtMetrics
 }
 
 // access records the dependence frontier for one handle.
@@ -104,6 +107,14 @@ func WithTracer(tr Tracer) Option {
 	return func(r *Runtime) { r.tracer = tr }
 }
 
+// WithMetrics directs the runtime's instrumentation (task counts, queue
+// depth, worker occupancy, per-kernel latency histograms) at reg instead of
+// the package-wide metrics.Default() registry. Passing nil silences the
+// runtime's metrics entirely.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(r *Runtime) { r.met = newRTMetrics(reg, r.workers) }
+}
+
 // New creates a Runtime with the given number of worker goroutines
 // (minimum 1). Call Shutdown when done.
 func New(workers int, opts ...Option) *Runtime {
@@ -117,6 +128,9 @@ func New(workers int, opts ...Option) *Runtime {
 	r.cond = sync.NewCond(&r.mu)
 	for _, o := range opts {
 		o(r)
+	}
+	if r.met == nil {
+		r.met = newRTMetrics(metrics.Default(), workers)
 	}
 	for w := 0; w < workers; w++ {
 		go r.worker(w)
@@ -138,6 +152,7 @@ func (r *Runtime) Submit(t Task) {
 	n.seq = r.seq
 	r.seq++
 	r.inFlight++
+	r.met.taskSubmitted()
 	r.link(n)
 	if n.nDeps == 0 {
 		r.enqueueLocked(n)
@@ -195,11 +210,13 @@ func (r *Runtime) enqueueLocked(n *node) {
 	}
 	n.enqueued = true
 	heap.Push(&r.ready, n)
+	r.met.readyLen(len(r.ready))
 	r.cond.Broadcast()
 }
 
 func (r *Runtime) worker(id int) {
 	clock := newTraceClock()
+	idleFrom := clock.now()
 	for {
 		r.mu.Lock()
 		for len(r.ready) == 0 && !r.shutdown {
@@ -207,19 +224,24 @@ func (r *Runtime) worker(id int) {
 		}
 		if r.shutdown && len(r.ready) == 0 {
 			r.mu.Unlock()
+			r.met.workerIdle(id, clock.now()-idleFrom)
 			return
 		}
 		n := heap.Pop(&r.ready).(*node)
+		r.met.readyLen(len(r.ready))
 		r.mu.Unlock()
 
 		start := clock.now()
+		r.met.workerIdle(id, start-idleFrom)
 		if n.task.Fn != nil {
 			r.runTask(n)
 		}
 		end := clock.now()
+		idleFrom = end
 		if r.tracer != nil {
 			r.tracer.TaskRan(n.task.Name, id, start, end)
 		}
+		r.met.taskDone(n.task.Name, id, end-start)
 
 		r.mu.Lock()
 		n.done = true

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The stress tests drive the Runtime with thousands of tiny tasks over
+// overlapping read/write handle sets and verify dependence correctness with
+// a per-handle version harness:
+//
+//   - at submission time (sequential) each task records the version every
+//     handle it touches must have when the task runs, derived from a model
+//     where each write increments the handle's version;
+//   - at execution time the task checks the live versions against the
+//     recorded ones and writers bump them.
+//
+// The live version slots are deliberately plain (non-atomic) int64s: the
+// scheduler's dependence edges are the only thing ordering conflicting
+// accesses, so under `go test -race` any missing RAW/WAR/WAW edge surfaces
+// either as a race report or as a version mismatch.
+
+// violationLog collects dependence violations observed inside tasks.
+type violationLog struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (v *violationLog) addf(format string, args ...any) {
+	v.mu.Lock()
+	if len(v.msgs) < 20 { // enough to diagnose, bounded to keep failures readable
+		v.msgs = append(v.msgs, fmt.Sprintf(format, args...))
+	}
+	v.mu.Unlock()
+}
+
+// pickDistinct draws k distinct ints in [0, n).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		h := rng.Intn(n)
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func runVersionStress(t *testing.T, workers, nHandles, nTasks int, barrierEvery int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rt := New(workers, WithMetrics(nil))
+	defer rt.Shutdown()
+
+	live := make([]int64, nHandles)      // mutated only inside tasks
+	simulated := make([]int64, nHandles) // submission-time model
+	var viol violationLog
+
+	for i := 0; i < nTasks; i++ {
+		reads := pickDistinct(rng, nHandles, 1+rng.Intn(3))
+		writes := pickDistinct(rng, nHandles, 1+rng.Intn(2))
+
+		// Expected version per touched handle, from the sequential model.
+		expect := make(map[int]int64, len(reads)+len(writes))
+		for _, h := range reads {
+			expect[h] = simulated[h]
+		}
+		for _, h := range writes {
+			expect[h] = simulated[h]
+		}
+		for _, h := range writes {
+			simulated[h]++
+		}
+
+		rh := make([]Handle, len(reads))
+		for i, h := range reads {
+			rh[i] = h
+		}
+		wh := make([]Handle, len(writes))
+		for i, h := range writes {
+			wh[i] = h
+		}
+		task, myReads, myWrites := i, reads, writes
+		rt.Submit(Task{
+			Name:     "tiny",
+			Reads:    rh,
+			Writes:   wh,
+			Priority: rng.Intn(5),
+			Fn: func() {
+				for _, h := range myReads {
+					if v := live[h]; v != expect[h] {
+						viol.addf("task %d read handle %d at version %d, want %d", task, h, v, expect[h])
+					}
+				}
+				for _, h := range myWrites {
+					if v := live[h]; v != expect[h] {
+						viol.addf("task %d wrote handle %d at version %d, want %d", task, h, v, expect[h])
+					}
+					live[h] = expect[h] + 1
+				}
+			},
+		})
+		if barrierEvery > 0 && i%barrierEvery == barrierEvery-1 {
+			rt.Wait()
+		}
+	}
+	rt.Wait()
+
+	if len(viol.msgs) > 0 {
+		for _, m := range viol.msgs {
+			t.Error(m)
+		}
+		t.Fatalf("%d+ dependence violations", len(viol.msgs))
+	}
+	for h := range live {
+		if live[h] != simulated[h] {
+			t.Fatalf("handle %d finished at version %d, model says %d", h, live[h], simulated[h])
+		}
+	}
+}
+
+// TestRuntimeStressVersions is the pure-dataflow stress: one big DAG, no
+// intermediate barriers, heavy handle contention.
+func TestRuntimeStressVersions(t *testing.T) {
+	nTasks := 4000
+	if testing.Short() {
+		nTasks = 800
+	}
+	runVersionStress(t, 8, 16, nTasks, 0, 1)
+}
+
+// TestRuntimeStressVersionsWide uses many handles (sparser conflicts, more
+// genuine parallelism) so enqueue/dequeue paths race harder.
+func TestRuntimeStressVersionsWide(t *testing.T) {
+	nTasks := 4000
+	if testing.Short() {
+		nTasks = 800
+	}
+	runVersionStress(t, 8, 128, nTasks, 0, 2)
+}
+
+// TestRuntimeStressVersionsWithBarriers interleaves Wait calls, exercising
+// the fork–join path of the same harness.
+func TestRuntimeStressVersionsWithBarriers(t *testing.T) {
+	nTasks := 2000
+	if testing.Short() {
+		nTasks = 500
+	}
+	runVersionStress(t, 4, 24, nTasks, 97, 3)
+}
+
+// TestRuntimeStressConcurrentSubmit stresses Submit racing with execution:
+// a producer goroutine keeps submitting chains while workers drain them.
+func TestRuntimeStressConcurrentSubmit(t *testing.T) {
+	const chains, depth = 32, 50
+	rt := New(8, WithMetrics(nil))
+	defer rt.Shutdown()
+
+	counts := make([]int64, chains) // each chain serializes on its own handle
+	var wg sync.WaitGroup
+	for c := 0; c < chains; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := 0; d < depth; d++ {
+				rt.Submit(Task{
+					Name:   "chain",
+					Writes: []Handle{c},
+					Fn:     func() { counts[c]++ },
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Wait()
+	for c, got := range counts {
+		if got != depth {
+			t.Fatalf("chain %d ran %d links, want %d", c, got, depth)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package tile
+
+import (
+	"time"
+
+	"exadla/internal/metrics"
+)
+
+// Layout-conversion accounting in the default metrics registry:
+//
+//	tile.convert_ns     — wall time spent converting between column-major
+//	                      and tiled layout (FromColMajor + ToColMajor)
+//	tile.convert_elems  — elements moved by those conversions
+//
+// Conversions sit outside the task DAG, so their cost is pure overhead
+// relative to an application that keeps data tiled end to end; the ratio of
+// tile.convert_ns to scheduler busy time shows how much a benchmark pays
+// for the legacy interface.
+var (
+	convertNs    = metrics.Default().Counter("tile.convert_ns")
+	convertElems = metrics.Default().Counter("tile.convert_elems")
+)
+
+// convertDone records one finished layout conversion of elems elements
+// started at start (zero start means metrics were disabled at entry).
+func convertDone(start time.Time, elems int64) {
+	if start.IsZero() {
+		return
+	}
+	convertNs.Add(time.Since(start).Nanoseconds())
+	convertElems.Add(elems)
+}
+
+// convertStart returns the conversion start time, or the zero time when
+// metrics are disabled so the exit path is free.
+func convertStart() time.Time {
+	if !metrics.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}

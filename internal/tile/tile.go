@@ -125,6 +125,8 @@ func (a *Matrix[T]) Set(i, j int, v T) {
 // FromColMajor converts an m×n column-major matrix with leading dimension
 // lda into tiled layout with tile size nb.
 func FromColMajor[T blas.Float](m, n int, src []T, lda, nb int) *Matrix[T] {
+	start := convertStart()
+	defer func() { convertDone(start, int64(m)*int64(n)) }()
 	a := New[T](m, n, nb)
 	for tj := 0; tj < a.NT; tj++ {
 		tc := a.TileCols(tj)
@@ -143,6 +145,8 @@ func FromColMajor[T blas.Float](m, n int, src []T, lda, nb int) *Matrix[T] {
 // ToColMajor converts the tiled matrix back to column-major with leading
 // dimension m.
 func (a *Matrix[T]) ToColMajor() []T {
+	start := convertStart()
+	defer func() { convertDone(start, int64(a.M)*int64(a.N)) }()
 	out := make([]T, a.M*a.N)
 	for tj := 0; tj < a.NT; tj++ {
 		tc := a.TileCols(tj)
