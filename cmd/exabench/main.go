@@ -40,10 +40,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: e1..e8 or all")
 	quick := flag.Bool("quick", false, "use reduced sizes for a fast pass")
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and dump a JSON snapshot per experiment")
+	faults := flag.Bool("faults", false, "run the fault-injection mode instead of the experiment suite")
 	flag.Parse()
 
 	if *showMetrics {
 		metrics.Enable()
+	}
+	if *faults {
+		fmt.Printf("\n=== fault injection: chaos retries and ABFT recovery ===\n\n")
+		runFaults(*quick)
+		return
 	}
 	want := strings.ToLower(*exp)
 	ran := false

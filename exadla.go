@@ -22,8 +22,11 @@ package exadla
 
 import (
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"exadla/internal/autotune"
+	"exadla/internal/ft"
 	"exadla/internal/metrics"
 	"exadla/internal/sched"
 	"exadla/internal/trace"
@@ -43,6 +46,20 @@ type Context struct {
 	tileSize int
 	tracing  bool
 	tuning   *autotune.Table
+
+	// Fault-tolerance configuration (fault.go).
+	faultTolerant bool
+	retryMax      int
+	retryBackoff  time.Duration
+	retrySet      bool
+	chaosSeed     int64
+	chaosProb     float64
+	chaosSet      bool
+
+	// Fault-tolerance counters (see Context.FaultStats).
+	ftStats ft.Stats
+	retried atomic.Int64
+	failed  atomic.Int64
 
 	rt  *sched.Runtime
 	log *trace.Log
@@ -121,6 +138,7 @@ func NewContext(opts ...Option) *Context {
 		c.log = trace.NewLog()
 		schedOpts = append(schedOpts, sched.WithTracer(c.log))
 	}
+	schedOpts = append(schedOpts, c.faultSchedOpts()...)
 	c.rt = sched.New(c.workers, schedOpts...)
 	return c
 }

@@ -1,0 +1,120 @@
+package exadla
+
+import (
+	"time"
+
+	"exadla/internal/core"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// WithFaultTolerance routes Cholesky, SolveSPD, LU and Solve through the
+// ABFT-protected tile factorizations: per-tile checksums are carried (or
+// recorded) alongside the numerical tiles, verified after each panel step,
+// and detected corruption is corrected in place and re-verified through the
+// scheduler's retry path. If no retry policy was configured explicitly
+// (WithTaskRetry), a default of 3 attempts with no backoff is installed,
+// since recovery re-execution rides on task retries. Counts are reported by
+// Context.FaultStats.
+func WithFaultTolerance() Option {
+	return func(c *Context) { c.faultTolerant = true }
+}
+
+// WithTaskRetry installs the scheduler retry policy: a transiently failed
+// task is re-enqueued up to max times, with capped exponential backoff
+// starting at the given delay (0 retries immediately). See sched.WithRetry.
+func WithTaskRetry(max int, backoff time.Duration) Option {
+	return func(c *Context) {
+		c.retryMax, c.retryBackoff = max, backoff
+		c.retrySet = true
+	}
+}
+
+// WithChaos arms the scheduler's seeded fault-injection layer: every task
+// attempt fails with probability taskFailProb before its body runs. Combine
+// with WithTaskRetry to exercise recovery, or leave retries off to observe
+// failure aggregation. For the delay distribution variant use the sched
+// package directly.
+func WithChaos(seed int64, taskFailProb float64) Option {
+	return func(c *Context) {
+		c.chaosSeed, c.chaosProb = seed, taskFailProb
+		c.chaosSet = true
+	}
+}
+
+// FaultStats is a point-in-time snapshot of the Context's fault-tolerance
+// counters, accumulated across operations since the Context was created.
+type FaultStats struct {
+	// Injected counts corruptions introduced through an injection hook
+	// (exabench's fault driver; zero in production use).
+	Injected int64
+	// Detected counts verification events that found checksum faults, and
+	// Corrected / Unlocated the per-fault outcomes.
+	Detected, Corrected, Unlocated int64
+	// Retried counts task attempts re-enqueued by the scheduler's retry
+	// policy; Failed counts task failures that exhausted it (or were not
+	// retryable).
+	Retried, Failed int64
+}
+
+// FaultStats reports the fault-tolerance counters.
+func (c *Context) FaultStats() FaultStats {
+	return FaultStats{
+		Injected:  c.ftStats.Injected.Load(),
+		Detected:  c.ftStats.Detected.Load(),
+		Corrected: c.ftStats.Corrected.Load(),
+		Unlocated: c.ftStats.Unlocated.Load(),
+		Retried:   c.retried.Load(),
+		Failed:    c.failed.Load(),
+	}
+}
+
+// faultSchedOpts assembles the scheduler options implied by the Context's
+// fault-tolerance configuration.
+func (c *Context) faultSchedOpts() []sched.Option {
+	var opts []sched.Option
+	retryMax, backoff := c.retryMax, c.retryBackoff
+	if !c.retrySet && c.faultTolerant {
+		retryMax, backoff = 3, 0
+	}
+	if retryMax > 0 {
+		opts = append(opts, sched.WithRetry(retryMax, backoff))
+	}
+	if c.chaosSet {
+		opts = append(opts, sched.WithChaos(c.chaosSeed, c.chaosProb, nil))
+	}
+	if retryMax > 0 || c.chaosSet || c.faultTolerant {
+		opts = append(opts, sched.WithFailureObserver(func(ev sched.FailureEvent) {
+			if ev.Retrying {
+				c.retried.Add(1)
+			} else {
+				c.failed.Add(1)
+			}
+		}))
+	}
+	return opts
+}
+
+// ftOptions builds the per-operation resilience options. Corruption
+// injection hooks are deliberately not part of the public surface — the
+// benchmark fault driver and the tests use internal/core directly.
+func (c *Context) ftOptions() core.FTOptions {
+	return core.FTOptions{Stats: &c.ftStats}
+}
+
+// cholesky routes to the resilient or plain tile factorization per the
+// Context configuration.
+func (c *Context) cholesky(t *tile.Matrix[float64]) error {
+	if c.faultTolerant {
+		return core.ResilientCholesky(c.scheduler(), t, c.ftOptions())
+	}
+	return core.Cholesky(c.scheduler(), t)
+}
+
+// lu routes to the resilient or plain tile LU factorization.
+func (c *Context) lu(t *tile.Matrix[float64]) (*core.LUFactors[float64], error) {
+	if c.faultTolerant {
+		return core.ResilientLU(c.scheduler(), t, c.ftOptions())
+	}
+	return core.LU(c.scheduler(), t)
+}

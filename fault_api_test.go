@@ -1,0 +1,123 @@
+package exadla_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"exadla"
+)
+
+// spdSystem builds a well-conditioned SPD system with a known solution.
+func spdSystem(t *testing.T, rng *rand.Rand, n int) (a, b, x *exadla.Matrix) {
+	t.Helper()
+	a = exadla.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			v := rng.Float64() - 0.5
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Set(j, j, float64(n))
+	}
+	x = exadla.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+	}
+	b = exadla.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x.At(j, 0)
+		}
+		b.Set(i, 0, s)
+	}
+	return a, b, x
+}
+
+func maxErr(got, want *exadla.Matrix, n int) float64 {
+	var d float64
+	for i := 0; i < n; i++ {
+		if v := math.Abs(got.At(i, 0) - want.At(i, 0)); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestFaultToleranceSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const n = 160
+	a, b, x := spdSystem(t, rng, n)
+	ctx := newCtx(t, exadla.WithFaultTolerance(), exadla.WithTileSize(48))
+	got, err := ctx.SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxErr(got, x, n); d > 1e-8 {
+		t.Errorf("solution error %g", d)
+	}
+	st := ctx.FaultStats()
+	if st.Detected != 0 || st.Failed != 0 {
+		t.Errorf("clean fault-tolerant solve reported stats %+v", st)
+	}
+}
+
+func TestFaultToleranceSolveGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const n = 160
+	a, b, x := spdSystem(t, rng, n)
+	ctx := newCtx(t, exadla.WithFaultTolerance(), exadla.WithTileSize(48))
+	got, err := ctx.Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxErr(got, x, n); d > 1e-8 {
+		t.Errorf("solution error %g", d)
+	}
+}
+
+// TestChaosSolveRecovers: a chaos-armed Context with retries still solves
+// correctly and reports the retries it absorbed.
+func TestChaosSolveRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	const n = 160
+	a, b, x := spdSystem(t, rng, n)
+	ctx := newCtx(t,
+		exadla.WithChaos(2016, 0.05),
+		exadla.WithTaskRetry(50, 0),
+		exadla.WithTileSize(48),
+	)
+	got, err := ctx.SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxErr(got, x, n); d > 1e-8 {
+		t.Errorf("solution error %g", d)
+	}
+	if st := ctx.FaultStats(); st.Retried == 0 {
+		t.Error("chaos run reported 0 retried tasks")
+	}
+}
+
+// TestChaosSolveWithoutRetryFails: with retries off, the same chaos seed
+// surfaces an aggregated failure naming the killed kernel instead of
+// panicking.
+func TestChaosSolveWithoutRetryFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	const n = 160
+	a, b, _ := spdSystem(t, rng, n)
+	ctx := newCtx(t, exadla.WithChaos(2016, 0.05), exadla.WithTileSize(48))
+	_, err := ctx.SolveSPD(a, b)
+	if err == nil {
+		t.Fatal("chaos without retries returned nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "failed") || !strings.Contains(msg, "chaos") {
+		t.Errorf("error %q does not describe the chaos-killed task", msg)
+	}
+	if st := ctx.FaultStats(); st.Failed == 0 {
+		t.Error("no failed tasks counted")
+	}
+}

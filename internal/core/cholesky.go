@@ -14,8 +14,7 @@ import (
 func Cholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) error {
 	es := &errState{}
 	submitCholesky(s, a, es, false)
-	s.Wait()
-	return es.get()
+	return finishErr(es, s)
 }
 
 // CholeskyForkJoin is the block-synchronous baseline: identical tile
@@ -24,8 +23,7 @@ func Cholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) error {
 func CholeskyForkJoin[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) error {
 	es := &errState{}
 	submitCholesky(s, a, es, true)
-	s.Wait()
-	return es.get()
+	return finishErr(es, s)
 }
 
 // submitCholesky submits the tile Cholesky DAG. With forkJoin set it
@@ -249,6 +247,5 @@ func Posv[F blas.Float](s sched.Scheduler, a, b *tile.Matrix[F]) error {
 	submitCholesky(s, a, es, false)
 	TrsmLower(s, blas.NoTrans, a, b)
 	TrsmLower(s, blas.Trans, a, b)
-	s.Wait()
-	return es.get()
+	return finishErr(es, s)
 }

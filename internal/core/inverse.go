@@ -146,8 +146,7 @@ func Potri[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) error {
 	submitCholesky(s, a, es, false)
 	TrtriLower(s, a, es)
 	LauumLower(s, a)
-	s.Wait()
-	return es.get()
+	return finishErr(es, s)
 }
 
 // TrtriLowerForTest runs TrtriLower with a private error state, for tests.

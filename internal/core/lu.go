@@ -38,8 +38,7 @@ func LU[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) (*LUFactors[F], erro
 	f := newLUFactors(a)
 	es := &errState{}
 	submitLU(s, f, es, false)
-	s.Wait()
-	return f, es.get()
+	return f, finishErr(es, s)
 }
 
 // LUForkJoin is the block-synchronous baseline of LU.
@@ -47,8 +46,7 @@ func LUForkJoin[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) (*LUFactors[
 	f := newLUFactors(a)
 	es := &errState{}
 	submitLU(s, f, es, true)
-	s.Wait()
-	return f, es.get()
+	return f, finishErr(es, s)
 }
 
 func newLUFactors[F blas.Float](a *tile.Matrix[F]) *LUFactors[F] {
@@ -263,6 +261,5 @@ func Gesv[F blas.Float](s sched.Scheduler, a, b *tile.Matrix[F]) (*LUFactors[F],
 	submitLU(s, f, es, false)
 	ApplyLU(s, f, b)
 	TrsmUpper(s, a, b)
-	s.Wait()
-	return f, es.get()
+	return f, finishErr(es, s)
 }

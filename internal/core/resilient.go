@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"exadla/internal/blas"
+	"exadla/internal/ft"
+	"exadla/internal/lapack"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// This file implements the ABFT-protected tile factorizations: Cholesky and
+// LU variants that carry per-tile column checksums alongside the numerical
+// tiles, verify them as the factorization proceeds, and recover from silent
+// data corruption by correcting the located entry in place and re-running
+// the verification through the scheduler's retry path ("at extreme scale,
+// faults are the norm" — the runtime treats corruption like any other
+// transient task failure).
+//
+// Protection model, Cholesky (maintained checksums): every strictly-lower
+// tile A[i][j] carries a 2×nb checksum pair (plain and weighted column sums,
+// see ft.ColSums) initialised before submission and updated through the same
+// BLAS operations as the tile itself — a right-side trsm or gemm applies
+// identically to the 2-row pair, which is what keeps the sums independent
+// witnesses. Diagonal tiles are witnessed by a snapshot taken inside the
+// potrf task (ft.TrilColSums) immediately after the panel factorization.
+// Verification tasks after each panel step compare tiles against their
+// checksums; a located fault is corrected in place and reported as a
+// retryable *ft.CorruptionError, so the scheduler re-runs the verification,
+// which passes once the correction holds. Unlocatable faults keep failing
+// and surface as a permanent task failure through WaitErr.
+//
+// Protection model, LU (post-hoc records): incremental pivoting reorders
+// rows dynamically, so checksums cannot be carried through tstrf/ssssm the
+// way they survive Cholesky's updates. Instead a record task snapshots each
+// tile's column sums the moment the factorization finishes writing it
+// (row-k tiles after step k's update sweep, sub-diagonal tiles after their
+// tstrf); verification re-sums the unchanged data, so any later corruption
+// of the finalized factor is detected and corrected. Corruption of a tile
+// while it is still being updated is outside this model — the weaker
+// guarantee is the price of pivoting.
+
+// FTOptions configures the resilient factorizations.
+type FTOptions struct {
+	// VerifyEvery verifies checksummed tiles after every VerifyEvery-th
+	// panel step; 0 means 1 (every step). Sparser verification trades
+	// detection latency for overhead: a fault that propagates through
+	// unverified updates may become unlocatable and fail the run instead
+	// of being corrected.
+	VerifyEvery int
+	// NoFinalVerify skips the whole-factor verification sweep that
+	// otherwise runs after the last step.
+	NoFinalVerify bool
+	// InjectHook, if non-nil, is called once per panel step between the
+	// step's checksum snapshot and its verification, with write access to
+	// the step's panel tiles (Cholesky: column k at and below the
+	// diagonal; LU: the tiles finalized by step k). Tests and the
+	// exabench fault driver use it to corrupt data mid-factorization.
+	InjectHook func(step int, a *tile.Matrix[float64])
+	// Stats, if non-nil, accumulates detection/correction counts.
+	Stats *ft.Stats
+}
+
+func (o FTOptions) verifyStep(k int) bool {
+	ve := o.VerifyEvery
+	if ve < 1 {
+		ve = 1
+	}
+	return k%ve == 0
+}
+
+// schedWait drains the scheduler and returns its aggregated task failures
+// when it supports the error-returning wait (sched.Runtime and
+// sched.Recorder both do); a plain Scheduler just waits.
+func schedWait(s sched.Scheduler) error {
+	if ew, ok := s.(sched.ErrorWaiter); ok {
+		return ew.WaitErr()
+	}
+	s.Wait()
+	return nil
+}
+
+// finishErr is the common driver epilogue: drain the scheduler, then merge
+// the algorithm's own error state with the runtime's aggregated task
+// failures. A sole error is returned unwrapped, preserving the historical
+// concrete error types (e.g. *lapack.NotPositiveDefiniteError) that callers
+// type-assert on.
+func finishErr(es *errState, s sched.Scheduler) error {
+	werr := schedWait(s)
+	err := es.get()
+	switch {
+	case err == nil:
+		return werr
+	case werr == nil:
+		return err
+	}
+	return errors.Join(err, werr)
+}
+
+// resilientState owns the checksum storage of one resilient factorization.
+type resilientState struct {
+	a *tile.Matrix[float64]
+	// sums[i+j*MT] is the 2×TileCols(j) checksum pair of tile (i, j);
+	// entries are allocated only for protected tiles.
+	sums [][]float64
+	// diag[k] is the post-potrf lower-triangle witness of tile (k, k)
+	// (Cholesky only), written inside the potrf task.
+	diag [][]float64
+	tol  float64
+	opt  FTOptions
+}
+
+// sumHandle is the scheduler identity of one tile's checksum pair, so tasks
+// that update or read checksums declare them like any other datum.
+type sumHandle struct {
+	st   *resilientState
+	i, j int
+}
+
+func (st *resilientState) handle(i, j int) sched.Handle { return sumHandle{st, i, j} }
+
+func (st *resilientState) sum(i, j int) []float64 { return st.sums[i+j*st.a.MT] }
+
+// maxAbsLower returns the max-abs norm over the referenced (lower) region
+// of a symmetric tiled matrix.
+func maxAbsLower(a *tile.Matrix[float64]) float64 {
+	var norm float64
+	for j := 0; j < a.NT; j++ {
+		for i := j; i < a.MT; i++ {
+			t := a.Tile(i, j)
+			ld := a.TileRows(i)
+			for c := 0; c < a.TileCols(j); c++ {
+				lo := 0
+				if i == j {
+					lo = c
+				}
+				for r := lo; r < a.TileRows(i); r++ {
+					if av := math.Abs(t[r+c*ld]); av > norm {
+						norm = av
+					}
+				}
+			}
+		}
+	}
+	return norm
+}
+
+func maxAbs(a *tile.Matrix[float64]) float64 {
+	var norm float64
+	for j := 0; j < a.NT; j++ {
+		for i := 0; i < a.MT; i++ {
+			for _, v := range a.Tile(i, j) {
+				if av := math.Abs(v); av > norm {
+					norm = av
+				}
+			}
+		}
+	}
+	return norm
+}
+
+// ResilientCholesky computes the tile Cholesky factorization like Cholesky,
+// with ABFT checksum protection per FTOptions. Detected corruption is
+// corrected in place and re-verified through the scheduler's retry path, so
+// the scheduler should have a retry policy installed (sched.WithRetry);
+// without one the first detection fails the factorization even when the
+// correction succeeded.
+func ResilientCholesky(s sched.Scheduler, a *tile.Matrix[float64], opt FTOptions) error {
+	if a.M != a.N {
+		panic("core: Cholesky needs a square matrix")
+	}
+	st := &resilientState{
+		a:    a,
+		sums: make([][]float64, a.MT*a.NT),
+		diag: make([][]float64, a.NT),
+		opt:  opt,
+		tol:  ft.DetectTol(maxAbsLower(a), a.N),
+	}
+	// Initial checksums of every strictly-lower tile; they are maintained
+	// through each update the tile receives. Diagonal witnesses are filled
+	// by the potrf tasks.
+	for j := 0; j < a.NT; j++ {
+		st.diag[j] = make([]float64, 2*a.TileCols(j))
+		for i := j + 1; i < a.MT; i++ {
+			sums := make([]float64, 2*a.TileCols(j))
+			ft.ColSums(a.TileRows(i), a.TileCols(j), a.Tile(i, j), a.TileRows(i), sums)
+			st.sums[i+j*a.MT] = sums
+		}
+	}
+	submitResilientCholesky(s, st)
+	return schedWait(s)
+}
+
+func submitResilientCholesky(s sched.Scheduler, st *resilientState) {
+	a := st.a
+	nt := a.NT
+	for k := 0; k < nt; k++ {
+		k := k
+		s.Submit(sched.Task{
+			Name:     "potrf",
+			Priority: prioPanel(k, nt),
+			Writes:   []sched.Handle{a.Handle(k, k)},
+			FnErr: timedErr(panelNs, func() error {
+				n := a.TileCols(k)
+				t := a.Tile(k, k)
+				ld := a.TileRows(k)
+				if err := lapack.Potf2(blas.Lower, n, t, ld); err != nil {
+					perr := err.(*lapack.NotPositiveDefiniteError)
+					return sched.Permanent(&lapack.NotPositiveDefiniteError{Index: k*a.NB + perr.Index})
+				}
+				// Witness the freshly factored diagonal tile before anyone
+				// else (including an injection hook) can touch it.
+				ft.TrilColSums(n, t, ld, st.diag[k])
+				return nil
+			}),
+		})
+		if st.opt.InjectHook != nil {
+			writes := []sched.Handle{a.Handle(k, k)}
+			for i := k + 1; i < a.MT; i++ {
+				writes = append(writes, a.Handle(i, k))
+			}
+			s.Submit(sched.Task{
+				Name:     "inject",
+				Priority: prioPanel(k, nt),
+				Writes:   writes,
+				Fn:       func() { st.opt.InjectHook(k, a) },
+			})
+		}
+		if st.opt.verifyStep(k) {
+			s.Submit(sched.Task{
+				Name:     "verify",
+				Priority: prioPanel(k, nt),
+				Writes:   []sched.Handle{a.Handle(k, k)},
+				FnErr: func() error {
+					return st.verifyTile(k, k)
+				},
+			})
+		}
+		for i := k + 1; i < a.MT; i++ {
+			i := i
+			s.Submit(sched.Task{
+				Name:     "trsm",
+				Priority: prioSolve(k, nt),
+				Reads:    []sched.Handle{a.Handle(k, k)},
+				Writes:   []sched.Handle{a.Handle(i, k), st.handle(i, k)},
+				Fn: timed(solveNs, func() {
+					// A[i][k] ← A[i][k]·L[k][k]⁻ᵀ, and the 2×nb checksum
+					// pair through the identical right-side solve.
+					blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
+						a.TileRows(i), a.TileCols(k), 1,
+						a.Tile(k, k), a.TileRows(k), a.Tile(i, k), a.TileRows(i))
+					blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
+						2, a.TileCols(k), 1,
+						a.Tile(k, k), a.TileRows(k), st.sum(i, k), 2)
+				}),
+			})
+			if st.opt.verifyStep(k) {
+				s.Submit(sched.Task{
+					Name:     "verify",
+					Priority: prioSolve(k, nt),
+					Reads:    []sched.Handle{st.handle(i, k)},
+					Writes:   []sched.Handle{a.Handle(i, k)},
+					FnErr: func() error {
+						return st.verifyTile(i, k)
+					},
+				})
+			}
+		}
+		for j := k + 1; j < nt; j++ {
+			j := j
+			s.Submit(sched.Task{
+				Name:     "syrk",
+				Priority: prioUpdate(k, nt),
+				Reads:    []sched.Handle{a.Handle(j, k)},
+				Writes:   []sched.Handle{a.Handle(j, j)},
+				Fn: timed(updateNs, func() {
+					blas.Syrk(blas.Lower, blas.NoTrans, a.TileCols(j), a.TileCols(k),
+						-1, a.Tile(j, k), a.TileRows(j), 1, a.Tile(j, j), a.TileRows(j))
+				}),
+			})
+			for i := j + 1; i < a.MT; i++ {
+				i := i
+				s.Submit(sched.Task{
+					Name:     "gemm",
+					Priority: prioUpdate(k, nt),
+					Reads:    []sched.Handle{a.Handle(i, k), a.Handle(j, k), st.handle(i, k)},
+					Writes:   []sched.Handle{a.Handle(i, j), st.handle(i, j)},
+					Fn: timed(updateNs, func() {
+						// A[i][j] -= A[i][k]·A[j][k]ᵀ; the checksum pair of
+						// (i, j) follows via E·(A[i][k]·A[j][k]ᵀ) =
+						// (E·A[i][k])·A[j][k]ᵀ = sums[i][k]·A[j][k]ᵀ.
+						blas.Gemm(blas.NoTrans, blas.Trans,
+							a.TileRows(i), a.TileCols(j), a.TileCols(k),
+							-1, a.Tile(i, k), a.TileRows(i),
+							a.Tile(j, k), a.TileRows(j),
+							1, a.Tile(i, j), a.TileRows(i))
+						blas.Gemm(blas.NoTrans, blas.Trans,
+							2, a.TileCols(j), a.TileCols(k),
+							-1, st.sum(i, k), 2,
+							a.Tile(j, k), a.TileRows(j),
+							1, st.sum(i, j), 2)
+					}),
+				})
+			}
+		}
+	}
+	if !st.opt.NoFinalVerify {
+		writes := make([]sched.Handle, 0, nt*(nt+1)/2)
+		for j := 0; j < nt; j++ {
+			for i := j; i < a.MT; i++ {
+				writes = append(writes, a.Handle(i, j))
+			}
+		}
+		s.Submit(sched.Task{
+			Name:   "verify",
+			Writes: writes,
+			FnErr: func() error {
+				return st.sweep()
+			},
+		})
+	}
+}
+
+// verifyTile checks one tile against its checksums, corrects located faults
+// in place and reports the event as a retryable corruption error (the retry
+// re-runs this verification, which passes once the correction holds).
+func (st *resilientState) verifyTile(i, j int) error {
+	a := st.a
+	var faults []ft.Fault
+	if i == j {
+		faults = ft.VerifyTrilColSums(a.TileCols(j), a.Tile(j, j), a.TileRows(j), st.diag[j], st.tol)
+	} else {
+		faults = ft.VerifyColSums(a.TileRows(i), a.TileCols(j), a.Tile(i, j), a.TileRows(i), st.sums[i+j*a.MT], st.tol)
+	}
+	if len(faults) == 0 {
+		return nil
+	}
+	corrected := ft.CorrectColSums(a.Tile(i, j), a.TileRows(i), faults)
+	st.opt.Stats.Note(faults, corrected)
+	return &ft.CorruptionError{TileRow: i, TileCol: j, Faults: faults, Corrected: corrected}
+}
+
+// sweep verifies every protected tile of the finished factor, aggregating
+// faults across tiles into one retryable corruption error.
+func (st *resilientState) sweep() error {
+	a := st.a
+	var all []ft.Fault
+	corrected := 0
+	for j := 0; j < a.NT; j++ {
+		for i := j; i < a.MT; i++ {
+			err := st.verifyTile(i, j)
+			if err == nil {
+				continue
+			}
+			ce := err.(*ft.CorruptionError)
+			all = append(all, ce.Faults...)
+			corrected += ce.Corrected
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	return &ft.CorruptionError{TileRow: -1, TileCol: -1, Faults: all, Corrected: corrected}
+}
+
+// ResilientLU computes the tile LU factorization like LU, with post-hoc
+// checksum records per FTOptions (see the protection-model comment above).
+// Like ResilientCholesky it wants a scheduler retry policy installed.
+func ResilientLU(s sched.Scheduler, a *tile.Matrix[float64], opt FTOptions) (*LUFactors[float64], error) {
+	f := newLUFactors(a)
+	es := &errState{}
+	submitLU(s, f, es, false)
+	st := &resilientState{
+		a:    a,
+		sums: make([][]float64, a.MT*a.NT),
+		opt:  opt,
+		tol:  ft.DetectTol(maxAbs(a), max(a.M, a.N)),
+	}
+	submitLURecords(s, st)
+	return f, finishErr(es, s)
+}
+
+// submitLURecords submits, per factorization step, the record tasks that
+// snapshot each tile's checksums as it finalizes, the optional injection
+// hook, and the verification tasks. Dependences are derived per handle, so
+// although these tasks are submitted after the whole factorization DAG,
+// each record runs as soon as the factorization finishes writing its tile —
+// mid-factorization in dataflow time.
+func submitLURecords(s sched.Scheduler, st *resilientState) {
+	a := st.a
+	kt := min(a.MT, a.NT)
+	stepTiles := func(k int) [][2]int {
+		var tiles [][2]int
+		for j := k; j < a.NT; j++ {
+			tiles = append(tiles, [2]int{k, j})
+		}
+		for i := k + 1; i < a.MT; i++ {
+			tiles = append(tiles, [2]int{i, k})
+		}
+		return tiles
+	}
+	for k := 0; k < kt; k++ {
+		k := k
+		tiles := stepTiles(k)
+		for _, t := range tiles {
+			i, j := t[0], t[1]
+			sums := make([]float64, 2*a.TileCols(j))
+			st.sums[i+j*a.MT] = sums
+			s.Submit(sched.Task{
+				Name:     "record",
+				Priority: prioUpdate(k, kt),
+				Writes:   []sched.Handle{a.Handle(i, j), st.handle(i, j)},
+				Fn: func() {
+					ft.ColSums(a.TileRows(i), a.TileCols(j), a.Tile(i, j), a.TileRows(i), sums)
+				},
+			})
+		}
+		if st.opt.InjectHook != nil {
+			writes := make([]sched.Handle, 0, len(tiles))
+			for _, t := range tiles {
+				writes = append(writes, a.Handle(t[0], t[1]))
+			}
+			s.Submit(sched.Task{
+				Name:     "inject",
+				Priority: prioUpdate(k, kt),
+				Writes:   writes,
+				Fn:       func() { st.opt.InjectHook(k, a) },
+			})
+		}
+		if st.opt.verifyStep(k) {
+			for _, t := range tiles {
+				i, j := t[0], t[1]
+				s.Submit(sched.Task{
+					Name:     "verify",
+					Priority: prioUpdate(k, kt),
+					Reads:    []sched.Handle{st.handle(i, j)},
+					Writes:   []sched.Handle{a.Handle(i, j)},
+					FnErr: func() error {
+						return st.verifyLUTile(i, j)
+					},
+				})
+			}
+		}
+	}
+	if !st.opt.NoFinalVerify {
+		writes := make([]sched.Handle, 0, a.MT*a.NT)
+		for j := 0; j < a.NT; j++ {
+			for i := 0; i < a.MT; i++ {
+				if st.sums[i+j*a.MT] != nil {
+					writes = append(writes, a.Handle(i, j))
+				}
+			}
+		}
+		s.Submit(sched.Task{
+			Name:   "verify",
+			Writes: writes,
+			FnErr: func() error {
+				return st.luSweep()
+			},
+		})
+	}
+}
+
+// verifyLUTile is verifyTile for post-hoc records: all LU tiles carry full
+// (not lower-triangle) checksums, including the diagonal.
+func (st *resilientState) verifyLUTile(i, j int) error {
+	a := st.a
+	faults := ft.VerifyColSums(a.TileRows(i), a.TileCols(j), a.Tile(i, j), a.TileRows(i), st.sums[i+j*a.MT], st.tol)
+	if len(faults) == 0 {
+		return nil
+	}
+	corrected := ft.CorrectColSums(a.Tile(i, j), a.TileRows(i), faults)
+	st.opt.Stats.Note(faults, corrected)
+	return &ft.CorruptionError{TileRow: i, TileCol: j, Faults: faults, Corrected: corrected}
+}
+
+func (st *resilientState) luSweep() error {
+	a := st.a
+	var all []ft.Fault
+	corrected := 0
+	for j := 0; j < a.NT; j++ {
+		for i := 0; i < a.MT; i++ {
+			if st.sums[i+j*a.MT] == nil {
+				continue
+			}
+			err := st.verifyLUTile(i, j)
+			if err == nil {
+				continue
+			}
+			ce := err.(*ft.CorruptionError)
+			all = append(all, ce.Faults...)
+			corrected += ce.Corrected
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	return &ft.CorruptionError{TileRow: -1, TileCol: -1, Faults: all, Corrected: corrected}
+}

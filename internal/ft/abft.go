@@ -27,9 +27,36 @@ func (f Fault) String() string {
 	return fmt.Sprintf("fault at (%d,%d) Δ=%g", f.Row, f.Col, f.Delta)
 }
 
-// detectTol is the relative tolerance separating rounding noise from real
-// corruption in checksum comparisons.
+// detectTol is the legacy absolute tolerance separating rounding noise
+// from real corruption in checksum comparisons. It survives as the floor
+// of DetectTol, so well-scaled problems keep their historical behaviour.
 const detectTol = 1e-8
+
+// eps is the double-precision unit roundoff.
+const eps = 0x1p-52
+
+// detectFactor is the headroom multiplier over the worst-case checksum
+// rounding drift ‖A‖·n·ε that DetectTol allows before declaring
+// corruption.
+const detectFactor = 64
+
+// DetectTol returns the threshold separating checksum rounding drift from
+// real corruption for an n-dimensional computation on data of the given
+// norm (any consistent norm — max-abs is fine; pass 0 if unknown). The
+// scaled term ‖A‖·n·ε·factor tracks how legitimate drift grows with
+// problem size and data magnitude, so badly scaled matrices do not trip
+// false positives; the legacy constant detectTol (times n) remains the
+// floor, so the historical behaviour is the default for small norms.
+func DetectTol(norm float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	tol := norm * float64(n) * detectFactor * eps
+	if floor := detectTol * float64(n); tol < floor {
+		tol = floor
+	}
+	return tol
+}
 
 // ProtectedGemm computes C = A·B (A m×k, B k×n) with Huang–Abraham
 // checksums: A is extended with plain and row-weighted checksum rows, so
@@ -41,6 +68,10 @@ type ProtectedGemm struct {
 	C []float64
 	// Sum[j] and Weighted[j] carry eᵀC and wᵀC (w_i = i+1) per column.
 	Sum, Weighted []float64
+	// Norm bounds the magnitude of C's entries (max|A|·max|B|·k), set by
+	// Gemm and consumed by Verify's scaled detection tolerance. Zero means
+	// unknown: Verify falls back to the per-column scale and legacy floor.
+	Norm float64
 }
 
 // Gemm multiplies with checksum protection. The checksum rows are computed
@@ -50,6 +81,7 @@ type ProtectedGemm struct {
 func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int) *ProtectedGemm {
 	// Extended A: (m+2)×k with row m = eᵀA, row m+1 = wᵀA.
 	ext := make([]float64, (m+2)*k)
+	var maxA, maxB float64
 	for j := 0; j < k; j++ {
 		col := a[j*lda : j*lda+m]
 		var s, ws float64
@@ -57,9 +89,19 @@ func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int) *ProtectedGem
 			ext[i+j*(m+2)] = v
 			s += v
 			ws += float64(i+1) * v
+			if av := math.Abs(v); av > maxA {
+				maxA = av
+			}
 		}
 		ext[m+j*(m+2)] = s
 		ext[m+1+j*(m+2)] = ws
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < k; i++ {
+			if av := math.Abs(b[i+j*ldb]); av > maxB {
+				maxB = av
+			}
+		}
 	}
 	cext := make([]float64, (m+2)*n)
 	blas.Gemm(blas.NoTrans, blas.NoTrans, m+2, n, k, 1, ext, m+2, b, ldb, 0, cext, m+2)
@@ -67,6 +109,7 @@ func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int) *ProtectedGem
 		C:        make([]float64, m*n),
 		Sum:      make([]float64, n),
 		Weighted: make([]float64, n),
+		Norm:     maxA * maxB * float64(k),
 	}
 	for j := 0; j < n; j++ {
 		copy(p.C[j*m:j*m+m], cext[j*(m+2):j*(m+2)+m])
@@ -93,7 +136,7 @@ func (p *ProtectedGemm) Verify() []Fault {
 		}
 		ds := s - p.Sum[j]
 		dw := ws - p.Weighted[j]
-		tol := detectTol * (scale + 1) * float64(p.M+p.K)
+		tol := DetectTol(math.Max(p.Norm, scale+1), p.M+p.K)
 		if math.Abs(ds) <= tol {
 			continue
 		}
@@ -125,6 +168,10 @@ type ABFTCholesky struct {
 	L []float64
 	// Sum and Weighted are the carried checksum rows: eᵀL and wᵀL.
 	Sum, Weighted []float64
+	// Norm is the max-abs norm of the input matrix, set by Cholesky and
+	// consumed by Verify's scaled detection tolerance. Zero means unknown:
+	// Verify falls back to the per-column scale and legacy floor.
+	Norm float64
 }
 
 // Cholesky runs the protected factorization of the n×n SPD matrix A (lower
@@ -140,14 +187,21 @@ func Cholesky(n int, a []float64, lda int, faultHook func(col int, l []float64))
 	// strided reads of reconstructing the upper triangle.
 	m := n + 2
 	w := make([]float64, m*n)
+	var norm float64
 	for j := 0; j < n; j++ {
 		col := a[j*lda:]
 		diag := col[j]
 		w[j+j*m] = diag
 		w[n+j*m] += diag
 		w[n+1+j*m] += float64(j+1) * diag
+		if av := math.Abs(diag); av > norm {
+			norm = av
+		}
 		for i := j + 1; i < n; i++ {
 			v := col[i]
+			if av := math.Abs(v); av > norm {
+				norm = av
+			}
 			w[i+j*m] = v
 			// As A[i][j] in column j and as A[j][i] in column i.
 			w[n+j*m] += v
@@ -180,7 +234,7 @@ func Cholesky(n int, a []float64, lda int, faultHook func(col int, l []float64))
 			faultHook(j, w)
 		}
 	}
-	f := &ABFTCholesky{N: n, L: make([]float64, n*n), Sum: make([]float64, n), Weighted: make([]float64, n)}
+	f := &ABFTCholesky{N: n, L: make([]float64, n*n), Sum: make([]float64, n), Weighted: make([]float64, n), Norm: norm}
 	for j := 0; j < n; j++ {
 		for i := j; i < n; i++ {
 			f.L[i+j*n] = w[i+j*m]
@@ -208,7 +262,7 @@ func (f *ABFTCholesky) Verify() []Fault {
 		}
 		ds := s - f.Sum[j]
 		dw := ws - f.Weighted[j]
-		tol := detectTol * (scale + 1) * float64(n)
+		tol := DetectTol(math.Max(f.Norm, scale+1), n)
 		if math.Abs(ds) <= tol {
 			continue
 		}

@@ -19,24 +19,33 @@ func NewInjector(seed int64) *Injector {
 	return &Injector{rng: rand.New(rand.NewSource(seed))}
 }
 
-// FlipBit corrupts one element of data by flipping a mantissa or exponent
-// bit (bit 30..51 of the IEEE-754 representation: large enough to matter,
-// never the sign of infinity/NaN patterns). It records and returns the
-// equivalent Fault for a column-major matrix with leading dimension ld.
+// FlipBit corrupts one element of data by flipping one bit of its IEEE-754
+// representation, guaranteeing the corrupted value is finite. For finite
+// inputs the flipped bit is a high mantissa bit (30..51: large enough to
+// matter, and flipping a mantissa bit of a finite double can never produce
+// Inf or NaN). For Inf/NaN inputs no mantissa flip can restore finiteness
+// — the exponent field is already all ones — so the injector walks
+// candidate bits downward from the top exponent bit until the result is
+// finite (flipping bit 62 alone repairs every Inf/NaN pattern). It records
+// and returns the equivalent Fault for a column-major matrix with leading
+// dimension ld; for non-finite inputs the recorded Delta is itself
+// non-finite and only the location is meaningful.
 func (in *Injector) FlipBit(data []float64, idx, ld int) Fault {
 	bit := uint(30 + in.rng.Intn(22))
 	old := data[idx]
-	bits := math.Float64bits(old) ^ (1 << bit)
-	corrupted := math.Float64frombits(bits)
-	if math.IsNaN(corrupted) || math.IsInf(corrupted, 0) {
-		// Retry on a mantissa-only bit so the corruption stays finite.
-		bits = math.Float64bits(old) ^ (1 << 30)
-		corrupted = math.Float64frombits(bits)
+	corrupted := math.Float64frombits(math.Float64bits(old) ^ (1 << bit))
+	for b := uint(62); !finite(corrupted) && b >= 30; b-- {
+		corrupted = math.Float64frombits(math.Float64bits(old) ^ (1 << b))
 	}
 	data[idx] = corrupted
 	f := Fault{Row: idx % ld, Col: idx / ld, Delta: corrupted - old}
 	in.Injected = append(in.Injected, f)
 	return f
+}
+
+// finite reports whether v is neither NaN nor an infinity.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // AddNoise corrupts one element by adding a large perturbation, the

@@ -16,6 +16,10 @@ import (
 //
 //	sched.tasks_submitted            counter
 //	sched.tasks_completed            counter
+//	sched.tasks_retried              counter (failed attempts re-enqueued)
+//	sched.tasks_failed               counter (permanent task failures)
+//	sched.tasks_panicked             counter (permanent failures via panic)
+//	sched.tasks_skipped              counter (dependents poisoned by a failure)
 //	sched.ready_depth                gauge (current ready-queue length)
 //	sched.ready_high_water           gauge (max ready-queue length seen)
 //	sched.worker.<id>.busy_ns        counter (time inside task bodies)
@@ -29,6 +33,10 @@ type rtMetrics struct {
 	reg       *metrics.Registry
 	submitted *metrics.Counter
 	completed *metrics.Counter
+	retried   *metrics.Counter
+	failed    *metrics.Counter
+	panicked  *metrics.Counter
+	skipped   *metrics.Counter
 	depth     *metrics.Gauge
 	highWater *metrics.Gauge
 	busy      []*metrics.Counter
@@ -48,6 +56,10 @@ func newRTMetrics(reg *metrics.Registry, workers int) *rtMetrics {
 		reg:       reg,
 		submitted: reg.Counter("sched.tasks_submitted"),
 		completed: reg.Counter("sched.tasks_completed"),
+		retried:   reg.Counter("sched.tasks_retried"),
+		failed:    reg.Counter("sched.tasks_failed"),
+		panicked:  reg.Counter("sched.tasks_panicked"),
+		skipped:   reg.Counter("sched.tasks_skipped"),
 		depth:     reg.Gauge("sched.ready_depth"),
 		highWater: reg.Gauge("sched.ready_high_water"),
 		busy:      make([]*metrics.Counter, workers),
@@ -85,6 +97,20 @@ func (m *rtMetrics) taskDone(name string, w int, ns int64) {
 	ks.ns.Add(ns)
 	ks.lat.Observe(ns)
 }
+
+// taskRetried records one failed attempt going back on the ready queue.
+func (m *rtMetrics) taskRetried() { m.retried.Inc() }
+
+// taskFailed records one permanent task failure.
+func (m *rtMetrics) taskFailed(panicked bool) {
+	m.failed.Inc()
+	if panicked {
+		m.panicked.Inc()
+	}
+}
+
+// taskSkipped records one dependent poisoned by an upstream failure.
+func (m *rtMetrics) taskSkipped() { m.skipped.Inc() }
 
 // workerIdle records ns nanoseconds worker w spent without a task.
 func (m *rtMetrics) workerIdle(w int, ns int64) {

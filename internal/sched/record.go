@@ -19,6 +19,10 @@ type GraphNode struct {
 	// analyses (communication counting, locality studies) can replay data
 	// placement decisions over the graph.
 	Reads, Writes []Handle
+	// Executions is how many times the task ran (retries re-execute it and
+	// re-fetch its operands). Zero means one: graphs recorded before the
+	// failure model, or never annotated, replay as fault-free.
+	Executions int
 }
 
 // Graph is a recorded task DAG with measured costs, replayable under any
@@ -80,6 +84,7 @@ type Recorder struct {
 	lastBarrier int // index of most recent barrier node, -1 if none
 	sinceBar    []int
 	run         bool
+	failures    []*TaskError
 }
 
 type raccess struct {
@@ -150,10 +155,24 @@ func (rec *Recorder) Submit(t Task) {
 		}
 	}
 
-	if rec.run && t.Fn != nil {
+	if rec.run && (t.Fn != nil || t.FnErr != nil) {
 		start := time.Now()
-		t.Fn()
+		var err error
+		if t.FnErr != nil {
+			err = t.FnErr()
+		} else {
+			t.Fn()
+		}
 		node.Cost = time.Since(start).Seconds()
+		if err != nil {
+			rec.failures = append(rec.failures, &TaskError{
+				Kernel:   t.Name,
+				Seq:      idx,
+				Attempts: 1,
+				Writes:   append([]Handle(nil), t.Writes...),
+				Err:      err,
+			})
+		}
 	}
 	rec.graph.Nodes = append(rec.graph.Nodes, node)
 	rec.sinceBar = append(rec.sinceBar, idx)
@@ -180,6 +199,20 @@ func (rec *Recorder) Wait() {
 	rec.graph.Nodes = append(rec.graph.Nodes, node)
 	rec.lastBarrier = idx
 	rec.sinceBar = rec.sinceBar[:0]
+}
+
+// WaitErr records the barrier like Wait and returns the failures recorded
+// so far as a *FailuresError, consuming them. The Recorder executes tasks
+// inline and has no retry or poisoning — it is a measurement tool, so
+// every submitted task runs exactly once and failures are only reported.
+func (rec *Recorder) WaitErr() error {
+	rec.Wait()
+	fs := rec.failures
+	rec.failures = nil
+	if len(fs) == 0 {
+		return nil
+	}
+	return &FailuresError{Failures: fs}
 }
 
 // Graph returns the recorded DAG.

@@ -21,11 +21,21 @@
 // A fork–join baseline needs no separate implementation: algorithms express
 // barriers by calling Wait between phases, which Runtime executes as a real
 // join and Recorder records as an all-to-all dependence.
+//
+// The runtime is fault-aware ("at extreme scale, faults are the norm"):
+// tasks may return errors (Task.FnErr) or panic without taking down the
+// pool, transient failures are retried with capped exponential backoff
+// (WithRetry), permanently failed tasks poison — skip — their dependents
+// while the rest of the DAG drains, and WaitErr aggregates the root
+// failures with kernel and handle context. A seeded chaos layer
+// (WithChaos) kills or delays task attempts to exercise all of this
+// deterministically; see fault.go.
 package sched
 
 import (
 	"container/heap"
 	"sync"
+	"time"
 
 	"exadla/internal/metrics"
 )
@@ -48,6 +58,13 @@ type Task struct {
 	Priority int
 	// Fn performs the work. It must touch only the declared data.
 	Fn func()
+	// FnErr is the error-returning body variant and takes precedence over
+	// Fn when both are set. A non-nil return marks the task failed: the
+	// runtime retries it if a retry policy is installed and the error is
+	// transient (see Permanent), and otherwise poisons its dependents and
+	// reports the failure through WaitErr. Bodies that may be retried must
+	// be idempotent.
+	FnErr func() error
 }
 
 // Scheduler is the submission interface shared by the real runtime and the
@@ -66,6 +83,8 @@ type node struct {
 	seq      int // submission order, for FIFO tie-breaking
 	enqueued bool
 	done     bool // completed; guarded by Runtime.mu
+	attempts int  // executions so far; touched only by the executing worker
+	poisoned bool // an upstream task failed; skip the body. Guarded by mu.
 }
 
 // Runtime executes tasks on a fixed pool of worker goroutines.
@@ -79,7 +98,14 @@ type Runtime struct {
 	inFlight int // submitted but not yet completed
 	seq      int
 	shutdown bool
-	panicked any // first task panic, re-raised by Wait
+	failures []*TaskError // permanent failures of the current Wait epoch
+	skipped  int          // poisoned dependents that never ran
+
+	// Failure policy, immutable after New.
+	retryMax     int
+	retryBackoff time.Duration
+	chaos        *chaosState
+	failObs      func(FailureEvent)
 
 	tracer Tracer
 	met    *rtMetrics
@@ -228,14 +254,13 @@ func (r *Runtime) worker(id int) {
 			return
 		}
 		n := heap.Pop(&r.ready).(*node)
+		n.enqueued = false // may be re-enqueued by the retry path
 		r.met.readyLen(len(r.ready))
 		r.mu.Unlock()
 
 		start := clock.now()
 		r.met.workerIdle(id, start-idleFrom)
-		if n.task.Fn != nil {
-			r.runTask(n)
-		}
+		err := r.runTask(n)
 		end := clock.now()
 		idleFrom = end
 		if r.tracer != nil {
@@ -243,58 +268,184 @@ func (r *Runtime) worker(id int) {
 		}
 		r.met.taskDone(n.task.Name, id, end-start)
 
-		r.mu.Lock()
-		n.done = true
-		for _, s := range n.succs {
-			s.nDeps--
-			if s.nDeps == 0 {
-				r.enqueueLocked(s)
-			}
+		if err == nil {
+			r.mu.Lock()
+			r.finishLocked(n, false)
+			r.mu.Unlock()
+			continue
 		}
-		r.inFlight--
-		if r.inFlight == 0 {
-			r.cond.Broadcast()
-		}
-		r.mu.Unlock()
+		r.resolveFailure(n, err)
 	}
 }
 
-// runTask executes a task body, capturing any panic so one faulty kernel
-// cannot deadlock the pool; the first panic is re-raised on Wait.
-func (r *Runtime) runTask(n *node) {
+// runTask executes one attempt of a task body: the chaos layer may delay
+// or kill the attempt first, then FnErr (preferred) or Fn runs with panic
+// capture, so one faulty kernel can neither unwind a worker nor deadlock
+// the pool. It returns the attempt's failure, nil on success.
+func (r *Runtime) runTask(n *node) (err error) {
+	n.attempts++
+	if r.chaos != nil {
+		fail, delay := r.chaos.draw()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if fail {
+			return &chaosError{kernel: n.task.Name, attempt: n.attempts}
+		}
+	}
 	defer func() {
 		if p := recover(); p != nil {
-			r.mu.Lock()
-			if r.panicked == nil {
-				r.panicked = p
-			}
-			r.mu.Unlock()
+			err = &panicError{val: p}
 		}
 	}()
-	n.task.Fn()
+	if n.task.FnErr != nil {
+		return n.task.FnErr()
+	}
+	if n.task.Fn != nil {
+		n.task.Fn()
+	}
+	return nil
+}
+
+// resolveFailure routes one failed attempt: re-enqueue through the retry
+// policy for transient errors, or make the failure permanent and poison
+// the task's dependents.
+func (r *Runtime) resolveFailure(n *node, err error) {
+	retry := n.attempts <= r.retryMax && retryable(err)
+	_, panicked := err.(*panicError)
+	if r.failObs != nil {
+		r.failObs(FailureEvent{
+			Kernel:   n.task.Name,
+			Seq:      n.seq,
+			Attempt:  n.attempts,
+			Err:      err,
+			Panicked: panicked,
+			Retrying: retry,
+		})
+	}
+	if retry {
+		r.met.taskRetried()
+		delay := r.backoffFor(n.attempts)
+		if delay <= 0 {
+			r.mu.Lock()
+			r.enqueueLocked(n)
+			r.mu.Unlock()
+			return
+		}
+		// The node stays in flight during backoff, so Wait and Shutdown
+		// keep blocking until the retry resolves.
+		time.AfterFunc(delay, func() {
+			r.mu.Lock()
+			r.enqueueLocked(n)
+			r.mu.Unlock()
+		})
+		return
+	}
+
+	te := &TaskError{
+		Kernel:   n.task.Name,
+		Seq:      n.seq,
+		Attempts: n.attempts,
+		Writes:   append([]Handle(nil), n.task.Writes...),
+		Err:      err,
+	}
+	if p, ok := err.(*panicError); ok {
+		te.Panicked = true
+		te.PanicValue = p.val
+	}
+	r.mu.Lock()
+	r.failures = append(r.failures, te)
+	r.met.taskFailed(te.Panicked)
+	r.finishLocked(n, true)
+	r.mu.Unlock()
+}
+
+// finishLocked marks n complete — failed reports a permanent failure —
+// releases its successors, and drains poisoned dependents inline: a
+// dependent of a failed or skipped task never runs its body, because its
+// inputs are garbage, but it still completes so the DAG drains. Caller
+// holds r.mu.
+func (r *Runtime) finishLocked(n *node, failed bool) {
+	type done struct {
+		n      *node
+		poison bool
+	}
+	stack := []done{{n, failed}}
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d.n.done = true
+		for _, s := range d.n.succs {
+			if d.poison {
+				s.poisoned = true
+			}
+			s.nDeps--
+			if s.nDeps == 0 {
+				if s.poisoned {
+					r.skipped++
+					r.met.taskSkipped()
+					stack = append(stack, done{s, true})
+				} else {
+					r.enqueueLocked(s)
+				}
+			}
+		}
+		r.inFlight--
+	}
+	if r.inFlight == 0 {
+		r.cond.Broadcast()
+	}
 }
 
 // Wait blocks until all tasks submitted so far have completed. It is the
-// fork–join barrier when called between phases. If any task panicked, Wait
-// re-raises the first panic on the caller's goroutine.
+// fork–join barrier when called between phases. Wait is fail-fast: if any
+// task panicked it re-raises the first panic on the caller's goroutine,
+// and any other task failure is raised as a *FailuresError panic. Callers
+// submitting error-returning tasks should use WaitErr instead.
 func (r *Runtime) Wait() {
+	err := r.WaitErr()
+	if err == nil {
+		return
+	}
+	fe := err.(*FailuresError)
+	for _, f := range fe.Failures {
+		if f.Panicked {
+			panic(f.PanicValue)
+		}
+	}
+	panic(fe)
+}
+
+// WaitErr blocks until all tasks submitted so far have completed and
+// returns the epoch's aggregated failures as a *FailuresError (nil if
+// every task succeeded). The failure state is consumed: the Runtime is
+// reusable for a fresh epoch afterwards.
+func (r *Runtime) WaitErr() error {
 	r.mu.Lock()
 	for r.inFlight > 0 {
 		r.cond.Wait()
 	}
-	p := r.panicked
-	r.panicked = nil
+	fs := r.failures
+	sk := r.skipped
+	r.failures = nil
+	r.skipped = 0
 	r.mu.Unlock()
-	if p != nil {
-		panic(p)
+	if len(fs) == 0 {
+		return nil
 	}
+	return &FailuresError{Failures: fs, Skipped: sk}
 }
 
-// Shutdown waits for outstanding tasks and stops the workers. The Runtime
-// must not be used afterwards.
+// Shutdown waits for outstanding tasks (including pending retries) and
+// stops the workers. It is idempotent, safe to call concurrently with
+// Wait, WaitErr, or another Shutdown, and never panics — task failures
+// left unconsumed are discarded with the Runtime. Submitting after
+// Shutdown has completed panics.
 func (r *Runtime) Shutdown() {
-	r.Wait()
 	r.mu.Lock()
+	for r.inFlight > 0 {
+		r.cond.Wait()
+	}
 	r.shutdown = true
 	r.cond.Broadcast()
 	r.mu.Unlock()

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -316,20 +317,32 @@ func TestTaskPanicPropagatesToWait(t *testing.T) {
 	}
 }
 
-func TestDependentsStillRunAfterPanic(t *testing.T) {
-	// A panicking writer must still release its dependents (they may read
-	// garbage, but the DAG must drain).
+func TestDependentsPoisonedAfterPanic(t *testing.T) {
+	// A panicking writer poisons its dependents: they are skipped (their
+	// input is garbage) but the DAG still drains, and unrelated tasks run.
 	r := New(2)
 	defer r.Shutdown()
 	h := "x"
 	ran := atomic.Bool{}
+	unrelated := atomic.Bool{}
 	r.Submit(Task{Name: "boom", Writes: []Handle{h}, Fn: func() { panic("x") }})
 	r.Submit(Task{Name: "reader", Reads: []Handle{h}, Fn: func() { ran.Store(true) }})
-	func() {
-		defer func() { recover() }()
-		r.Wait()
-	}()
-	if !ran.Load() {
-		t.Error("dependent task never ran after producer panicked")
+	r.Submit(Task{Name: "bystander", Fn: func() { unrelated.Store(true) }})
+	err := r.WaitErr()
+	if ran.Load() {
+		t.Error("dependent task ran on a poisoned input")
+	}
+	if !unrelated.Load() {
+		t.Error("unrelated task was not executed")
+	}
+	var fe *FailuresError
+	if !errors.As(err, &fe) {
+		t.Fatalf("WaitErr returned %v, want *FailuresError", err)
+	}
+	if len(fe.Failures) != 1 || !fe.Failures[0].Panicked || fe.Failures[0].Kernel != "boom" {
+		t.Errorf("failures = %+v, want one panicked failure of kernel boom", fe.Failures)
+	}
+	if fe.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", fe.Skipped)
 	}
 }

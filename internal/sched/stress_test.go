@@ -50,10 +50,10 @@ func pickDistinct(rng *rand.Rand, n, k int) []int {
 	return out
 }
 
-func runVersionStress(t *testing.T, workers, nHandles, nTasks int, barrierEvery int, seed int64) {
+func runVersionStress(t *testing.T, workers, nHandles, nTasks int, barrierEvery int, seed int64, opts ...Option) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	rt := New(workers, WithMetrics(nil))
+	rt := New(workers, append([]Option{WithMetrics(nil)}, opts...)...)
 	defer rt.Shutdown()
 
 	live := make([]int64, nHandles)      // mutated only inside tasks

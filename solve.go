@@ -34,7 +34,7 @@ func (c *Context) Cholesky(a *Matrix) (*CholeskyFactor, error) {
 		return nil, fmt.Errorf("exadla: Cholesky needs square matrix, got %d×%d", a.rows, a.cols)
 	}
 	t := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, c.tileSizeFor("cholesky", a.rows))
-	if err := core.Cholesky(c.scheduler(), t); err != nil {
+	if err := c.cholesky(t); err != nil {
 		return nil, err
 	}
 	return &CholeskyFactor{ctx: c, l: t, n: a.rows}, nil
@@ -77,6 +77,18 @@ func (c *Context) SolveSPD(a, b *Matrix) (*Matrix, error) {
 	nb := c.tileSizeFor("cholesky", a.rows)
 	ta := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, nb)
 	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, nb)
+	if c.faultTolerant {
+		// Factor resiliently (verified factor), then solve. The extra
+		// barrier between the two phases is the price of verification.
+		if err := core.ResilientCholesky(c.scheduler(), ta, c.ftOptions()); err != nil {
+			return nil, err
+		}
+		s := c.scheduler()
+		core.TrsmLower(s, blas.NoTrans, ta, tb)
+		core.TrsmLower(s, blas.Trans, ta, tb)
+		s.Wait()
+		return FromSlice(b.rows, b.cols, tb.ToColMajor()), nil
+	}
 	if err := core.Posv(c.scheduler(), ta, tb); err != nil {
 		return nil, err
 	}
@@ -98,7 +110,7 @@ func (c *Context) LU(a *Matrix) (*LUFactor, error) {
 		return nil, fmt.Errorf("exadla: LU needs square matrix, got %d×%d", a.rows, a.cols)
 	}
 	t := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, c.tileSizeFor("lu", a.rows))
-	f, err := core.LU(c.scheduler(), t)
+	f, err := c.lu(t)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +142,17 @@ func (c *Context) Solve(a, b *Matrix) (*Matrix, error) {
 	nb := c.tileSizeFor("lu", a.rows)
 	ta := tile.FromColMajor(a.rows, a.cols, a.data, a.rows, nb)
 	tb := tile.FromColMajor(b.rows, b.cols, b.data, b.rows, nb)
+	if c.faultTolerant {
+		f, err := core.ResilientLU(c.scheduler(), ta, c.ftOptions())
+		if err != nil {
+			return nil, err
+		}
+		s := c.scheduler()
+		core.ApplyLU(s, f, tb)
+		core.TrsmUpper(s, ta, tb)
+		s.Wait()
+		return FromSlice(b.rows, b.cols, tb.ToColMajor()), nil
+	}
 	if _, err := core.Gesv(c.scheduler(), ta, tb); err != nil {
 		return nil, err
 	}
