@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"exadla/internal/metrics"
+	"exadla/internal/obs"
 )
 
 type experiment struct {
@@ -41,10 +42,20 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced sizes for a fast pass")
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and dump a JSON snapshot per experiment")
 	faults := flag.Bool("faults", false, "run the fault-injection mode instead of the experiment suite")
+	obsAddr := flag.String("obs", "", "serve live observability (metrics, healthz, pprof) on this host:port while the suite runs")
 	flag.Parse()
 
 	if *showMetrics {
 		metrics.Enable()
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Start(*obsAddr, obs.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server listening on http://%s\n", srv.Addr())
 	}
 	if *faults {
 		fmt.Printf("\n=== fault injection: chaos retries and ABFT recovery ===\n\n")

@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
+	"sort"
 
 	"exadla/internal/core"
 	"exadla/internal/matgen"
@@ -84,10 +86,20 @@ func main() {
 	fmt.Printf("simulated on %d workers: makespan %.4fs, utilization %.1f%%, speedup %.2fx\n\n",
 		*workers, res.Makespan, 100*res.Utilization, g.TotalWork()/res.Makespan)
 
+	// Feed the simulated schedule into the trace log as full spans, with
+	// barrier nodes flattened into direct task→task edges, so the DAG view
+	// and the Chrome export see the dependence structure.
+	flat := g.FlattenBarriers()
 	log := trace.NewLog()
 	for _, e := range events {
-		log.TaskRan(e.Name, e.Worker, int64(e.Start*1e9), int64(e.End*1e9))
+		log.TaskSpan(sched.Span{
+			ID: e.ID, Name: e.Name, Worker: e.Worker, Attempt: 1,
+			Deps:  flat[e.ID],
+			Ready: int64(e.Ready * 1e9),
+			Start: int64(e.Start * 1e9), End: int64(e.End * 1e9),
+		})
 	}
+	printCriticalPath(log, *workers)
 	if err := log.Gantt(os.Stdout, *width); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -104,6 +116,42 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote Chrome trace to %s (open at chrome://tracing)\n", *chrome)
+		fmt.Printf("\nwrote Chrome trace to %s (open at ui.perfetto.dev)\n", *chrome)
 	}
+}
+
+// printCriticalPath reports the work/span decomposition of the traced
+// schedule: T∞ and its per-kernel composition, Brent's makespan bounds, and
+// how the achieved speedup compares to the DAG-limited bound min(p, T₁/T∞).
+func printCriticalPath(log *trace.Log, workers int) {
+	d := log.AnalyzeDAG()
+	if d.TInf <= 0 {
+		return
+	}
+	fmt.Printf("critical path: %.4fs across %d tasks (T1/T∞ = %.2f)\n",
+		d.TInf, d.CritTasks, d.T1/d.TInf)
+	type share struct {
+		name string
+		frac float64
+	}
+	shares := make([]share, 0, len(d.CritShare))
+	for k, v := range d.CritShare {
+		shares = append(shares, share{k, v})
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].frac != shares[j].frac {
+			return shares[i].frac > shares[j].frac
+		}
+		return shares[i].name < shares[j].name
+	})
+	fmt.Printf("critical-path share:")
+	for _, s := range shares {
+		fmt.Printf(" %s %.1f%%", s.name, 100*s.frac)
+	}
+	fmt.Println()
+	fmt.Printf("Brent bounds on %d workers: makespan in [%.4fs, %.4fs]\n",
+		workers, math.Max(d.T1/float64(workers), d.TInf), d.BrentBound(workers))
+	bound := d.SpeedupBound(workers)
+	fmt.Printf("speedup %.2fx of %.2fx DAG-limited (%.0f%%)\n\n",
+		d.Speedup(), bound, 100*d.Speedup()/bound)
 }

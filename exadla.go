@@ -21,6 +21,7 @@
 package exadla
 
 import (
+	"log/slog"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"exadla/internal/autotune"
 	"exadla/internal/ft"
 	"exadla/internal/metrics"
+	"exadla/internal/obs"
 	"exadla/internal/sched"
 	"exadla/internal/trace"
 )
@@ -63,6 +65,11 @@ type Context struct {
 
 	rt  *sched.Runtime
 	log *trace.Log
+
+	// Observability (obs.go).
+	obsAddr  string
+	obs      *obs.Server
+	eventLog *slog.Logger
 }
 
 // Option configures a Context.
@@ -140,12 +147,15 @@ func NewContext(opts ...Option) *Context {
 	}
 	schedOpts = append(schedOpts, c.faultSchedOpts()...)
 	c.rt = sched.New(c.workers, schedOpts...)
+	c.startObs()
 	return c
 }
 
-// Close stops the worker pool. The Context must not be used afterwards.
+// Close stops the worker pool and the observability server, if any. The
+// Context must not be used afterwards.
 func (c *Context) Close() {
 	c.rt.Shutdown()
+	_ = c.obs.Close()
 }
 
 // Workers reports the worker pool size.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"exadla/internal/core"
+	"exadla/internal/obs"
 	"exadla/internal/sched"
 	"exadla/internal/tile"
 )
@@ -83,13 +84,18 @@ func (c *Context) faultSchedOpts() []sched.Option {
 	if c.chaosSet {
 		opts = append(opts, sched.WithChaos(c.chaosSeed, c.chaosProb, nil))
 	}
-	if retryMax > 0 || c.chaosSet || c.faultTolerant {
+	if retryMax > 0 || c.chaosSet || c.faultTolerant || c.eventLog != nil {
+		logFn := func(sched.FailureEvent) {}
+		if c.eventLog != nil {
+			logFn = obs.FailureLogger(c.eventLog)
+		}
 		opts = append(opts, sched.WithFailureObserver(func(ev sched.FailureEvent) {
 			if ev.Retrying {
 				c.retried.Add(1)
 			} else {
 				c.failed.Add(1)
 			}
+			logFn(ev)
 		}))
 	}
 	return opts

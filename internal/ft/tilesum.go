@@ -163,6 +163,12 @@ type CorruptionError struct {
 	Corrected int
 }
 
+// CorrectedInPlace reports whether at least one fault was repaired before
+// the error was returned. It implements sched.InPlaceCorrector, so span
+// traces classify the retried verification attempt as corruption-corrected
+// rather than a generic retry.
+func (e *CorruptionError) CorrectedInPlace() bool { return e.Corrected > 0 }
+
 func (e *CorruptionError) Error() string {
 	where := fmt.Sprintf("tile (%d,%d)", e.TileRow, e.TileCol)
 	if e.TileRow < 0 {

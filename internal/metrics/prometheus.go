@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, all
+// preceded by `# TYPE` lines and sorted by name. Metric names are sanitized
+// to the Prometheus charset ('.' and other invalid runes become '_').
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		name string // sanitized
+		emit func() error
+	}
+	samples := make([]sample, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		n, v := promName(name), v
+		samples = append(samples, sample{n, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v)
+			return err
+		}})
+	}
+	for name, v := range s.Gauges {
+		n, v := promName(name), v
+		samples = append(samples, sample{n, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, v)
+			return err
+		}})
+	}
+	for name, h := range s.Histograms {
+		n, h := promName(name), h
+		samples = append(samples, sample{n, func() error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+				return err
+			}
+			var cum int64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Hi, cum); err != nil {
+					return err
+				}
+			}
+			_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				n, h.Count, n, h.Sum, n, h.Count)
+			return err
+		}})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	for _, sm := range samples {
+		if err := sm.emit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("sched.tasks_completed").Add(42)
+	r.Gauge("sched.ready_depth").Set(3.5)
+	h := r.Histogram("sched.kernel.gemm.latency_ns")
+	h.Observe(1) // bucket hi=1
+	h.Observe(3) // bucket hi=3
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE sched_tasks_completed counter\n",
+		"sched_tasks_completed 42\n",
+		"# TYPE sched_ready_depth gauge\n",
+		"sched_ready_depth 3.5\n",
+		"# TYPE sched_kernel_gemm_latency_ns histogram\n",
+		`sched_kernel_gemm_latency_ns_bucket{le="1"} 1` + "\n",
+		`sched_kernel_gemm_latency_ns_bucket{le="3"} 3` + "\n", // cumulative
+		`sched_kernel_gemm_latency_ns_bucket{le="+Inf"} 3` + "\n",
+		"sched_kernel_gemm_latency_ns_sum 7\n",
+		"sched_kernel_gemm_latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: the counter family precedes the gauge family.
+	if strings.Index(out, "sched_kernel_gemm") > strings.Index(out, "sched_ready_depth") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sched.kernel.gemm.tasks": "sched_kernel_gemm_tasks",
+		"already_fine":            "already_fine",
+		"9starts_with_digit":      "_9starts_with_digit",
+		"weird-chars!":            "weird_chars_",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package obs is the live observability server: an opt-in HTTP endpoint a
+// running factorization can be inspected through without stopping it —
+// metrics in Prometheus text or JSON form, the live trace as a Chrome/
+// Perfetto JSON download, a health probe, and net/http/pprof for CPU and
+// heap profiling. Production systems are profiled in production; this is
+// the repo's answer to that requirement.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"exadla/internal/metrics"
+	"exadla/internal/trace"
+)
+
+// Options configures a Server. The zero value serves the default metrics
+// registry and no trace.
+type Options struct {
+	// Registry is the metrics registry /metrics exposes; nil means the
+	// package default registry.
+	Registry *metrics.Registry
+	// Trace, when non-nil, enables /trace serving the live log as Chrome
+	// trace JSON.
+	Trace *trace.Log
+	// Health, when non-nil, contributes extra fields to the /healthz body.
+	Health func() map[string]any
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Start listens on addr (host:port; use port 0 for an ephemeral port) and
+// serves the observability endpoints in a background goroutine:
+//
+//	/metrics        Prometheus text format (?format=json for a JSON snapshot)
+//	/trace          Chrome trace-event JSON of the live trace log
+//	/healthz        JSON liveness report
+//	/debug/pprof/   the standard net/http/pprof handlers
+func Start(addr string, opt Options) (*Server, error) {
+	reg := opt.Registry
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if opt.Trace == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="exadla-trace.json"`)
+		_ = opt.Trace.WriteChrome(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"status":     "ok",
+			"uptime_s":   time.Since(s.start).Seconds(),
+			"goroutines": runtime.NumGoroutine(),
+		}
+		if opt.Health != nil {
+			for k, v := range opt.Health() {
+				body[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's actual listen address (resolving port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. Safe on a nil receiver.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

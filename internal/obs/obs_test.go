@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"exadla/internal/metrics"
+	"exadla/internal/sched"
+	"exadla/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("sched.tasks_completed").Add(7)
+	log := trace.NewLog()
+	log.TaskSpan(sched.Span{ID: 0, Name: "potrf", Worker: 0, Attempt: 1, Start: 0, End: 1000})
+
+	s, err := Start("127.0.0.1:0", Options{
+		Registry: reg,
+		Trace:    log,
+		Health:   func() map[string]any { return map[string]any{"workers": 4} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "sched_tasks_completed 7") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body = get(t, base+"/metrics?format=json")
+	var snap map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Errorf("/metrics?format=json: code=%d body=%q", code, body)
+	}
+
+	code, body = get(t, base+"/trace")
+	var events []map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &events) != nil {
+		t.Fatalf("/trace: code=%d body=%q", code, body)
+	}
+	found := false
+	for _, e := range events {
+		if e["name"] == "potrf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/trace missing the recorded span: %v", events)
+	}
+
+	code, body = get(t, base+"/healthz")
+	var health map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &health) != nil {
+		t.Fatalf("/healthz: code=%d body=%q", code, body)
+	}
+	if health["status"] != "ok" || health["workers"].(float64) != 4 {
+		t.Errorf("/healthz body: %v", health)
+	}
+	if _, ok := health["goroutines"]; !ok {
+		t.Errorf("/healthz missing goroutines: %v", health)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestServerWithoutTrace(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Options{Registry: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, _ := get(t, "http://"+s.Addr()+"/trace")
+	if code != http.StatusNotFound {
+		t.Errorf("/trace without a log: code=%d, want 404", code)
+	}
+}
+
+func TestServerBadAddr(t *testing.T) {
+	if _, err := Start("256.0.0.1:bad", Options{}); err == nil {
+		t.Error("Start on an invalid address returned no error")
+	}
+}

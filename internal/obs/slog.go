@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+
+	"exadla/internal/sched"
+)
+
+// FailureLogger adapts a structured logger into a scheduler failure
+// observer (sched.WithFailureObserver): each failed task attempt becomes
+// one log record identifying which task failed, which attempt, how it
+// failed, and whether the runtime is retrying. The event kind classifies
+// the failure:
+//
+//	chaos                  injected by WithChaos (errors.Is ErrInjected)
+//	corruption-corrected   ABFT checksum fault, already repaired in place
+//	panic                  the task body panicked
+//	error                  any other task error
+//
+// Retried attempts log at Warn, permanent failures at Error.
+func FailureLogger(l *slog.Logger) func(sched.FailureEvent) {
+	return func(e sched.FailureEvent) {
+		kind := "error"
+		var c sched.InPlaceCorrector
+		switch {
+		case e.Panicked:
+			kind = "panic"
+		case errors.Is(e.Err, sched.ErrInjected):
+			kind = "chaos"
+		case errors.As(e.Err, &c) && c.CorrectedInPlace():
+			kind = "corruption-corrected"
+		}
+		level := slog.LevelError
+		msg := "task failed"
+		if e.Retrying {
+			level, msg = slog.LevelWarn, "task attempt failed, retrying"
+		}
+		l.Log(context.Background(), level, msg,
+			slog.String("kernel", e.Kernel),
+			slog.Int("seq", e.Seq),
+			slog.Int("attempt", e.Attempt),
+			slog.String("kind", kind),
+			slog.Bool("retrying", e.Retrying),
+			slog.Any("err", e.Err),
+		)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"exadla/internal/ft"
+	"exadla/internal/sched"
+)
+
+func TestFailureLoggerKinds(t *testing.T) {
+	var buf bytes.Buffer
+	fn := FailureLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	fn(sched.FailureEvent{Kernel: "gemm", Seq: 3, Attempt: 1, Retrying: true,
+		Err: fmt.Errorf("pre-run: %w", sched.ErrInjected)})
+	fn(sched.FailureEvent{Kernel: "verify", Seq: 4, Attempt: 1, Retrying: true,
+		Err: &ft.CorruptionError{TileRow: 1, TileCol: 2, Faults: []ft.Fault{{}}, Corrected: 1}})
+	fn(sched.FailureEvent{Kernel: "potrf", Seq: 5, Attempt: 2, Panicked: true,
+		Err: errors.New("panic: index out of range")})
+	fn(sched.FailureEvent{Kernel: "trsm", Seq: 6, Attempt: 3,
+		Err: errors.New("singular")})
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d log lines, want 4:\n%s", len(lines), out)
+	}
+	for i, want := range []string{"kind=chaos", "kind=corruption-corrected", "kind=panic", "kind=error"} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d missing %s: %s", i, want, lines[i])
+		}
+	}
+	// Retried attempts log at WARN, permanent failures at ERROR.
+	if !strings.Contains(lines[0], "level=WARN") || !strings.Contains(lines[2], "level=ERROR") {
+		t.Errorf("levels wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "kernel=gemm") || !strings.Contains(lines[0], "seq=3") ||
+		!strings.Contains(lines[0], "attempt=1") {
+		t.Errorf("identifying attrs missing: %s", lines[0])
+	}
+}

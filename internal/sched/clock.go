@@ -10,4 +10,8 @@ var traceEpoch = time.Now()
 
 func newTraceClock() traceClock { return traceClock{} }
 
-func (traceClock) now() int64 { return int64(time.Since(traceEpoch)) }
+func (traceClock) now() int64 { return traceNow() }
+
+// traceNow is the shared trace timestamp: nanoseconds since the process
+// trace epoch.
+func traceNow() int64 { return int64(time.Since(traceEpoch)) }

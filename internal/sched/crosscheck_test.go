@@ -110,6 +110,11 @@ func crossCheck(t *testing.T, name string, submit func(s sched.Scheduler, a *til
 	if hwm := snap.Gauges["sched.ready_high_water"]; hwm < 1 {
 		t.Errorf("%s: ready_high_water = %g, want >= 1", name, hwm)
 	}
+
+	// Every executed attempt had its queue wait observed.
+	if h, ok := snap.Histograms["sched.queue_wait_ns"]; !ok || h.Count != total {
+		t.Errorf("%s: queue_wait_ns has %d observations, want %d", name, h.Count, total)
+	}
 }
 
 func TestMetricsCrossCheckCholesky(t *testing.T) {
@@ -119,6 +124,88 @@ func TestMetricsCrossCheckCholesky(t *testing.T) {
 	crossCheck(t, "cholesky", func(s sched.Scheduler, a *tile.Matrix[float64]) error {
 		return core.Cholesky(s, a)
 	}, src, n, nb)
+}
+
+func TestMetricsCrossCheckQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, nb = 200, 48
+	src := matgen.Dense[float64](rng, n, n)
+	crossCheck(t, "qr", func(s sched.Scheduler, a *tile.Matrix[float64]) error {
+		core.QR(s, a)
+		s.Wait()
+		return nil
+	}, src, n, nb)
+}
+
+// TestMetricsCrossCheckQRWithRetry reruns the QR cross-check under chaos
+// injection with a generous retry budget. Task counters count *attempts*,
+// so they are checked against the span trace, while distinct span IDs per
+// kernel must still match the recorded graph exactly.
+func TestMetricsCrossCheckQRWithRetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const n, nb = 200, 32
+	src := matgen.Dense[float64](rng, n, n)
+
+	rec := sched.NewRecorder()
+	core.QR(rec, tile.FromColMajor(n, n, src, n, nb))
+	want := kernelCounts(rec.Graph())
+
+	reg := metrics.New()
+	col := &spanCollector{}
+	rt := sched.New(4, sched.WithMetrics(reg), sched.WithTracer(col),
+		sched.WithChaos(42, 0.1, nil), sched.WithRetry(50, 0))
+	core.QR(rt, tile.FromColMajor(n, n, src, n, nb))
+	err := rt.WaitErr()
+	rt.Shutdown()
+	if err != nil {
+		t.Fatalf("qr under chaos+retry: %v", err)
+	}
+	snap := reg.Snapshot()
+
+	ids := map[string]map[int]bool{}
+	attempts := map[string]int64{}
+	var retriedSpans, totalAttempts int64
+	maxAttempt := 0
+	for _, sp := range col.byID() {
+		for _, s := range sp {
+			if s.Attempt == 0 {
+				t.Fatalf("skipped span in a fully retried run: %+v", s)
+			}
+			if ids[s.Name] == nil {
+				ids[s.Name] = map[int]bool{}
+			}
+			ids[s.Name][s.ID] = true
+			attempts[s.Name]++
+			totalAttempts++
+			if s.Outcome == sched.OutcomeRetried || s.Outcome == sched.OutcomeCorrected {
+				retriedSpans++
+			}
+			if s.Attempt > maxAttempt {
+				maxAttempt = s.Attempt
+			}
+		}
+	}
+
+	for kernel, w := range want {
+		if got := int64(len(ids[kernel])); got != w {
+			t.Errorf("kernel %q: %d distinct span IDs, recorder graph has %d tasks", kernel, got, w)
+		}
+		if c := snap.Counters["sched.kernel."+kernel+".tasks"]; c != attempts[kernel] {
+			t.Errorf("kernel %q: counter %d, span trace has %d attempts", kernel, c, attempts[kernel])
+		}
+	}
+	if c := snap.Counters["sched.tasks_retried"]; c != retriedSpans {
+		t.Errorf("tasks_retried = %d, span trace has %d retried attempts", c, retriedSpans)
+	}
+	if c := snap.Counters["sched.tasks_failed"]; c != 0 {
+		t.Errorf("tasks_failed = %d, want 0 with a 50-attempt budget", c)
+	}
+	if c := snap.Counters["sched.tasks_completed"]; c != totalAttempts {
+		t.Errorf("tasks_completed = %d, span trace has %d attempts", c, totalAttempts)
+	}
+	if maxAttempt < 2 {
+		t.Error("chaos at p=0.1 over the QR graph injected no retries")
+	}
 }
 
 func TestMetricsCrossCheckLU(t *testing.T) {

@@ -22,6 +22,7 @@ import (
 //	sched.tasks_skipped              counter (dependents poisoned by a failure)
 //	sched.ready_depth                gauge (current ready-queue length)
 //	sched.ready_high_water           gauge (max ready-queue length seen)
+//	sched.queue_wait_ns              histogram (per-attempt ready→start wait)
 //	sched.worker.<id>.busy_ns        counter (time inside task bodies)
 //	sched.worker.<id>.idle_ns        counter (time waiting for work)
 //	sched.kernel.<name>.tasks        counter
@@ -39,6 +40,7 @@ type rtMetrics struct {
 	skipped   *metrics.Counter
 	depth     *metrics.Gauge
 	highWater *metrics.Gauge
+	queueWait *metrics.Histogram
 	busy      []*metrics.Counter
 	idle      []*metrics.Counter
 
@@ -62,6 +64,7 @@ func newRTMetrics(reg *metrics.Registry, workers int) *rtMetrics {
 		skipped:   reg.Counter("sched.tasks_skipped"),
 		depth:     reg.Gauge("sched.ready_depth"),
 		highWater: reg.Gauge("sched.ready_high_water"),
+		queueWait: reg.Histogram("sched.queue_wait_ns"),
 		busy:      make([]*metrics.Counter, workers),
 		idle:      make([]*metrics.Counter, workers),
 	}
@@ -85,13 +88,17 @@ func (m *rtMetrics) readyLen(n int) {
 	m.highWater.SetMax(float64(n))
 }
 
-// taskDone records one completed task for worker w with execution time ns.
-func (m *rtMetrics) taskDone(name string, w int, ns int64) {
+// taskDone records one executed task attempt for worker w with execution
+// time ns and ready→start queue wait waitNs (negative when unknown).
+func (m *rtMetrics) taskDone(name string, w int, ns, waitNs int64) {
 	if !m.on() {
 		return
 	}
 	m.completed.Inc()
 	m.busy[w].Add(ns)
+	if waitNs >= 0 {
+		m.queueWait.Observe(waitNs)
+	}
 	ks := m.kernel(name)
 	ks.tasks.Inc()
 	ks.ns.Add(ns)

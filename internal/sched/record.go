@@ -60,6 +60,34 @@ func (g *Graph) CriticalPath() float64 {
 	return cp
 }
 
+// FlattenBarriers returns per-node dependency lists with barrier nodes
+// transitively replaced by their own (flattened) dependencies, so analyses
+// that drop barrier nodes — such as SimulateEvents timelines — still see the
+// fork–join ordering as direct task→task edges. Barrier nodes keep an entry
+// (their flattened deps) so indices stay aligned with g.Nodes.
+func (g *Graph) FlattenBarriers() [][]int {
+	flat := make([][]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		seen := map[int]bool{}
+		var deps []int
+		for _, d := range n.Deps {
+			if g.Nodes[d].Barrier {
+				for _, bd := range flat[d] { // deps precede node: flat[d] is final
+					if !seen[bd] {
+						seen[bd] = true
+						deps = append(deps, bd)
+					}
+				}
+			} else if !seen[d] {
+				seen[d] = true
+				deps = append(deps, d)
+			}
+		}
+		flat[i] = deps
+	}
+	return flat
+}
+
 // Tasks returns the number of non-barrier nodes.
 func (g *Graph) Tasks() int {
 	c := 0

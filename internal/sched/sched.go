@@ -82,9 +82,11 @@ type node struct {
 	nDeps    int // remaining unmet dependences; guarded by Runtime.mu
 	seq      int // submission order, for FIFO tie-breaking
 	enqueued bool
-	done     bool // completed; guarded by Runtime.mu
-	attempts int  // executions so far; touched only by the executing worker
-	poisoned bool // an upstream task failed; skip the body. Guarded by mu.
+	done     bool  // completed; guarded by Runtime.mu
+	attempts int   // executions so far; touched only by the executing worker
+	poisoned bool  // an upstream task failed; skip the body. Guarded by mu.
+	deps     []int // dep task seqs, recorded only under a SpanTracer; immutable after link
+	readyAt  int64 // when the node was (last) enqueued; guarded by mu
 }
 
 // Runtime executes tasks on a fixed pool of worker goroutines.
@@ -107,8 +109,9 @@ type Runtime struct {
 	chaos        *chaosState
 	failObs      func(FailureEvent)
 
-	tracer Tracer
-	met    *rtMetrics
+	tracer     Tracer
+	spanTracer SpanTracer // tracer's span extension, when implemented
+	met        *rtMetrics
 }
 
 // access records the dependence frontier for one handle.
@@ -118,7 +121,9 @@ type access struct {
 }
 
 // Tracer receives task lifecycle events from a Runtime. Implementations
-// must be safe for concurrent use.
+// must be safe for concurrent use. A Tracer that also implements SpanTracer
+// receives full spans (per-attempt, with DAG context) instead of TaskRan
+// calls; see span.go.
 type Tracer interface {
 	// TaskRan reports a completed task: which worker ran it and its start
 	// and end times in nanoseconds since the trace epoch.
@@ -128,9 +133,15 @@ type Tracer interface {
 // Option configures a Runtime.
 type Option func(*Runtime)
 
-// WithTracer attaches a tracer to the runtime.
+// WithTracer attaches a tracer to the runtime. If tr also implements
+// SpanTracer the runtime emits spans — one per task attempt, carrying task
+// ID, dependence edges, queue wait, attempt number, and outcome — instead
+// of the legacy TaskRan events.
 func WithTracer(tr Tracer) Option {
-	return func(r *Runtime) { r.tracer = tr }
+	return func(r *Runtime) {
+		r.tracer = tr
+		r.spanTracer, _ = tr.(SpanTracer)
+	}
 }
 
 // WithMetrics directs the runtime's instrumentation (task counts, queue
@@ -189,8 +200,27 @@ func (r *Runtime) Submit(t Task) {
 // link derives dependences for n and registers it in the access map.
 // Caller holds r.mu.
 func (r *Runtime) link(n *node) {
+	record := r.spanTracer != nil
 	addDep := func(from *node) {
-		if from == nil || from == n || from.done {
+		if from == nil || from == n {
+			return
+		}
+		if record {
+			// Record the structural edge for spans even when the dep has
+			// already completed (it imposes no scheduling constraint but is
+			// still part of the DAG). Dep lists are tiny; linear dedupe.
+			dup := false
+			for _, d := range n.deps {
+				if d == from.seq {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				n.deps = append(n.deps, from.seq)
+			}
+		}
+		if from.done {
 			return
 		}
 		from.succs = append(from.succs, n)
@@ -235,6 +265,9 @@ func (r *Runtime) enqueueLocked(n *node) {
 		return
 	}
 	n.enqueued = true
+	if r.spanTracer != nil || r.met.on() {
+		n.readyAt = traceNow() // queue-wait epoch for the next attempt
+	}
 	heap.Push(&r.ready, n)
 	r.met.readyLen(len(r.ready))
 	r.cond.Broadcast()
@@ -260,22 +293,73 @@ func (r *Runtime) worker(id int) {
 
 		start := clock.now()
 		r.met.workerIdle(id, start-idleFrom)
+		// Capture attempt-local state before the retry path can re-enqueue
+		// the node (which resets readyAt and lets another worker bump
+		// attempts concurrently).
+		readyAt := n.readyAt
 		err := r.runTask(n)
 		end := clock.now()
 		idleFrom = end
-		if r.tracer != nil {
+		attempt := n.attempts
+		wait := int64(-1)
+		if readyAt > 0 && readyAt <= start {
+			wait = start - readyAt
+		}
+		r.met.taskDone(n.task.Name, id, end-start, wait)
+
+		var retrying bool
+		var skipped []*node
+		if err == nil {
+			skipped = r.finish(n, false)
+		} else {
+			retrying, skipped = r.resolveFailure(n, err)
+		}
+		if r.spanTracer != nil {
+			sp := Span{
+				ID:      n.seq,
+				Name:    n.task.Name,
+				Worker:  id,
+				Attempt: attempt,
+				Deps:    n.deps,
+				Ready:   readyAt,
+				Start:   start,
+				End:     end,
+				Outcome: outcomeOf(err, retrying),
+			}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			r.spanTracer.TaskSpan(sp)
+			r.emitSkipped(skipped, end)
+		} else if r.tracer != nil {
 			r.tracer.TaskRan(n.task.Name, id, start, end)
 		}
-		r.met.taskDone(n.task.Name, id, end-start)
-
-		if err == nil {
-			r.mu.Lock()
-			r.finishLocked(n, false)
-			r.mu.Unlock()
-			continue
-		}
-		r.resolveFailure(n, err)
 	}
+}
+
+// emitSkipped reports poisoned dependents that will never run as
+// zero-length spans, so DAG analyses see the complete graph.
+func (r *Runtime) emitSkipped(skipped []*node, ts int64) {
+	for _, s := range skipped {
+		r.spanTracer.TaskSpan(Span{
+			ID:      s.seq,
+			Name:    s.task.Name,
+			Worker:  -1,
+			Deps:    s.deps,
+			Start:   ts,
+			End:     ts,
+			Outcome: OutcomeSkipped,
+		})
+	}
+}
+
+// finish completes n outside the worker's fast path, returning the
+// poisoned dependents drained with it (non-empty only under a SpanTracer).
+func (r *Runtime) finish(n *node, failed bool) []*node {
+	r.mu.Lock()
+	skipped := r.finishLocked(n, failed)
+	r.mu.Unlock()
+	return skipped
 }
 
 // runTask executes one attempt of a task body: the chaos layer may delay
@@ -309,8 +393,9 @@ func (r *Runtime) runTask(n *node) (err error) {
 
 // resolveFailure routes one failed attempt: re-enqueue through the retry
 // policy for transient errors, or make the failure permanent and poison
-// the task's dependents.
-func (r *Runtime) resolveFailure(n *node, err error) {
+// the task's dependents. It reports the retry decision and the dependents
+// skipped by a permanent failure (collected only under a SpanTracer).
+func (r *Runtime) resolveFailure(n *node, err error) (retrying bool, skipped []*node) {
 	retry := n.attempts <= r.retryMax && retryable(err)
 	_, panicked := err.(*panicError)
 	if r.failObs != nil {
@@ -330,7 +415,7 @@ func (r *Runtime) resolveFailure(n *node, err error) {
 			r.mu.Lock()
 			r.enqueueLocked(n)
 			r.mu.Unlock()
-			return
+			return true, nil
 		}
 		// The node stays in flight during backoff, so Wait and Shutdown
 		// keep blocking until the retry resolves.
@@ -339,7 +424,7 @@ func (r *Runtime) resolveFailure(n *node, err error) {
 			r.enqueueLocked(n)
 			r.mu.Unlock()
 		})
-		return
+		return true, nil
 	}
 
 	te := &TaskError{
@@ -356,20 +441,23 @@ func (r *Runtime) resolveFailure(n *node, err error) {
 	r.mu.Lock()
 	r.failures = append(r.failures, te)
 	r.met.taskFailed(te.Panicked)
-	r.finishLocked(n, true)
+	skipped = r.finishLocked(n, true)
 	r.mu.Unlock()
+	return false, skipped
 }
 
 // finishLocked marks n complete — failed reports a permanent failure —
 // releases its successors, and drains poisoned dependents inline: a
 // dependent of a failed or skipped task never runs its body, because its
-// inputs are garbage, but it still completes so the DAG drains. Caller
-// holds r.mu.
-func (r *Runtime) finishLocked(n *node, failed bool) {
+// inputs are garbage, but it still completes so the DAG drains. It returns
+// the drained dependents (collected only under a SpanTracer, for skip-span
+// emission outside the lock). Caller holds r.mu.
+func (r *Runtime) finishLocked(n *node, failed bool) []*node {
 	type done struct {
 		n      *node
 		poison bool
 	}
+	var skipped []*node
 	stack := []done{{n, failed}}
 	for len(stack) > 0 {
 		d := stack[len(stack)-1]
@@ -384,6 +472,9 @@ func (r *Runtime) finishLocked(n *node, failed bool) {
 				if s.poisoned {
 					r.skipped++
 					r.met.taskSkipped()
+					if r.spanTracer != nil {
+						skipped = append(skipped, s)
+					}
 					stack = append(stack, done{s, true})
 				} else {
 					r.enqueueLocked(s)
@@ -395,6 +486,7 @@ func (r *Runtime) finishLocked(n *node, failed bool) {
 	if r.inFlight == 0 {
 		r.cond.Broadcast()
 	}
+	return skipped
 }
 
 // Wait blocks until all tasks submitted so far have completed. It is the

@@ -18,10 +18,15 @@ type SimResult struct {
 // SimEvent is one task execution in a simulated schedule, attributed to a
 // virtual worker; times are in seconds.
 type SimEvent struct {
+	// ID is the task's node index in the simulated graph.
+	ID     int
 	Name   string
 	Worker int
-	Start  float64
-	End    float64
+	// Ready is when the task's last dependency finished (0 for initial
+	// tasks); Start-Ready is the simulated queue wait.
+	Ready float64
+	Start float64
+	End   float64
 }
 
 // Simulate replays a recorded graph under the given number of virtual
@@ -59,6 +64,7 @@ func simulate(g *Graph, workers int, record bool) (SimResult, []SimEvent) {
 	}
 	var ready simReadyQueue // deps met
 	var running simRunningQueue
+	readyAt := make([]float64, n)
 	for i := range g.Nodes {
 		if indeg[i] == 0 {
 			heap.Push(&ready, simTask{idx: i, prio: g.Nodes[i].Priority})
@@ -86,7 +92,8 @@ func simulate(g *Graph, workers int, record bool) (SimResult, []SimEvent) {
 			busy += cost
 			if record && !g.Nodes[t.idx].Barrier {
 				events = append(events, SimEvent{
-					Name: g.Nodes[t.idx].Name, Worker: w, Start: now, End: finish,
+					ID: t.idx, Name: g.Nodes[t.idx].Name, Worker: w,
+					Ready: readyAt[t.idx], Start: now, End: finish,
 				})
 			}
 		}
@@ -104,6 +111,7 @@ func simulate(g *Graph, workers int, record bool) (SimResult, []SimEvent) {
 			for _, s := range succs[ev.idx] {
 				indeg[s]--
 				if indeg[s] == 0 {
+					readyAt[s] = now
 					heap.Push(&ready, simTask{idx: s, prio: g.Nodes[s].Priority, seq: s})
 				}
 			}

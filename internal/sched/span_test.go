@@ -1,0 +1,212 @@
+// Span-model tests: the runtime must emit one full-fidelity span per task
+// attempt (and per poisoned task) with correct identities, dependence
+// edges, attempt numbers, and outcomes on both the clean and the
+// fault-tolerant paths.
+package sched_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"exadla/internal/sched"
+)
+
+// spanCollector implements both sched.Tracer and sched.SpanTracer; wired
+// through WithTracer it receives spans, never TaskRan calls.
+type spanCollector struct {
+	mu      sync.Mutex
+	spans   []sched.Span
+	taskRan int
+}
+
+func (c *spanCollector) TaskRan(string, int, int64, int64) {
+	c.mu.Lock()
+	c.taskRan++
+	c.mu.Unlock()
+}
+
+func (c *spanCollector) TaskSpan(sp sched.Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, sp)
+	c.mu.Unlock()
+}
+
+func (c *spanCollector) byID() map[int][]sched.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := map[int][]sched.Span{}
+	for _, sp := range c.spans {
+		m[sp.ID] = append(m[sp.ID], sp)
+	}
+	return m
+}
+
+func TestSpansCleanChain(t *testing.T) {
+	col := &spanCollector{}
+	rt := sched.New(2, sched.WithTracer(col))
+	h := sched.Handle(1)
+	for i := 0; i < 3; i++ {
+		rt.Submit(sched.Task{Name: "step", Writes: []sched.Handle{h}, Fn: func() {}})
+	}
+	rt.Wait()
+	rt.Shutdown()
+
+	if col.taskRan != 0 {
+		t.Errorf("TaskRan called %d times on a SpanTracer", col.taskRan)
+	}
+	if len(col.spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(col.spans))
+	}
+	byID := col.byID()
+	for id := 0; id < 3; id++ {
+		sps := byID[id]
+		if len(sps) != 1 {
+			t.Fatalf("task %d: %d spans, want 1", id, len(sps))
+		}
+		sp := sps[0]
+		if sp.Outcome != sched.OutcomeOK || sp.Attempt != 1 || sp.Err != "" {
+			t.Errorf("task %d: outcome=%v attempt=%d err=%q", id, sp.Outcome, sp.Attempt, sp.Err)
+		}
+		if sp.Worker < 0 || sp.Start > sp.End || sp.Ready == 0 || sp.QueueWait() < 0 {
+			t.Errorf("task %d: worker=%d ready=%d start=%d end=%d", id, sp.Worker, sp.Ready, sp.Start, sp.End)
+		}
+		// WAW chain: task i depends exactly on task i-1.
+		if id == 0 {
+			if len(sp.Deps) != 0 {
+				t.Errorf("task 0 deps = %v, want none", sp.Deps)
+			}
+		} else if len(sp.Deps) != 1 || sp.Deps[0] != id-1 {
+			t.Errorf("task %d deps = %v, want [%d]", id, sp.Deps, id-1)
+		}
+	}
+}
+
+func TestSpansRetryAttempts(t *testing.T) {
+	col := &spanCollector{}
+	rt := sched.New(2, sched.WithTracer(col), sched.WithRetry(5, 0))
+	var tries atomic.Int64
+	rt.Submit(sched.Task{Name: "flaky", FnErr: func() error {
+		if tries.Add(1) <= 2 {
+			return errors.New("transient")
+		}
+		return nil
+	}})
+	if err := rt.WaitErr(); err != nil {
+		t.Fatalf("WaitErr: %v", err)
+	}
+	rt.Shutdown()
+
+	sps := col.byID()[0]
+	if len(sps) != 3 {
+		t.Fatalf("got %d spans, want 3 attempts", len(sps))
+	}
+	for i, sp := range sps {
+		if sp.Attempt != i+1 {
+			t.Errorf("span %d: attempt %d, want %d", i, sp.Attempt, i+1)
+		}
+	}
+	if sps[0].Outcome != sched.OutcomeRetried || sps[1].Outcome != sched.OutcomeRetried {
+		t.Errorf("retried attempts: outcomes %v %v", sps[0].Outcome, sps[1].Outcome)
+	}
+	if sps[0].Err == "" {
+		t.Error("retried span carries no error")
+	}
+	if sps[2].Outcome != sched.OutcomeOK {
+		t.Errorf("final attempt outcome %v", sps[2].Outcome)
+	}
+}
+
+func TestSpansFailureAndSkip(t *testing.T) {
+	col := &spanCollector{}
+	rt := sched.New(2, sched.WithTracer(col))
+	h := sched.Handle(1)
+	rt.Submit(sched.Task{Name: "bad", Writes: []sched.Handle{h}, FnErr: func() error {
+		return errors.New("boom")
+	}})
+	rt.Submit(sched.Task{Name: "dependent", Reads: []sched.Handle{h}, Fn: func() {}})
+	if err := rt.WaitErr(); err == nil {
+		t.Fatal("WaitErr returned nil for a failed graph")
+	}
+	rt.Shutdown()
+
+	byID := col.byID()
+	bad, dep := byID[0], byID[1]
+	if len(bad) != 1 || bad[0].Outcome != sched.OutcomeFailed || bad[0].Err == "" {
+		t.Fatalf("failed task spans: %+v", bad)
+	}
+	if len(dep) != 1 {
+		t.Fatalf("dependent spans: %+v", dep)
+	}
+	sk := dep[0]
+	if sk.Outcome != sched.OutcomeSkipped || sk.Attempt != 0 || sk.Worker != -1 {
+		t.Errorf("skipped span: outcome=%v attempt=%d worker=%d", sk.Outcome, sk.Attempt, sk.Worker)
+	}
+	if len(sk.Deps) != 1 || sk.Deps[0] != 0 {
+		t.Errorf("skipped span deps = %v, want [0]", sk.Deps)
+	}
+	if sk.Start != sk.End {
+		t.Errorf("skipped span has duration: %d..%d", sk.Start, sk.End)
+	}
+}
+
+// corrErr simulates the ABFT corruption report: retryable, with the fault
+// already corrected in place.
+type corrErr struct{}
+
+func (corrErr) Error() string          { return "checksum fault, corrected in place" }
+func (corrErr) CorrectedInPlace() bool { return true }
+
+func TestSpansCorrectedOutcome(t *testing.T) {
+	col := &spanCollector{}
+	rt := sched.New(1, sched.WithTracer(col), sched.WithRetry(3, 0))
+	var tries atomic.Int64
+	rt.Submit(sched.Task{Name: "verify", FnErr: func() error {
+		if tries.Add(1) == 1 {
+			return corrErr{}
+		}
+		return nil
+	}})
+	if err := rt.WaitErr(); err != nil {
+		t.Fatalf("WaitErr: %v", err)
+	}
+	rt.Shutdown()
+
+	sps := col.byID()[0]
+	if len(sps) != 2 {
+		t.Fatalf("got %d spans, want 2", len(sps))
+	}
+	if sps[0].Outcome != sched.OutcomeCorrected {
+		t.Errorf("first attempt outcome %v, want corrected", sps[0].Outcome)
+	}
+	if sps[1].Outcome != sched.OutcomeOK {
+		t.Errorf("second attempt outcome %v, want ok", sps[1].Outcome)
+	}
+}
+
+// legacyTracer implements only the old interface; the runtime must keep
+// calling TaskRan for it.
+type legacyTracer struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (l *legacyTracer) TaskRan(string, int, int64, int64) {
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}
+
+func TestLegacyTracerStillServed(t *testing.T) {
+	lt := &legacyTracer{}
+	rt := sched.New(2, sched.WithTracer(lt))
+	for i := 0; i < 5; i++ {
+		rt.Submit(sched.Task{Name: "t", Fn: func() {}})
+	}
+	rt.Wait()
+	rt.Shutdown()
+	if lt.n != 5 {
+		t.Errorf("TaskRan called %d times, want 5", lt.n)
+	}
+}

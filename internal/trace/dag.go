@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"exadla/internal/sched"
+)
+
+// DAGStats is the dependence-aware view of a trace: the work/span analysis
+// (T₁, T∞) that bounds how fast the recorded DAG could possibly run, plus
+// where the critical path actually spends its time. All times in seconds.
+type DAGStats struct {
+	// Tasks is the number of distinct executed tasks; Attempts counts task
+	// executions including retries, and Retries how many attempts ended
+	// retried or corruption-corrected.
+	Tasks, Attempts, Retries int
+	// T1 is the total work: summed duration of every attempt — the
+	// single-worker makespan lower bound.
+	T1 float64
+	// TInf is the critical-path length: the longest dependence-weighted
+	// chain — the makespan lower bound at infinite parallelism.
+	TInf float64
+	// Makespan is the observed wall-clock extent (first start to last end).
+	Makespan float64
+	// Workers is the number of distinct workers observed.
+	Workers int
+	// CritPath lists the task IDs on one longest path, in execution order;
+	// CritTasks is its length.
+	CritPath  []int
+	CritTasks int
+	// CritShare maps kernel name to its fraction of critical-path time.
+	CritShare map[string]float64
+}
+
+// Speedup returns the achieved speedup T₁/makespan (0 if unmeasurable).
+func (s DAGStats) Speedup() float64 {
+	if s.Makespan <= 0 {
+		return 0
+	}
+	return s.T1 / s.Makespan
+}
+
+// SpeedupBound returns the DAG-limited speedup bound at p workers:
+// min(p, T₁/T∞). No schedule can beat it.
+func (s DAGStats) SpeedupBound(p int) float64 {
+	if s.TInf <= 0 {
+		return float64(p)
+	}
+	return math.Min(float64(p), s.T1/s.TInf)
+}
+
+// BrentBound returns Brent's greedy-schedule makespan upper bound at p
+// workers: T₁/p + T∞. Any work-conserving schedule finishes within it.
+func (s DAGStats) BrentBound(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return s.T1/float64(p) + s.TInf
+}
+
+// dagNode aggregates the attempts of one task ID.
+type dagNode struct {
+	name string
+	deps []int
+	dur  float64 // summed attempt durations, seconds
+}
+
+// AnalyzeDAG computes the work/span decomposition of the recorded trace.
+// Each task's weight is the summed duration of its attempts (a retried task
+// stretches every path through it, which is exactly what retries do to the
+// schedule). Legacy TaskRan events carry no dependence edges; they enter
+// the analysis as independent tasks, so a legacy-only trace reports
+// TInf = max single-task duration. Skipped tasks never ran and are
+// excluded.
+func (l *Log) AnalyzeDAG() DAGStats {
+	events := l.Events()
+	st := DAGStats{CritShare: map[string]float64{}}
+
+	nodes := map[int]*dagNode{}
+	synthetic := -1 // legacy events get unique negative IDs
+	var first, last int64
+	for _, e := range events {
+		if e.Attempt == 0 {
+			continue
+		}
+		if st.Attempts == 0 {
+			first, last = e.Start, e.End
+		}
+		st.Attempts++
+		if e.Outcome == sched.OutcomeRetried || e.Outcome == sched.OutcomeCorrected {
+			st.Retries++
+		}
+		if e.Start < first {
+			first = e.Start
+		}
+		if e.End > last {
+			last = e.End
+		}
+		id := e.ID
+		if id < 0 {
+			id = synthetic
+			synthetic--
+		}
+		n := nodes[id]
+		if n == nil {
+			n = &dagNode{name: e.Name, deps: e.Deps}
+			nodes[id] = n
+		}
+		n.dur += float64(e.End-e.Start) / 1e9
+	}
+	if st.Attempts == 0 {
+		return st
+	}
+	st.Tasks = len(nodes)
+	st.Makespan = float64(last-first) / 1e9
+	workers := map[int]bool{}
+	for _, e := range events {
+		if e.Attempt > 0 && e.Worker >= 0 {
+			workers[e.Worker] = true
+		}
+	}
+	st.Workers = len(workers)
+
+	// Longest-path DP in ID order: dependence edges always point from a
+	// smaller submission sequence number to a larger one.
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	finish := make(map[int]float64, len(nodes))
+	pred := make(map[int]int, len(nodes))
+	critEnd, critFinish := 0, math.Inf(-1)
+	for _, id := range ids {
+		n := nodes[id]
+		st.T1 += n.dur
+		start, p := 0.0, id // p == id means "no predecessor"
+		for _, d := range n.deps {
+			if f, ok := finish[d]; ok && f > start {
+				start, p = f, d
+			}
+		}
+		finish[id] = start + n.dur
+		pred[id] = p
+		if finish[id] > critFinish {
+			critEnd, critFinish = id, finish[id]
+		}
+	}
+	st.TInf = critFinish
+
+	// Backtrack one critical path and attribute its time per kernel.
+	for id := critEnd; ; id = pred[id] {
+		st.CritPath = append(st.CritPath, id)
+		st.CritShare[nodes[id].name] += nodes[id].dur
+		if pred[id] == id {
+			break
+		}
+	}
+	for i, j := 0, len(st.CritPath)-1; i < j; i, j = i+1, j-1 {
+		st.CritPath[i], st.CritPath[j] = st.CritPath[j], st.CritPath[i]
+	}
+	st.CritTasks = len(st.CritPath)
+	if st.TInf > 0 {
+		for k := range st.CritShare {
+			st.CritShare[k] /= st.TInf
+		}
+	}
+	return st
+}

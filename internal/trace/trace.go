@@ -1,7 +1,8 @@
 // Package trace collects per-task execution events from the scheduler and
-// derives the utilization statistics and Gantt-style visualisations the
-// extreme-scale argument is made with: how much of each worker's time is
-// spent computing versus idling at barriers.
+// derives the utilization statistics, DAG critical-path analysis, and
+// Gantt-style visualisations the extreme-scale argument is made with: how
+// much of each worker's time is spent computing versus idling at barriers,
+// and how close a run gets to its DAG-limited speedup.
 package trace
 
 import (
@@ -10,53 +11,163 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"exadla/internal/sched"
 )
 
-// Event records one executed task.
+// Event records one executed task attempt (or one skipped task) with full
+// span context. Legacy TaskRan events carry ID -1 and no dependence edges.
 type Event struct {
+	// ID is the task's submission sequence number, shared by every attempt
+	// of the same task; negative for events recorded via the legacy TaskRan
+	// interface, which has no task identity.
+	ID int
 	// Name is the kernel label.
 	Name string
-	// Worker is the worker index that ran the task.
+	// Worker is the worker index that ran the attempt (-1 for skipped tasks).
 	Worker int
+	// Attempt is the 1-based attempt number (0 for skipped tasks).
+	Attempt int
+	// Deps are the IDs of tasks this one depends on (empty for legacy events).
+	Deps []int
+	// Ready is when the attempt joined the ready queue (nanoseconds since
+	// the trace epoch); Start-Ready is the queue wait. Zero when unknown.
+	Ready int64
 	// Start and End are nanoseconds since the trace epoch.
 	Start, End int64
+	// Outcome classifies how the attempt ended.
+	Outcome sched.Outcome
+	// Err is the attempt's failure message, if any.
+	Err string
 }
 
-// Log accumulates events; it implements sched.Tracer.
+// QueueWait returns Start-Ready, or 0 when the ready time is unknown.
+func (e Event) QueueWait() int64 {
+	if e.Ready == 0 || e.Ready > e.Start {
+		return 0
+	}
+	return e.Start - e.Ready
+}
+
+// Log accumulates events; it implements both sched.Tracer and
+// sched.SpanTracer, so a runtime wired with WithTracer(log) emits
+// full-fidelity spans. Events are buffered per worker — the hot path takes
+// only the owning worker's shard lock, never a global one — and merged (and
+// sorted) on demand by Events.
 type Log struct {
+	mu     sync.Mutex // guards shard-slice growth
+	shards atomic.Pointer[[]*logShard]
+}
+
+type logShard struct {
 	mu     sync.Mutex
 	events []Event
 }
 
+var (
+	_ sched.Tracer     = (*Log)(nil)
+	_ sched.SpanTracer = (*Log)(nil)
+)
+
 // NewLog returns an empty trace log.
 func NewLog() *Log { return &Log{} }
 
-// TaskRan implements the scheduler's Tracer interface.
-func (l *Log) TaskRan(name string, worker int, start, end int64) {
+// shard returns the per-worker buffer, growing the shard table
+// copy-on-write when a new worker index appears. Skipped-task events
+// (worker -1) land in shard 0.
+func (l *Log) shard(w int) *logShard {
+	if w < 0 {
+		w = 0
+	}
+	if p := l.shards.Load(); p != nil && w < len(*p) {
+		return (*p)[w]
+	}
 	l.mu.Lock()
-	l.events = append(l.events, Event{Name: name, Worker: worker, Start: start, End: end})
-	l.mu.Unlock()
+	defer l.mu.Unlock()
+	var cur []*logShard
+	if p := l.shards.Load(); p != nil {
+		cur = *p
+	}
+	if w < len(cur) {
+		return cur[w]
+	}
+	grown := make([]*logShard, w+1)
+	copy(grown, cur)
+	for i := len(cur); i <= w; i++ {
+		grown[i] = &logShard{}
+	}
+	l.shards.Store(&grown)
+	return grown[w]
 }
 
-// Events returns a copy of the recorded events sorted by start time.
+// TaskRan implements the scheduler's legacy Tracer interface. Runtimes that
+// recognise SpanTracer call TaskSpan instead; TaskRan remains for
+// simulations and third-party schedulers.
+func (l *Log) TaskRan(name string, worker int, start, end int64) {
+	s := l.shard(worker)
+	s.mu.Lock()
+	s.events = append(s.events, Event{
+		ID: -1, Name: name, Worker: worker, Attempt: 1,
+		Ready: start, Start: start, End: end,
+	})
+	s.mu.Unlock()
+}
+
+// TaskSpan implements sched.SpanTracer: one call per task attempt and per
+// skipped task.
+func (l *Log) TaskSpan(sp sched.Span) {
+	s := l.shard(sp.Worker)
+	s.mu.Lock()
+	s.events = append(s.events, Event{
+		ID: sp.ID, Name: sp.Name, Worker: sp.Worker, Attempt: sp.Attempt,
+		Deps: sp.Deps, Ready: sp.Ready, Start: sp.Start, End: sp.End,
+		Outcome: sp.Outcome, Err: sp.Err,
+	})
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events merged across worker shards
+// and sorted by start time (ID, then attempt, break ties).
 func (l *Log) Events() []Event {
-	l.mu.Lock()
-	out := append([]Event(nil), l.events...)
-	l.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	var out []Event
+	if p := l.shards.Load(); p != nil {
+		for _, s := range *p {
+			s.mu.Lock()
+			out = append(out, s.events...)
+			s.mu.Unlock()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Attempt < b.Attempt
+	})
 	return out
 }
 
 // Reset discards all recorded events.
 func (l *Log) Reset() {
 	l.mu.Lock()
-	l.events = l.events[:0]
-	l.mu.Unlock()
+	defer l.mu.Unlock()
+	if p := l.shards.Load(); p != nil {
+		for _, s := range *p {
+			s.mu.Lock()
+			s.events = s.events[:0]
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Stats summarizes a trace.
 type Stats struct {
-	// Tasks is the number of events.
+	// Tasks is the number of executed task attempts (skipped tasks are not
+	// counted).
 	Tasks int
 	// Workers is the number of distinct workers observed.
 	Workers int
@@ -70,18 +181,20 @@ type Stats struct {
 	ByKernel map[string]float64
 }
 
-// Analyze computes summary statistics for the log.
+// Analyze computes summary statistics for the log. Skipped-task events
+// (attempt 0) are excluded: they never occupied a worker.
 func (l *Log) Analyze() Stats {
 	events := l.Events()
 	st := Stats{ByKernel: map[string]float64{}}
-	if len(events) == 0 {
-		return st
-	}
-	st.Tasks = len(events)
-	workers := map[int]bool{}
-	first, last := events[0].Start, events[0].End
+	var first, last int64
 	for _, e := range events {
-		workers[e.Worker] = true
+		if e.Attempt == 0 {
+			continue
+		}
+		if st.Tasks == 0 {
+			first, last = e.Start, e.End
+		}
+		st.Tasks++
 		if e.Start < first {
 			first = e.Start
 		}
@@ -91,6 +204,15 @@ func (l *Log) Analyze() Stats {
 		d := float64(e.End-e.Start) / 1e9
 		st.Busy += d
 		st.ByKernel[e.Name] += d
+	}
+	if st.Tasks == 0 {
+		return st
+	}
+	workers := map[int]bool{}
+	for _, e := range events {
+		if e.Attempt > 0 && e.Worker >= 0 {
+			workers[e.Worker] = true
+		}
 	}
 	st.Workers = len(workers)
 	st.Span = float64(last-first) / 1e9
@@ -102,9 +224,16 @@ func (l *Log) Analyze() Stats {
 
 // Gantt renders an ASCII Gantt chart of the trace to w: one row per worker,
 // time bucketed into width columns, each cell showing the initial of the
-// kernel that occupied most of that bucket ('.' for idle).
+// kernel that occupied most of that bucket ('.' for idle). Skipped-task
+// events have no worker lane and are omitted.
 func (l *Log) Gantt(w io.Writer, width int) error {
-	events := l.Events()
+	all := l.Events()
+	events := all[:0:0]
+	for _, e := range all {
+		if e.Attempt > 0 && e.Worker >= 0 {
+			events = append(events, e)
+		}
+	}
 	if len(events) == 0 {
 		_, err := fmt.Fprintln(w, "(empty trace)")
 		return err

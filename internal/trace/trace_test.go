@@ -103,16 +103,31 @@ func TestWriteChrome(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(events) != 2 {
-		t.Fatalf("%d events", len(events))
+	var xs []map[string]any
+	threadNames := map[string]bool{}
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			xs = append(xs, e)
+		case "M":
+			if e["name"] == "thread_name" {
+				threadNames[e["args"].(map[string]any)["name"].(string)] = true
+			}
+		}
 	}
-	if events[0]["name"] != "potrf" || events[0]["ph"] != "X" {
-		t.Errorf("first event: %v", events[0])
+	if len(xs) != 2 {
+		t.Fatalf("%d X events", len(xs))
 	}
-	if events[1]["dur"].(float64) != 3 { // 3000ns = 3µs
-		t.Errorf("duration: %v", events[1]["dur"])
+	if xs[0]["name"] != "potrf" {
+		t.Errorf("first event: %v", xs[0])
 	}
-	if events[1]["tid"].(float64) != 1 {
-		t.Errorf("worker lane: %v", events[1]["tid"])
+	if xs[1]["dur"].(float64) != 3 { // 3000ns = 3µs
+		t.Errorf("duration: %v", xs[1]["dur"])
+	}
+	if xs[1]["tid"].(float64) != 1 {
+		t.Errorf("worker lane: %v", xs[1]["tid"])
+	}
+	if !threadNames["worker 0"] || !threadNames["worker 1"] {
+		t.Errorf("missing thread_name metadata: %v", threadNames)
 	}
 }
