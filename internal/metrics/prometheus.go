@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -41,6 +42,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			var cum int64
 			for _, b := range h.Buckets {
 				cum += b.Count
+				if b.Hi == math.MaxInt64 {
+					// The saturated last bucket is covered by the +Inf sample;
+					// an explicit le="9223372036854775807" line would be
+					// redundant noise for Prometheus consumers.
+					continue
+				}
 				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Hi, cum); err != nil {
 					return err
 				}

@@ -13,6 +13,8 @@ func TestWritePrometheus(t *testing.T) {
 	h.Observe(1) // bucket hi=1
 	h.Observe(3) // bucket hi=3
 	h.Observe(3)
+	big := r.Histogram("sched.kernel.big.latency_ns")
+	big.Observe(1 << 62) // lands in the saturated bucket (hi=MaxInt64)
 
 	var sb strings.Builder
 	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
@@ -31,6 +33,7 @@ func TestWritePrometheus(t *testing.T) {
 		`sched_kernel_gemm_latency_ns_bucket{le="+Inf"} 3` + "\n",
 		"sched_kernel_gemm_latency_ns_sum 7\n",
 		"sched_kernel_gemm_latency_ns_count 3\n",
+		`sched_kernel_big_latency_ns_bucket{le="+Inf"} 1` + "\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -39,6 +42,11 @@ func TestWritePrometheus(t *testing.T) {
 	// Sorted: the counter family precedes the gauge family.
 	if strings.Index(out, "sched_kernel_gemm") > strings.Index(out, "sched_ready_depth") {
 		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	// The saturated MaxInt64 bucket must be folded into +Inf, not emitted
+	// as a duplicate finite-bound sample.
+	if strings.Contains(out, `le="9223372036854775807"`) {
+		t.Errorf("saturated bucket emitted alongside +Inf:\n%s", out)
 	}
 }
 

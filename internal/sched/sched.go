@@ -300,26 +300,23 @@ func (r *Runtime) worker(id int) {
 		err := r.runTask(n)
 		end := clock.now()
 		idleFrom = end
-		attempt := n.attempts
 		wait := int64(-1)
 		if readyAt > 0 && readyAt <= start {
 			wait = start - readyAt
 		}
 		r.met.taskDone(n.task.Name, id, end-start, wait)
 
-		var retrying bool
-		var skipped []*node
-		if err == nil {
-			skipped = r.finish(n, false)
-		} else {
-			retrying, skipped = r.resolveFailure(n, err)
-		}
+		// Emit the attempt's trace event before the node completes or is
+		// re-enqueued: Wait/WaitErr/Shutdown return once inFlight reaches
+		// zero, so anything emitted after finish()/resolveFailure() could be
+		// missed by a caller reading the tracer right after Wait.
+		retrying := err != nil && n.attempts <= r.retryMax && retryable(err)
 		if r.spanTracer != nil {
 			sp := Span{
 				ID:      n.seq,
 				Name:    n.task.Name,
 				Worker:  id,
-				Attempt: attempt,
+				Attempt: n.attempts,
 				Deps:    n.deps,
 				Ready:   readyAt,
 				Start:   start,
@@ -330,9 +327,19 @@ func (r *Runtime) worker(id int) {
 				sp.Err = err.Error()
 			}
 			r.spanTracer.TaskSpan(sp)
-			r.emitSkipped(skipped, end)
 		} else if r.tracer != nil {
 			r.tracer.TaskRan(n.task.Name, id, start, end)
+		}
+
+		var skipped []*node
+		if err == nil {
+			skipped = r.finish(n, false)
+		} else {
+			skipped = r.resolveFailure(n, err, retrying)
+		}
+		if len(skipped) > 0 {
+			r.emitSkipped(skipped, end)
+			r.completeSkipped(len(skipped))
 		}
 	}
 }
@@ -392,11 +399,11 @@ func (r *Runtime) runTask(n *node) (err error) {
 }
 
 // resolveFailure routes one failed attempt: re-enqueue through the retry
-// policy for transient errors, or make the failure permanent and poison
-// the task's dependents. It reports the retry decision and the dependents
-// skipped by a permanent failure (collected only under a SpanTracer).
-func (r *Runtime) resolveFailure(n *node, err error) (retrying bool, skipped []*node) {
-	retry := n.attempts <= r.retryMax && retryable(err)
+// policy when retry (computed by the worker before emitting the attempt's
+// span) is set, or make the failure permanent and poison the task's
+// dependents. It returns the dependents skipped by a permanent failure
+// (collected only under a SpanTracer).
+func (r *Runtime) resolveFailure(n *node, err error, retry bool) (skipped []*node) {
 	_, panicked := err.(*panicError)
 	if r.failObs != nil {
 		r.failObs(FailureEvent{
@@ -415,7 +422,7 @@ func (r *Runtime) resolveFailure(n *node, err error) (retrying bool, skipped []*
 			r.mu.Lock()
 			r.enqueueLocked(n)
 			r.mu.Unlock()
-			return true, nil
+			return nil
 		}
 		// The node stays in flight during backoff, so Wait and Shutdown
 		// keep blocking until the retry resolves.
@@ -424,7 +431,7 @@ func (r *Runtime) resolveFailure(n *node, err error) (retrying bool, skipped []*
 			r.enqueueLocked(n)
 			r.mu.Unlock()
 		})
-		return true, nil
+		return nil
 	}
 
 	te := &TaskError{
@@ -443,7 +450,7 @@ func (r *Runtime) resolveFailure(n *node, err error) (retrying bool, skipped []*
 	r.met.taskFailed(te.Panicked)
 	skipped = r.finishLocked(n, true)
 	r.mu.Unlock()
-	return false, skipped
+	return skipped
 }
 
 // finishLocked marks n complete — failed reports a permanent failure —
@@ -483,10 +490,25 @@ func (r *Runtime) finishLocked(n *node, failed bool) []*node {
 		}
 		r.inFlight--
 	}
+	// Dependents collected for skip-span emission stay in flight until
+	// completeSkipped runs, so Wait cannot observe a drained DAG whose
+	// trace is still missing their spans.
+	r.inFlight += len(skipped)
 	if r.inFlight == 0 {
 		r.cond.Broadcast()
 	}
 	return skipped
+}
+
+// completeSkipped retires poisoned dependents whose skip-spans have just
+// been emitted; finishLocked deferred their inFlight decrement.
+func (r *Runtime) completeSkipped(count int) {
+	r.mu.Lock()
+	r.inFlight -= count
+	if r.inFlight == 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
 }
 
 // Wait blocks until all tasks submitted so far have completed. It is the

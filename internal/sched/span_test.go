@@ -43,6 +43,13 @@ func (c *spanCollector) byID() map[int][]sched.Span {
 	return m
 }
 
+// counts reads the collector's totals under its lock.
+func (c *spanCollector) counts() (spans, taskRan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans), c.taskRan
+}
+
 func TestSpansCleanChain(t *testing.T) {
 	col := &spanCollector{}
 	rt := sched.New(2, sched.WithTracer(col))
@@ -53,11 +60,12 @@ func TestSpansCleanChain(t *testing.T) {
 	rt.Wait()
 	rt.Shutdown()
 
-	if col.taskRan != 0 {
-		t.Errorf("TaskRan called %d times on a SpanTracer", col.taskRan)
+	nSpans, nTaskRan := col.counts()
+	if nTaskRan != 0 {
+		t.Errorf("TaskRan called %d times on a SpanTracer", nTaskRan)
 	}
-	if len(col.spans) != 3 {
-		t.Fatalf("got %d spans, want 3", len(col.spans))
+	if nSpans != 3 {
+		t.Fatalf("got %d spans, want 3", nSpans)
 	}
 	byID := col.byID()
 	for id := 0; id < 3; id++ {
@@ -151,6 +159,34 @@ func TestSpansFailureAndSkip(t *testing.T) {
 	}
 }
 
+// TestSpansCompleteAtWait pins the emission-ordering guarantee: every span
+// — attempt spans and skip-spans alike — is emitted before Wait/WaitErr can
+// observe the DAG drained, so a caller reading the tracer right after Wait
+// always sees the complete trace.
+func TestSpansCompleteAtWait(t *testing.T) {
+	col := &spanCollector{}
+	rt := sched.New(4, sched.WithTracer(col))
+	defer rt.Shutdown()
+	total := 0
+	for round := 0; round < 25; round++ {
+		h := sched.Handle(round)
+		rt.Submit(sched.Task{Name: "bad", Writes: []sched.Handle{h}, FnErr: func() error {
+			return errors.New("boom")
+		}})
+		rt.Submit(sched.Task{Name: "dep", Reads: []sched.Handle{h}, Fn: func() {}})
+		for i := 0; i < 6; i++ {
+			rt.Submit(sched.Task{Name: "ok", Fn: func() {}})
+		}
+		total += 8
+		if err := rt.WaitErr(); err == nil {
+			t.Fatal("WaitErr returned nil for a failed graph")
+		}
+		if n, _ := col.counts(); n != total {
+			t.Fatalf("round %d: %d spans at WaitErr-return, want %d", round, n, total)
+		}
+	}
+}
+
 // corrErr simulates the ABFT corruption report: retryable, with the fault
 // already corrected in place.
 type corrErr struct{}
@@ -198,6 +234,12 @@ func (l *legacyTracer) TaskRan(string, int, int64, int64) {
 	l.mu.Unlock()
 }
 
+func (l *legacyTracer) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
 func TestLegacyTracerStillServed(t *testing.T) {
 	lt := &legacyTracer{}
 	rt := sched.New(2, sched.WithTracer(lt))
@@ -206,7 +248,7 @@ func TestLegacyTracerStillServed(t *testing.T) {
 	}
 	rt.Wait()
 	rt.Shutdown()
-	if lt.n != 5 {
-		t.Errorf("TaskRan called %d times, want 5", lt.n)
+	if n := lt.count(); n != 5 {
+		t.Errorf("TaskRan called %d times, want 5", n)
 	}
 }
