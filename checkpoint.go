@@ -1,0 +1,77 @@
+package exadla
+
+import (
+	"fmt"
+
+	"exadla/internal/ckpt"
+	"exadla/internal/core"
+	"exadla/internal/tile"
+)
+
+// WithCheckpoint arms checkpoint/restart on Cholesky, SolveSPD, LU and
+// Solve: after every `every`-th panel step (minimum 1) a consistent
+// snapshot of the tile matrix and the DAG frontier — plus, for LU, the
+// pivot state of the completed steps — is written atomically into dir.
+// A run that dies can be resumed with Context.Resume and, the kernels
+// being deterministic, finishes with a factor bitwise identical to an
+// uninterrupted run. A checkpoint that cannot be written fails the
+// factorization rather than continuing unprotected.
+//
+// Checkpointing currently takes precedence over WithFaultTolerance on
+// the same Context: the snapshot task would need to capture checksum
+// state too for the two to compose, which is future work. Use ABFT for
+// silent corruption and in-run hard faults, checkpointing for whole-
+// process loss.
+func WithCheckpoint(dir string, every int) Option {
+	if dir == "" {
+		panic("exadla: WithCheckpoint needs a directory")
+	}
+	return func(c *Context) {
+		c.ckptDir = dir
+		c.ckptEvery = every
+	}
+}
+
+func (c *Context) ckptOptions() core.CkptOptions {
+	return core.CkptOptions{Dir: c.ckptDir, Every: c.ckptEvery}
+}
+
+// Resumed is the result of Context.Resume: the factorization kind found
+// in the checkpoint directory and the finished factor, ready to solve
+// with — exactly one of Cholesky and LU is non-nil.
+type Resumed struct {
+	// Op is "cholesky" or "lu".
+	Op       string
+	Cholesky *CholeskyFactor
+	LU       *LUFactor
+}
+
+// Resume restarts the factorization recorded in dir from its newest
+// valid checkpoint (corrupt or torn files are skipped; older snapshots
+// are used instead), runs it to completion, and returns the finished
+// factor. The remaining panel steps replay the identical kernels on the
+// checkpointed bits, so the factor matches what the interrupted run
+// would have produced, bitwise. Checkpointing continues during the
+// resumed run, into the same directory.
+func (c *Context) Resume(dir string) (*Resumed, error) {
+	ck, path, err := ckpt.Latest(dir)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.CkptOptions{Dir: dir, Every: c.ckptEvery}
+	switch ck.Op {
+	case ckpt.OpCholesky:
+		var t *tile.Matrix[float64]
+		if t, err = core.ResumeCholesky(c.scheduler(), ck, opt); err != nil {
+			return nil, fmt.Errorf("exadla: resuming %s: %w", path, err)
+		}
+		return &Resumed{Op: "cholesky", Cholesky: &CholeskyFactor{ctx: c, l: t, n: ck.M}}, nil
+	case ckpt.OpLU:
+		var f *core.LUFactors[float64]
+		if f, err = core.ResumeLU(c.scheduler(), ck, opt); err != nil {
+			return nil, fmt.Errorf("exadla: resuming %s: %w", path, err)
+		}
+		return &Resumed{Op: "lu", LU: &LUFactor{ctx: c, f: f, n: ck.M}}, nil
+	}
+	return nil, fmt.Errorf("exadla: checkpoint %s holds unknown operation %v", path, ck.Op)
+}

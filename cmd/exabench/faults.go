@@ -50,6 +50,16 @@ func runFaults(quick bool) {
 	fmt.Println("--- ABFT recovery: checksum-detected corruption, corrected in place ---")
 	fmt.Println()
 	abftDemo(n, nb, workers)
+
+	fmt.Println()
+	fmt.Println("--- hard faults (E6c): worker kills reaped by the watchdog, lost tiles rebuilt from parity ---")
+	fmt.Println()
+	hardFaultSweep(n, nb, workers)
+
+	fmt.Println()
+	fmt.Println("--- checkpoint/restart: abort mid-factorization, resume to a bitwise-identical factor ---")
+	fmt.Println()
+	checkpointDemo(n, nb, workers)
 }
 
 // chaosRun factors one matrix under a seeded chaos layer with generous

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"exadla/internal/ckpt"
+	"exadla/internal/core"
+	"exadla/internal/ft"
+	"exadla/internal/matgen"
+	"exadla/internal/metrics"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// hardFaultSweep is the E6c experiment: factor under worker-kill chaos with
+// a budget of k ∈ {0, 1, 2} kills at seeded points, plus one deliberately
+// lost tile rebuilt from row parity. The watchdog reaps each killed
+// worker's task at the deadline, a replacement worker re-executes it, and
+// the factor must still match the fault-free run bit for bit.
+func hardFaultSweep(n, nb, workers int) {
+	deadline := 300 * time.Millisecond
+	killProb := 0.10
+	tb := newTable("op", "n", "kill budget", "workers lost", "timed out", "tiles rebuilt", "max |Δ| vs clean", "status")
+	for _, op := range []string{"cholesky", "lu"} {
+		rng := rand.New(rand.NewSource(2016))
+		aD := matgen.DiagDomSPD[float64](rng, n)
+
+		// Fault-free reference factor.
+		clean := tile.FromColMajor(n, n, aD, n, nb)
+		rc := sched.New(workers)
+		var cleanErr error
+		if op == "cholesky" {
+			cleanErr = core.Cholesky(rc, clean)
+		} else {
+			_, cleanErr = core.LU(rc, clean)
+		}
+		rc.Shutdown()
+		if cleanErr != nil {
+			tb.add(op, n, "-", 0, 0, 0, "-", "reference failed: "+cleanErr.Error())
+			continue
+		}
+
+		for k := 0; k <= 2; k++ {
+			var stats ft.Stats
+			a := tile.FromColMajor(n, n, aD, n, nb)
+			reg := metrics.New()
+			r := sched.New(workers,
+				sched.WithMetrics(reg),
+				sched.WithRetry(50, 0),
+				sched.WithTaskDeadline(deadline),
+				sched.WithHardChaos(2016+int64(k), killProb, 0, k),
+			)
+			opt := core.FTOptions{
+				Stats:     &stats,
+				Erasure:   true,
+				LoseTiles: []core.TileLoss{{Step: 1, I: 2, J: 0}},
+			}
+			var err error
+			if op == "cholesky" {
+				err = core.ResilientCholesky(r, a, opt)
+			} else {
+				_, err = core.ResilientLU(r, a, opt)
+			}
+			r.Shutdown()
+			status := "bitwise"
+			if err != nil {
+				status = "FAILED: " + err.Error()
+			}
+			diff := factorDiff(op, clean, a, nb)
+			if diff != 0 && err == nil {
+				status = "DIVERGED"
+			}
+			snap := reg.Snapshot()
+			tb.add(op, n, k,
+				snap.Counters["sched.workers_lost"],
+				snap.Counters["sched.tasks_timed_out"],
+				stats.TilesReconstructed.Load(), diff, status)
+		}
+	}
+	tb.print()
+}
+
+// factorDiff compares the meaningful part of the factor bitwise: the lower
+// triangle for Cholesky (entries above the diagonal are dead storage), the
+// whole array for LU.
+func factorDiff(op string, clean, got *tile.Matrix[float64], nb int) float64 {
+	cd, gd := clean.ToColMajor(), got.ToColMajor()
+	n := clean.M
+	var diff float64
+	for j := 0; j < n; j++ {
+		lo := 0
+		if op == "cholesky" {
+			lo = j
+		}
+		for i := lo; i < n; i++ {
+			if d := math.Abs(cd[i+j*n] - gd[i+j*n]); d > diff {
+				diff = d
+			}
+		}
+	}
+	return diff
+}
+
+// checkpointDemo aborts a checkpointed factorization mid-flight, resumes it
+// from the newest snapshot on disk, and checks the resumed factor is
+// bitwise identical to an uninterrupted run.
+func checkpointDemo(n, nb, workers int) {
+	tb := newTable("op", "n", "abort after step", "resumed from", "max |Δ| vs clean", "status")
+	for _, op := range []string{"cholesky", "lu"} {
+		rng := rand.New(rand.NewSource(2016))
+		aD := matgen.DiagDomSPD[float64](rng, n)
+
+		clean := tile.FromColMajor(n, n, aD, n, nb)
+		rc := sched.New(workers)
+		var cleanErr error
+		if op == "cholesky" {
+			cleanErr = core.Cholesky(rc, clean)
+		} else {
+			_, cleanErr = core.LU(rc, clean)
+		}
+		rc.Shutdown()
+		if cleanErr != nil {
+			tb.add(op, n, "-", "-", "-", "reference failed: "+cleanErr.Error())
+			continue
+		}
+
+		dir, err := os.MkdirTemp("", "exabench-ckpt-*")
+		if err != nil {
+			tb.add(op, n, "-", "-", "-", "tempdir: "+err.Error())
+			continue
+		}
+		defer os.RemoveAll(dir)
+
+		abortAt := clean.NT / 2
+		opt := core.CkptOptions{Dir: dir, Every: 1, AbortAtStep: abortAt}
+		a := tile.FromColMajor(n, n, aD, n, nb)
+		r := sched.New(workers)
+		if op == "cholesky" {
+			err = core.CheckpointedCholesky(r, a, opt)
+		} else {
+			_, err = core.CheckpointedLU(r, a, opt)
+		}
+		r.Shutdown()
+		if !errors.Is(err, core.ErrAborted) {
+			tb.add(op, n, abortAt, "-", "-", fmt.Sprintf("expected abort, got %v", err))
+			continue
+		}
+
+		ck, _, err := ckpt.Latest(dir)
+		if err != nil {
+			tb.add(op, n, abortAt, "-", "-", "no checkpoint: "+err.Error())
+			continue
+		}
+		r2 := sched.New(workers)
+		var resumed *tile.Matrix[float64]
+		ropt := core.CkptOptions{Dir: dir, Every: 1}
+		if op == "cholesky" {
+			resumed, err = core.ResumeCholesky(r2, ck, ropt)
+		} else {
+			var f *core.LUFactors[float64]
+			f, err = core.ResumeLU(r2, ck, ropt)
+			if err == nil {
+				resumed = f.A
+			}
+		}
+		r2.Shutdown()
+		if err != nil {
+			tb.add(op, n, abortAt, ck.Step, "-", "resume failed: "+err.Error())
+			continue
+		}
+		diff := factorDiff(op, clean, resumed, nb)
+		status := "bitwise"
+		if diff != 0 {
+			status = "DIVERGED"
+		}
+		tb.add(op, n, abortAt, fmt.Sprintf("step %d", ck.Step), diff, status)
+	}
+	tb.print()
+}

@@ -51,6 +51,7 @@ type Context struct {
 
 	// Fault-tolerance configuration (fault.go).
 	faultTolerant bool
+	erasure       bool
 	retryMax      int
 	retryBackoff  time.Duration
 	retrySet      bool
@@ -58,10 +59,24 @@ type Context struct {
 	chaosProb     float64
 	chaosSet      bool
 
+	// Hard-fault configuration (fault.go): liveness deadline and the
+	// worker-kill / task-hang chaos modes.
+	taskDeadline    time.Duration
+	hardChaosSeed   int64
+	killWorkerProb  float64
+	hangTaskProb    float64
+	hardChaosBudget int
+	hardChaosSet    bool
+
+	// Checkpoint/restart configuration (checkpoint.go).
+	ckptDir   string
+	ckptEvery int
+
 	// Fault-tolerance counters (see Context.FaultStats).
-	ftStats ft.Stats
-	retried atomic.Int64
-	failed  atomic.Int64
+	ftStats  ft.Stats
+	retried  atomic.Int64
+	failed   atomic.Int64
+	timedOut atomic.Int64
 
 	rt  *sched.Runtime
 	log *trace.Log

@@ -43,6 +43,49 @@ func WithChaos(seed int64, taskFailProb float64) Option {
 	}
 }
 
+// WithTaskDeadline arms the scheduler's liveness watchdog: a task attempt
+// that has not completed d after starting is presumed lost with its worker
+// (hang, deadlock, dead process), the worker is replaced, and the task is
+// re-executed through the retry path. Choose d comfortably above the
+// slowest legitimate kernel — a deadline that fires on healthy tasks burns
+// retry budget on re-executions that were never needed.
+func WithTaskDeadline(d time.Duration) Option {
+	return func(c *Context) { c.taskDeadline = d }
+}
+
+// WithHardChaos injects hard faults for resilience testing: each task
+// attempt is, with the given probabilities, killed together with its
+// worker (KillWorker: the goroutine executing it exits) or hung forever
+// (HangTask: the attempt never completes) — both struck before the task
+// body runs, so a watchdog re-execution computes on clean inputs.
+// maxFaults caps the total number of strikes (negative means unlimited).
+// Recovery requires the watchdog, so if no WithTaskDeadline was given a
+// 2-second deadline is installed, and if no WithTaskRetry was given the
+// retry budget defaults to 50 attempts (hard faults re-execute through
+// the retry path).
+func WithHardChaos(seed int64, killWorkerProb, hangTaskProb float64, maxFaults int) Option {
+	return func(c *Context) {
+		c.hardChaosSeed = seed
+		c.killWorkerProb, c.hangTaskProb = killWorkerProb, hangTaskProb
+		c.hardChaosBudget = maxFaults
+		c.hardChaosSet = true
+	}
+}
+
+// WithErasure arms per-tile-row XOR parity on the fault-tolerant
+// factorizations (implies WithFaultTolerance): finalized tiles are
+// committed to a parity group, and a tile found wholesale-lost by
+// checksum verification — faults across multiple columns rather than a
+// single flipped entry — is rebuilt bit-exactly by XOR subtraction
+// instead of failing the run. FaultStats.TilesReconstructed counts the
+// rebuilds.
+func WithErasure() Option {
+	return func(c *Context) {
+		c.faultTolerant = true
+		c.erasure = true
+	}
+}
+
 // FaultStats is a point-in-time snapshot of the Context's fault-tolerance
 // counters, accumulated across operations since the Context was created.
 type FaultStats struct {
@@ -56,17 +99,26 @@ type FaultStats struct {
 	// policy; Failed counts task failures that exhausted it (or were not
 	// retryable).
 	Retried, Failed int64
+	// TilesReconstructed counts whole tiles rebuilt from row parity after
+	// a hard loss (WithErasure).
+	TilesReconstructed int64
+	// TimedOut counts task attempts reaped by the liveness watchdog
+	// (WithTaskDeadline) — each one also cost a presumed-dead worker its
+	// slot (the pool replaces it).
+	TimedOut int64
 }
 
 // FaultStats reports the fault-tolerance counters.
 func (c *Context) FaultStats() FaultStats {
 	return FaultStats{
-		Injected:  c.ftStats.Injected.Load(),
-		Detected:  c.ftStats.Detected.Load(),
-		Corrected: c.ftStats.Corrected.Load(),
-		Unlocated: c.ftStats.Unlocated.Load(),
-		Retried:   c.retried.Load(),
-		Failed:    c.failed.Load(),
+		Injected:           c.ftStats.Injected.Load(),
+		Detected:           c.ftStats.Detected.Load(),
+		Corrected:          c.ftStats.Corrected.Load(),
+		Unlocated:          c.ftStats.Unlocated.Load(),
+		Retried:            c.retried.Load(),
+		Failed:             c.failed.Load(),
+		TilesReconstructed: c.ftStats.TilesReconstructed.Load(),
+		TimedOut:           c.timedOut.Load(),
 	}
 }
 
@@ -78,13 +130,29 @@ func (c *Context) faultSchedOpts() []sched.Option {
 	if !c.retrySet && c.faultTolerant {
 		retryMax, backoff = 3, 0
 	}
+	if !c.retrySet && c.hardChaosSet {
+		// Hard-fault recovery rides on retries, and every kill or hang
+		// consumes one attempt: be generous by default.
+		retryMax, backoff = 50, 0
+	}
 	if retryMax > 0 {
 		opts = append(opts, sched.WithRetry(retryMax, backoff))
 	}
 	if c.chaosSet {
 		opts = append(opts, sched.WithChaos(c.chaosSeed, c.chaosProb, nil))
 	}
-	if retryMax > 0 || c.chaosSet || c.faultTolerant || c.eventLog != nil {
+	deadline := c.taskDeadline
+	if deadline <= 0 && c.hardChaosSet {
+		// The watchdog is the only recovery path for hard chaos; arm it.
+		deadline = 2 * time.Second
+	}
+	if deadline > 0 {
+		opts = append(opts, sched.WithTaskDeadline(deadline))
+	}
+	if c.hardChaosSet {
+		opts = append(opts, sched.WithHardChaos(c.hardChaosSeed, c.killWorkerProb, c.hangTaskProb, c.hardChaosBudget))
+	}
+	if retryMax > 0 || c.chaosSet || c.hardChaosSet || deadline > 0 || c.faultTolerant || c.eventLog != nil {
 		logFn := func(sched.FailureEvent) {}
 		if c.eventLog != nil {
 			logFn = obs.FailureLogger(c.eventLog)
@@ -95,30 +163,42 @@ func (c *Context) faultSchedOpts() []sched.Option {
 			} else {
 				c.failed.Add(1)
 			}
+			if ev.TimedOut {
+				c.timedOut.Add(1)
+			}
 			logFn(ev)
 		}))
 	}
 	return opts
 }
 
-// ftOptions builds the per-operation resilience options. Corruption
-// injection hooks are deliberately not part of the public surface — the
-// benchmark fault driver and the tests use internal/core directly.
+// ftOptions builds the per-operation resilience options. Corruption and
+// loss injection hooks are deliberately not part of the public surface —
+// the benchmark fault driver and the tests use internal/core directly.
 func (c *Context) ftOptions() core.FTOptions {
-	return core.FTOptions{Stats: &c.ftStats}
+	return core.FTOptions{Stats: &c.ftStats, Erasure: c.erasure}
 }
 
-// cholesky routes to the resilient or plain tile factorization per the
-// Context configuration.
+// cholesky routes to the checkpointed, resilient, or plain tile
+// factorization per the Context configuration. Checkpointing takes
+// precedence over ABFT (see WithCheckpoint for why they do not compose
+// yet).
 func (c *Context) cholesky(t *tile.Matrix[float64]) error {
+	if c.ckptDir != "" {
+		return core.CheckpointedCholesky(c.scheduler(), t, c.ckptOptions())
+	}
 	if c.faultTolerant {
 		return core.ResilientCholesky(c.scheduler(), t, c.ftOptions())
 	}
 	return core.Cholesky(c.scheduler(), t)
 }
 
-// lu routes to the resilient or plain tile LU factorization.
+// lu routes to the checkpointed, resilient, or plain tile LU
+// factorization.
 func (c *Context) lu(t *tile.Matrix[float64]) (*core.LUFactors[float64], error) {
+	if c.ckptDir != "" {
+		return core.CheckpointedLU(c.scheduler(), t, c.ckptOptions())
+	}
 	if c.faultTolerant {
 		return core.ResilientLU(c.scheduler(), t, c.ftOptions())
 	}

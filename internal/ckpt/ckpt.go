@@ -1,0 +1,392 @@
+// Package ckpt serializes factorization checkpoints: a consistent
+// snapshot of the tile matrix plus the DAG frontier (the next panel step)
+// and, for LU, the pivot and elimination-stack state accumulated by the
+// completed steps. The format is self-contained binary — magic, a
+// length-prefixed payload of fixed-width little-endian words, and a CRC32
+// trailer — so a checkpoint survives process death and partial writes are
+// rejected rather than resumed from.
+//
+// Bitwise fidelity is part of the contract: float64 values are stored as
+// their IEEE-754 bit patterns, so a run resumed from a checkpoint
+// continues from *exactly* the aborted run's state and (the kernels being
+// deterministic) finishes with a factor bitwise identical to an
+// uninterrupted run. That is the property the restart tests assert.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Op identifies the factorization a checkpoint belongs to.
+type Op uint8
+
+const (
+	OpCholesky Op = 1
+	OpLU       Op = 2
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpCholesky:
+		return "cholesky"
+	case OpLU:
+		return "lu"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Checkpoint is one consistent factorization snapshot: every panel step
+// before Step has fully executed, none after it has started.
+type Checkpoint struct {
+	Op   Op
+	Step int // next panel step to execute on resume
+	M, N int // matrix dimensions
+	NB   int // tile size
+	// Data is the column-major matrix snapshot (M×N, leading dimension M).
+	Data []float64
+	// DiagPiv, StackL, StackPiv mirror core.LUFactors for the completed
+	// steps (nil entries for work not yet done); empty for Cholesky.
+	DiagPiv  [][]int
+	StackL   [][]float64
+	StackPiv [][]int
+}
+
+var (
+	magic = [8]byte{'E', 'X', 'A', 'D', 'L', 'A', 'C', '1'}
+
+	// ErrNoCheckpoint is returned by Latest when the directory holds no
+	// loadable checkpoint.
+	ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+)
+
+// Caps keep Decode from trusting hostile or torn length fields with huge
+// allocations; they bound, not model, real checkpoint sizes.
+const (
+	maxPayload = 1 << 31 // bytes
+	maxDim     = 1 << 20 // M, N
+	maxList    = 1 << 24 // outer or inner slice lengths
+)
+
+// Encode writes the checkpoint to w.
+func Encode(w io.Writer, c *Checkpoint) error {
+	if len(c.Data) != c.M*c.N {
+		return fmt.Errorf("ckpt: Data has %d elements for a %d×%d matrix", len(c.Data), c.M, c.N)
+	}
+	var buf bytes.Buffer
+	putU8 := func(v uint8) { buf.WriteByte(v) }
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	putU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	putU8(uint8(c.Op))
+	putU32(uint32(c.Step))
+	putU32(uint32(c.M))
+	putU32(uint32(c.N))
+	putU32(uint32(c.NB))
+	for _, v := range c.Data {
+		putU64(math.Float64bits(v))
+	}
+	putIntLists := func(ls [][]int) {
+		putU32(uint32(len(ls)))
+		for _, l := range ls {
+			if l == nil {
+				putU32(^uint32(0))
+				continue
+			}
+			putU32(uint32(len(l)))
+			for _, v := range l {
+				putU64(uint64(int64(v)))
+			}
+		}
+	}
+	putU32(uint32(len(c.StackL)))
+	for _, l := range c.StackL {
+		if l == nil {
+			putU32(^uint32(0))
+			continue
+		}
+		putU32(uint32(len(l)))
+		for _, v := range l {
+			putU64(math.Float64bits(v))
+		}
+	}
+	putIntLists(c.DiagPiv)
+	putIntLists(c.StackPiv)
+
+	payload := buf.Bytes()
+	var hdr [16]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// payloadReader parses fixed-width words out of a validated payload,
+// latching the first error.
+type payloadReader struct {
+	b   []byte
+	err error
+}
+
+func (r *payloadReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: "+format, args...)
+	}
+}
+
+func (r *payloadReader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail("truncated payload")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.fail("truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+// listLen reads an inner-list length: ^0 means a nil slice, anything
+// above maxList (or beyond the remaining payload) is rejected.
+func (r *payloadReader) listLen() (n int, isNil bool) {
+	v := r.u32()
+	if r.err != nil {
+		return 0, false
+	}
+	if v == ^uint32(0) {
+		return 0, true
+	}
+	if v > maxList || int(v)*8 > len(r.b) {
+		r.fail("list length %d exceeds payload", v)
+		return 0, false
+	}
+	return int(v), false
+}
+
+func (r *payloadReader) intLists() [][]int {
+	n, _ := r.listLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([][]int, n)
+	for i := range out {
+		m, isNil := r.listLen()
+		if r.err != nil {
+			return nil
+		}
+		if isNil {
+			continue
+		}
+		l := make([]int, m)
+		for j := range l {
+			l[j] = int(int64(r.u64()))
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// Decode reads one checkpoint from r, verifying magic, length, and CRC
+// before trusting any field.
+func Decode(rd io.Reader) (*Checkpoint, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: reading header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, errors.New("ckpt: bad magic")
+	}
+	plen := binary.LittleEndian.Uint64(hdr[8:])
+	if plen > maxPayload {
+		return nil, fmt.Errorf("ckpt: payload length %d exceeds cap", plen)
+	}
+	// Read incrementally rather than pre-allocating plen bytes: a torn or
+	// hostile header may declare a payload far larger than the file.
+	payload, err := io.ReadAll(io.LimitReader(rd, int64(plen)))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading payload: %w", err)
+	}
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("ckpt: payload truncated (%d of %d bytes)", len(payload), plen)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(rd, tail[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: reading checksum: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(tail[:]); got != want {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (%08x != %08x)", got, want)
+	}
+
+	r := &payloadReader{b: payload}
+	c := &Checkpoint{}
+	c.Op = Op(r.u8())
+	c.Step = int(r.u32())
+	c.M = int(r.u32())
+	c.N = int(r.u32())
+	c.NB = int(r.u32())
+	if r.err == nil {
+		switch {
+		case c.Op != OpCholesky && c.Op != OpLU:
+			r.fail("unknown op %d", uint8(c.Op))
+		case c.M <= 0 || c.N <= 0 || c.M > maxDim || c.N > maxDim:
+			r.fail("bad dimensions %d×%d", c.M, c.N)
+		case c.NB <= 0 || c.NB > maxDim:
+			r.fail("bad tile size %d", c.NB)
+		case c.Step < 0 || c.Step > maxDim:
+			r.fail("bad step %d", c.Step)
+		case c.M*c.N*8 > len(r.b):
+			r.fail("matrix data exceeds payload")
+		}
+	}
+	if r.err == nil {
+		c.Data = make([]float64, c.M*c.N)
+		for i := range c.Data {
+			c.Data[i] = math.Float64frombits(r.u64())
+		}
+	}
+	if n, _ := r.listLen(); r.err == nil && n > 0 {
+		c.StackL = make([][]float64, n)
+		for i := range c.StackL {
+			m, isNil := r.listLen()
+			if r.err != nil {
+				break
+			}
+			if isNil {
+				continue
+			}
+			l := make([]float64, m)
+			for j := range l {
+				l[j] = math.Float64frombits(r.u64())
+			}
+			c.StackL[i] = l
+		}
+	}
+	c.DiagPiv = r.intLists()
+	c.StackPiv = r.intLists()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes in payload", len(r.b))
+	}
+	return c, nil
+}
+
+// fileName is the canonical checkpoint file name for a frontier step.
+func fileName(step int) string { return fmt.Sprintf("ckpt-%06d.ckpt", step) }
+
+// Save atomically writes the checkpoint into dir as ckpt-<step>.ckpt
+// (write to a temp file, fsync, rename), creating dir if needed, and
+// returns the final path. A reader never observes a torn file.
+func Save(dir string, c *Checkpoint) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Encode(tmp, c); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fileName(c.Step))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads and validates one checkpoint file.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Latest loads the newest valid checkpoint in dir (highest step whose
+// file decodes cleanly — corrupt or torn files are skipped), returning
+// the checkpoint and its path, or ErrNoCheckpoint.
+func Latest(dir string) (*Checkpoint, string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".ckpt") {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, n := range names {
+		p := filepath.Join(dir, n)
+		c, err := Load(p)
+		if err == nil {
+			return c, p, nil
+		}
+	}
+	return nil, "", ErrNoCheckpoint
+}

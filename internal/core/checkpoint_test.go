@@ -1,0 +1,247 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"exadla/internal/blas"
+	"exadla/internal/ckpt"
+	"exadla/internal/core"
+	"exadla/internal/matgen"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// TestCheckpointedCholeskyRestartBitwise: a run aborted mid-factorization
+// (deterministic crash after step 1's checkpoint) resumes from the latest
+// checkpoint and finishes with a factor bitwise identical to an
+// uninterrupted run.
+func TestCheckpointedCholeskyRestartBitwise(t *testing.T) {
+	const n, nb, seed = 192, 48, 60
+	aD, want := cleanCholesky(t, n, nb, seed)
+	dir := t.TempDir()
+	opt := core.CkptOptions{Dir: dir, Every: 1}
+
+	a := tile.FromColMajor(n, n, append([]float64(nil), aD...), n, nb)
+	r := sched.New(4)
+	abortOpt := opt
+	abortOpt.AbortAtStep = 1
+	err := core.CheckpointedCholesky(r, a, abortOpt)
+	r.Shutdown()
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("aborted run returned %v, want ErrAborted", err)
+	}
+
+	c, path, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Step != 2 {
+		t.Fatalf("latest checkpoint %s at step %d, want 2", path, c.Step)
+	}
+
+	r2 := sched.New(4)
+	defer r2.Shutdown()
+	a2, err := core.ResumeCholesky(r2, c, opt)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if d := lowerDiff(n, a2.ToColMajor(), want); d != 0 {
+		t.Errorf("resumed factor differs from uninterrupted run by %g", d)
+	}
+	// The resumed run kept checkpointing past the restart point.
+	c2, _, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Step <= c.Step {
+		t.Errorf("resumed run wrote no new checkpoint (latest still step %d)", c2.Step)
+	}
+}
+
+// TestCheckpointedCholeskySparseCadence: with Every larger than the abort
+// step, the only checkpoint is the one forced at AbortAtStep, and the
+// resume is still bitwise exact.
+func TestCheckpointedCholeskySparseCadence(t *testing.T) {
+	const n, nb, seed = 192, 48, 60
+	aD, want := cleanCholesky(t, n, nb, seed)
+	dir := t.TempDir()
+
+	a := tile.FromColMajor(n, n, append([]float64(nil), aD...), n, nb)
+	r := sched.New(4)
+	err := core.CheckpointedCholesky(r, a, core.CkptOptions{Dir: dir, Every: 10, AbortAtStep: 2})
+	r.Shutdown()
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("aborted run returned %v, want ErrAborted", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("Every=10 wrote %d checkpoints, want only the forced one", len(ents))
+	}
+	c, _, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Step != 3 {
+		t.Fatalf("forced checkpoint at step %d, want 3", c.Step)
+	}
+	r2 := sched.New(4)
+	defer r2.Shutdown()
+	a2, err := core.ResumeCholesky(r2, c, core.CkptOptions{Dir: dir, Every: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := lowerDiff(n, a2.ToColMajor(), want); d != 0 {
+		t.Errorf("resumed factor differs from uninterrupted run by %g", d)
+	}
+}
+
+// TestCheckpointedCholeskyCleanRun: an uninterrupted checkpointed run
+// produces the plain factor bitwise and leaves resumable checkpoints
+// behind.
+func TestCheckpointedCholeskyCleanRun(t *testing.T) {
+	const n, nb, seed = 192, 48, 60
+	aD, want := cleanCholesky(t, n, nb, seed)
+	dir := t.TempDir()
+	a := tile.FromColMajor(n, n, append([]float64(nil), aD...), n, nb)
+	r := sched.New(4)
+	defer r.Shutdown()
+	if err := core.CheckpointedCholesky(r, a, core.CkptOptions{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if d := lowerDiff(n, a.ToColMajor(), want); d != 0 {
+		t.Errorf("checkpointed factor differs from plain by %g", d)
+	}
+	// Delete the trailing checkpoint; resuming from the one before still
+	// reproduces the factor — the "rewind further" recovery path.
+	c, path, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Step >= c.Step {
+		t.Fatalf("after deleting step-%d checkpoint, Latest is step %d", c.Step, c2.Step)
+	}
+	r2 := sched.New(4)
+	defer r2.Shutdown()
+	a2, err := core.ResumeCholesky(r2, c2, core.CkptOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := lowerDiff(n, a2.ToColMajor(), want); d != 0 {
+		t.Errorf("factor resumed from step %d differs by %g", c2.Step, d)
+	}
+}
+
+// TestCheckpointedLURestartBitwise: LU restart reproduces the packed
+// factor bitwise, and the restored pivot/stack state actually solves —
+// the part of the snapshot a matrix-only checkpoint would lose.
+func TestCheckpointedLURestartBitwise(t *testing.T) {
+	const n, nb, seed = 192, 48, 61
+	aD, want := cleanLU(t, n, nb, seed)
+	dir := t.TempDir()
+	opt := core.CkptOptions{Dir: dir, Every: 1}
+
+	a := tile.FromColMajor(n, n, append([]float64(nil), aD...), n, nb)
+	r := sched.New(4)
+	abortOpt := opt
+	abortOpt.AbortAtStep = 1
+	_, err := core.CheckpointedLU(r, a, abortOpt)
+	r.Shutdown()
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("aborted run returned %v, want ErrAborted", err)
+	}
+
+	c, _, err := ckpt.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Step != 2 {
+		t.Fatalf("latest checkpoint at step %d, want 2", c.Step)
+	}
+
+	r2 := sched.New(4)
+	defer r2.Shutdown()
+	f, err := core.ResumeLU(r2, c, opt)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if d := maxAbsDiff(f.A.ToColMajor(), want); d != 0 {
+		t.Errorf("resumed LU factor differs from uninterrupted run by %g", d)
+	}
+
+	// Solve A·x = b with the resumed factors: ApplyLU needs the restored
+	// pivot vectors and elimination stacks of the pre-abort steps.
+	rng := rand.New(rand.NewSource(62))
+	xWant := matgen.Dense[float64](rng, n, 1)
+	bD := make([]float64, n)
+	at := tile.FromColMajor(n, n, append([]float64(nil), aD...), n, nb)
+	core.MatVec(blas.NoTrans, 1, at, xWant, 0, bD)
+	b := tile.FromColMajor(n, 1, bD, n, nb)
+	core.ApplyLU(r2, f, b)
+	core.TrsmUpper(r2, f.A, b)
+	r2.Wait()
+	got := b.ToColMajor()
+	for i := range xWant {
+		if d := math.Abs(got[i] - xWant[i]); d > 1e-8 {
+			t.Fatalf("solution error %g at %d using resumed factors", d, i)
+		}
+	}
+}
+
+// TestCheckpointWriteFailureFailsRun: an unwritable checkpoint directory
+// fails the factorization instead of silently continuing unprotected.
+func TestCheckpointWriteFailureFailsRun(t *testing.T) {
+	const n, nb = 96, 48
+	rng := rand.New(rand.NewSource(63))
+	aD := matgen.DiagDomSPD[float64](rng, n)
+	a := tile.FromColMajor(n, n, aD, n, nb)
+	// A plain file where the checkpoint directory should be.
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "ckpts")
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := sched.New(4)
+	defer r.Shutdown()
+	err := core.CheckpointedCholesky(r, a, core.CkptOptions{Dir: dir})
+	if err == nil {
+		t.Fatal("run with unwritable checkpoint dir succeeded")
+	}
+	if errors.Is(err, core.ErrAborted) {
+		t.Fatalf("write failure misreported as abort: %v", err)
+	}
+}
+
+// TestResumeRejectsMismatchedOp: resuming the wrong factorization from a
+// checkpoint is an error, not silent corruption.
+func TestResumeRejectsMismatchedOp(t *testing.T) {
+	c := &ckpt.Checkpoint{Op: ckpt.OpLU, Step: 1, M: 4, N: 4, NB: 2, Data: make([]float64, 16)}
+	r := sched.New(1)
+	defer r.Shutdown()
+	if _, err := core.ResumeCholesky(r, c, core.CkptOptions{Dir: t.TempDir()}); err == nil {
+		t.Error("ResumeCholesky accepted an LU checkpoint")
+	}
+	c.Op = ckpt.OpCholesky
+	if _, err := core.ResumeLU(r, c, core.CkptOptions{Dir: t.TempDir()}); err == nil {
+		t.Error("ResumeLU accepted a Cholesky checkpoint")
+	}
+	c.Op = ckpt.OpLU
+	c.Step = 99
+	if _, err := core.ResumeLU(r, c, core.CkptOptions{Dir: t.TempDir()}); err == nil {
+		t.Error("ResumeLU accepted an out-of-range step")
+	}
+}

@@ -29,11 +29,21 @@ func CholeskyForkJoin[F blas.Float](s sched.Scheduler, a *tile.Matrix[F]) error 
 // submitCholesky submits the tile Cholesky DAG. With forkJoin set it
 // synchronizes between phases instead of relying on dataflow dependences.
 func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errState, forkJoin bool) {
+	submitCholeskyRange(s, a, es, forkJoin, 0, nil)
+}
+
+// submitCholeskyRange submits the Cholesky DAG starting at panel step
+// `from` (the tiles must already hold the state left by steps 0..from-1 —
+// the checkpoint/restart path). afterStep, if non-nil, is invoked after
+// each step's tasks are submitted and before the next step's, the
+// submission point where a consistent-frontier task (checkpoint, abort)
+// can be injected.
+func submitCholeskyRange[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errState, forkJoin bool, from int, afterStep func(k int)) {
 	if a.M != a.N {
 		panic("core: Cholesky needs a square matrix")
 	}
 	nt := a.NT
-	for k := 0; k < nt; k++ {
+	for k := from; k < nt; k++ {
 		k := k
 		s.Submit(sched.Task{
 			Name:     "potrf",
@@ -114,6 +124,9 @@ func submitCholesky[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es *errS
 		}
 		if forkJoin {
 			s.Wait()
+		}
+		if afterStep != nil {
+			afterStep(k)
 		}
 	}
 }

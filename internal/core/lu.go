@@ -59,9 +59,17 @@ func newLUFactors[F blas.Float](a *tile.Matrix[F]) *LUFactors[F] {
 }
 
 func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, forkJoin bool) {
+	submitLURange(s, f, es, forkJoin, 0, nil)
+}
+
+// submitLURange submits the LU DAG starting at panel step `from` (tiles
+// and the pivot/stack state of earlier steps must already be in place —
+// the checkpoint/restart path). afterStep, if non-nil, runs after each
+// step's submissions, where checkpoint or abort tasks are injected.
+func submitLURange[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, forkJoin bool, from int, afterStep func(k int)) {
 	a := f.A
 	kt := min(a.MT, a.NT)
-	for k := 0; k < kt; k++ {
+	for k := from; k < kt; k++ {
 		k := k
 		s.Submit(sched.Task{
 			Name:     "getrf",
@@ -135,6 +143,9 @@ func submitLU[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errState, fo
 			if forkJoin {
 				s.Wait()
 			}
+		}
+		if afterStep != nil {
+			afterStep(k)
 		}
 	}
 }

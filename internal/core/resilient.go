@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"exadla/internal/blas"
@@ -61,6 +62,31 @@ type FTOptions struct {
 	InjectHook func(step int, a *tile.Matrix[float64])
 	// Stats, if non-nil, accumulates detection/correction counts.
 	Stats *ft.Stats
+	// Erasure arms hard-fault protection: one XOR parity tile per tile row
+	// (ft.RowErasure). Tiles are committed to their row's parity group as
+	// the factorization finalizes them, and a wholly lost tile — faults
+	// across multiple checksum columns, the signature of wholesale loss
+	// rather than a bit flip — is rebuilt bit-exactly by XOR subtraction
+	// instead of failing the run.
+	Erasure bool
+	// LoseTiles schedules hard-fault injections (requires Erasure): at the
+	// given panel step each listed tile is wiped to zero, modelling the
+	// loss of the worker or process that held it. The tile must have been
+	// finalized (committed to its parity group) by an earlier point of the
+	// factorization.
+	LoseTiles []TileLoss
+}
+
+// TileLoss names one injected hard fault: tile (I, J) is lost at panel
+// step Step. With Silent false the loss is fail-stop — the runtime knows
+// which tile died and a reconstruction task rebuilds it immediately,
+// before any later reader consumes it. With Silent true nothing is
+// scheduled: the loss must be caught by checksum verification (the final
+// sweep detects the multi-column fault pattern and reconstructs), which is
+// only sound for tiles with no remaining readers before that verification.
+type TileLoss struct {
+	Step, I, J int
+	Silent     bool
 }
 
 func (o FTOptions) verifyStep(k int) bool {
@@ -69,6 +95,22 @@ func (o FTOptions) verifyStep(k int) bool {
 		ve = 1
 	}
 	return k%ve == 0
+}
+
+// validateLosses rejects loss schedules the erasure layer cannot honour.
+func (o FTOptions) validateLosses(a *tile.Matrix[float64]) error {
+	if len(o.LoseTiles) == 0 {
+		return nil
+	}
+	if !o.Erasure {
+		return errors.New("core: FTOptions.LoseTiles requires FTOptions.Erasure (nothing could reconstruct the lost tiles)")
+	}
+	for _, l := range o.LoseTiles {
+		if l.I < 0 || l.I >= a.MT || l.J < 0 || l.J >= a.NT {
+			return fmt.Errorf("core: TileLoss (%d,%d) outside the %d×%d tile grid", l.I, l.J, a.MT, a.NT)
+		}
+	}
+	return nil
 }
 
 // schedWait drains the scheduler and returns its aggregated task failures
@@ -108,8 +150,11 @@ type resilientState struct {
 	// diag[k] is the post-potrf lower-triangle witness of tile (k, k)
 	// (Cholesky only), written inside the potrf task.
 	diag [][]float64
-	tol  float64
-	opt  FTOptions
+	// ers is the per-tile-row parity store, non-nil when FTOptions.Erasure
+	// is set.
+	ers *ft.RowErasure
+	tol float64
+	opt FTOptions
 }
 
 // sumHandle is the scheduler identity of one tile's checksum pair, so tasks
@@ -171,12 +216,18 @@ func ResilientCholesky(s sched.Scheduler, a *tile.Matrix[float64], opt FTOptions
 	if a.M != a.N {
 		panic("core: Cholesky needs a square matrix")
 	}
+	if err := opt.validateLosses(a); err != nil {
+		return err
+	}
 	st := &resilientState{
 		a:    a,
 		sums: make([][]float64, a.MT*a.NT),
 		diag: make([][]float64, a.NT),
 		opt:  opt,
 		tol:  ft.DetectTol(maxAbsLower(a), a.N),
+	}
+	if opt.Erasure {
+		st.ers = ft.NewRowErasure(a, opt.Stats)
 	}
 	// Initial checksums of every strictly-lower tile; they are maintained
 	// through each update the tile receives. Diagonal witnesses are filled
@@ -238,6 +289,9 @@ func submitResilientCholesky(s sched.Scheduler, st *resilientState) {
 				},
 			})
 		}
+		// The diagonal tile is final after its verify: commit it to the row
+		// parity group so a later loss is reconstructible.
+		st.submitCommit(s, k, k, prioPanel(k, nt))
 		for i := k + 1; i < a.MT; i++ {
 			i := i
 			s.Submit(sched.Task{
@@ -267,7 +321,15 @@ func submitResilientCholesky(s sched.Scheduler, st *resilientState) {
 					},
 				})
 			}
+			// Post-trsm, tile (i, k) is a final L tile: commit it before the
+			// step's gemms read it, so even a loss within this step is
+			// recoverable.
+			st.submitCommit(s, i, k, prioSolve(k, nt))
 		}
+		// Hard-fault injections scheduled for this step run after the panel
+		// and solves (their targets committed) and before the trailing
+		// update reads anything.
+		st.submitLosses(s, k, nt)
 		for j := k + 1; j < nt; j++ {
 			j := j
 			s.Submit(sched.Task{
@@ -323,9 +385,107 @@ func submitResilientCholesky(s sched.Scheduler, st *resilientState) {
 	}
 }
 
-// verifyTile checks one tile against its checksums, corrects located faults
-// in place and reports the event as a retryable corruption error (the retry
-// re-runs this verification, which passes once the correction holds).
+// submitCommit submits the task that folds finalized tile (i, j) into its
+// row parity group. Reading the tile places it after the tile's final
+// writer (and its verify); writing the row's parity handle serializes all
+// parity operations in the row, which is the happens-before edge every
+// later reconstruction relies on. No-op without erasure.
+func (st *resilientState) submitCommit(s sched.Scheduler, i, j, prio int) {
+	if st.ers == nil {
+		return
+	}
+	s.Submit(sched.Task{
+		Name:     "commit",
+		Priority: prio,
+		Reads:    []sched.Handle{st.a.Handle(i, j)},
+		Writes:   []sched.Handle{st.ers.RowHandle(i)},
+		Fn:       func() { st.ers.Commit(i, j) },
+	})
+}
+
+// submitLosses submits this step's scheduled hard-fault injections: each
+// target tile is wiped (the loss), and — unless the loss is Silent — a
+// reconstruction task immediately rebuilds it from the row parity, the
+// fail-stop recovery a real runtime performs when it knows which worker
+// died. Silent losses are left for checksum verification to catch.
+func (st *resilientState) submitLosses(s sched.Scheduler, step, nt int) {
+	a := st.a
+	for _, l := range st.opt.LoseTiles {
+		if l.Step != step {
+			continue
+		}
+		l := l
+		s.Submit(sched.Task{
+			Name:     "lose",
+			Priority: prioUpdate(step, nt),
+			Writes:   []sched.Handle{a.Handle(l.I, l.J)},
+			Fn: func() {
+				t := a.Tile(l.I, l.J)
+				for z := range t {
+					t[z] = 0
+				}
+				if st.opt.Stats != nil {
+					st.opt.Stats.Injected.Add(1)
+				}
+			},
+		})
+		if l.Silent {
+			continue
+		}
+		s.Submit(sched.Task{
+			Name:     "reconstruct",
+			Priority: prioUpdate(step, nt),
+			Writes:   []sched.Handle{a.Handle(l.I, l.J), st.ers.RowHandle(l.I)},
+			FnErr: func() error {
+				return st.ers.ReconstructTile(l.I, l.J)
+			},
+		})
+	}
+}
+
+// tileLost reports whether a fault pattern looks like wholesale tile loss
+// rather than an isolated flip: discrepancies across more than one checksum
+// column, or an unlocatable fault, which per-entry correction cannot fix.
+func tileLost(faults []ft.Fault) bool {
+	if len(faults) > 1 {
+		return true
+	}
+	for _, f := range faults {
+		if f.Row < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// correct repairs located faults of tile (i, j) in place like
+// ft.CorrectColSums, additionally amending the row parity when the tile is
+// already committed, so later reconstructions in the row stay exact.
+func (st *resilientState) correct(i, j int, faults []ft.Fault) int {
+	a := st.a
+	t := a.Tile(i, j)
+	ld := a.TileRows(i)
+	c := 0
+	for _, f := range faults {
+		if f.Row < 0 {
+			continue
+		}
+		oldV := t[f.Row+f.Col*ld]
+		newV := oldV - f.Delta
+		t[f.Row+f.Col*ld] = newV
+		if st.ers != nil {
+			st.ers.Amend(i, j, f.Row, f.Col, oldV, newV)
+		}
+		c++
+	}
+	return c
+}
+
+// verifyTile checks one tile against its checksums. A fault pattern that
+// looks like wholesale loss of a parity-committed tile is repaired by
+// erasure reconstruction; otherwise located faults are corrected in place.
+// Either repair is reported as a retryable corruption error (the retry
+// re-runs this verification, which passes once the repair holds).
 func (st *resilientState) verifyTile(i, j int) error {
 	a := st.a
 	var faults []ft.Fault
@@ -334,10 +494,24 @@ func (st *resilientState) verifyTile(i, j int) error {
 	} else {
 		faults = ft.VerifyColSums(a.TileRows(i), a.TileCols(j), a.Tile(i, j), a.TileRows(i), st.sums[i+j*a.MT], st.tol)
 	}
+	return st.repair(i, j, faults)
+}
+
+// repair routes a non-empty fault list to erasure reconstruction or
+// per-entry correction and builds the retryable corruption report.
+func (st *resilientState) repair(i, j int, faults []ft.Fault) error {
 	if len(faults) == 0 {
 		return nil
 	}
-	corrected := ft.CorrectColSums(a.Tile(i, j), a.TileRows(i), faults)
+	if st.ers != nil && tileLost(faults) && st.ers.Committed(i, j) {
+		if err := st.ers.ReconstructTile(i, j); err == nil {
+			if st.opt.Stats != nil {
+				st.opt.Stats.Detected.Add(1)
+			}
+			return &ft.CorruptionError{TileRow: i, TileCol: j, Faults: faults, Reconstructed: true}
+		}
+	}
+	corrected := st.correct(i, j, faults)
 	st.opt.Stats.Note(faults, corrected)
 	return &ft.CorruptionError{TileRow: i, TileCol: j, Faults: faults, Corrected: corrected}
 }
@@ -347,7 +521,7 @@ func (st *resilientState) verifyTile(i, j int) error {
 func (st *resilientState) sweep() error {
 	a := st.a
 	var all []ft.Fault
-	corrected := 0
+	corrected, reconstructed := 0, false
 	for j := 0; j < a.NT; j++ {
 		for i := j; i < a.MT; i++ {
 			err := st.verifyTile(i, j)
@@ -357,18 +531,22 @@ func (st *resilientState) sweep() error {
 			ce := err.(*ft.CorruptionError)
 			all = append(all, ce.Faults...)
 			corrected += ce.Corrected
+			reconstructed = reconstructed || ce.Reconstructed
 		}
 	}
 	if len(all) == 0 {
 		return nil
 	}
-	return &ft.CorruptionError{TileRow: -1, TileCol: -1, Faults: all, Corrected: corrected}
+	return &ft.CorruptionError{TileRow: -1, TileCol: -1, Faults: all, Corrected: corrected, Reconstructed: reconstructed}
 }
 
 // ResilientLU computes the tile LU factorization like LU, with post-hoc
 // checksum records per FTOptions (see the protection-model comment above).
 // Like ResilientCholesky it wants a scheduler retry policy installed.
 func ResilientLU(s sched.Scheduler, a *tile.Matrix[float64], opt FTOptions) (*LUFactors[float64], error) {
+	if err := opt.validateLosses(a); err != nil {
+		return nil, err
+	}
 	f := newLUFactors(a)
 	es := &errState{}
 	submitLU(s, f, es, false)
@@ -377,6 +555,9 @@ func ResilientLU(s sched.Scheduler, a *tile.Matrix[float64], opt FTOptions) (*LU
 		sums: make([][]float64, a.MT*a.NT),
 		opt:  opt,
 		tol:  ft.DetectTol(maxAbs(a), max(a.M, a.N)),
+	}
+	if opt.Erasure {
+		st.ers = ft.NewRowErasure(a, opt.Stats)
 	}
 	submitLURecords(s, st)
 	return f, finishErr(es, s)
@@ -443,6 +624,12 @@ func submitLURecords(s sched.Scheduler, st *resilientState) {
 				})
 			}
 		}
+		// Recorded tiles are final: commit them to their row parity groups,
+		// then run this step's scheduled hard-fault injections.
+		for _, t := range tiles {
+			st.submitCommit(s, t[0], t[1], prioUpdate(k, kt))
+		}
+		st.submitLosses(s, k, kt)
 	}
 	if !st.opt.NoFinalVerify {
 		writes := make([]sched.Handle, 0, a.MT*a.NT)
@@ -468,18 +655,13 @@ func submitLURecords(s sched.Scheduler, st *resilientState) {
 func (st *resilientState) verifyLUTile(i, j int) error {
 	a := st.a
 	faults := ft.VerifyColSums(a.TileRows(i), a.TileCols(j), a.Tile(i, j), a.TileRows(i), st.sums[i+j*a.MT], st.tol)
-	if len(faults) == 0 {
-		return nil
-	}
-	corrected := ft.CorrectColSums(a.Tile(i, j), a.TileRows(i), faults)
-	st.opt.Stats.Note(faults, corrected)
-	return &ft.CorruptionError{TileRow: i, TileCol: j, Faults: faults, Corrected: corrected}
+	return st.repair(i, j, faults)
 }
 
 func (st *resilientState) luSweep() error {
 	a := st.a
 	var all []ft.Fault
-	corrected := 0
+	corrected, reconstructed := 0, false
 	for j := 0; j < a.NT; j++ {
 		for i := 0; i < a.MT; i++ {
 			if st.sums[i+j*a.MT] == nil {
@@ -492,10 +674,11 @@ func (st *resilientState) luSweep() error {
 			ce := err.(*ft.CorruptionError)
 			all = append(all, ce.Faults...)
 			corrected += ce.Corrected
+			reconstructed = reconstructed || ce.Reconstructed
 		}
 	}
 	if len(all) == 0 {
 		return nil
 	}
-	return &ft.CorruptionError{TileRow: -1, TileCol: -1, Faults: all, Corrected: corrected}
+	return &ft.CorruptionError{TileRow: -1, TileCol: -1, Faults: all, Corrected: corrected, Reconstructed: reconstructed}
 }

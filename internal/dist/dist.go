@@ -13,6 +13,7 @@ package dist
 import (
 	"fmt"
 
+	"exadla/internal/ft"
 	"exadla/internal/sched"
 	"exadla/internal/tile"
 )
@@ -70,6 +71,26 @@ func ownsHandle[F interface{ ~float32 | ~float64 }](a *tile.Matrix[F], h sched.H
 		return false
 	}
 	return a.Handle(i, j) == th
+}
+
+// ParityPlacement places the erasure parity tiles of a matrix's row
+// groups (ft.ErasureRowHandle) as FT-ScaLAPACK places its checksum
+// column: the parity of tile row i lives where tile (i, nt) would — one
+// extra block-cyclic column appended to the nt-column matrix — and
+// moving it costs the parity tile's full word count. Committing a tile
+// to its parity group from another process therefore ships the whole
+// tile to the checksum column, which is exactly the erasure scheme's
+// communication bill. It recognizes every ErasureRowHandle; in a
+// multi-matrix replay, list the placement whose matrix carries erasure
+// first in Merge.
+func ParityPlacement(nt, p, q int) Placement {
+	return func(h sched.Handle) (int, int) {
+		eh, ok := h.(ft.ErasureRowHandle)
+		if !ok {
+			return 0, 0
+		}
+		return (eh.Row()%p)*q + (nt % q), eh.Words()
+	}
 }
 
 // Merge composes placements: the first one reporting a nonzero size wins.

@@ -6,6 +6,7 @@ import (
 
 	"exadla/internal/core"
 	"exadla/internal/dist"
+	"exadla/internal/ft"
 	"exadla/internal/matgen"
 	"exadla/internal/sched"
 	"exadla/internal/tile"
@@ -163,6 +164,75 @@ func TestCommDepthZeroOnOneProcess(t *testing.T) {
 	g, a := choleskyGraph(64, 16)
 	if d := dist.CommDepth(g, dist.BlockCyclic(a, 1, 1)); d != 0 {
 		t.Errorf("single-process comm depth %d", d)
+	}
+}
+
+func TestParityPlacement(t *testing.T) {
+	a := tile.New[float64](64, 64, 16) // 4×4 tiles
+	e := ft.NewRowErasure(a, nil)
+	place := dist.ParityPlacement(a.NT, 2, 2)
+	// The checksum column sits at column index nt=4, so on a 2×2 grid row
+	// i's parity lives on process (i mod 2)·2 + (4 mod 2) — the grid column
+	// that would hold tile (i, 4).
+	for _, c := range []struct{ row, proc int }{{0, 0}, {1, 2}, {2, 0}, {3, 2}} {
+		proc, words := place(e.RowHandle(c.row))
+		if proc != c.proc {
+			t.Errorf("parity row %d on proc %d, want %d", c.row, proc, c.proc)
+		}
+		if words != 16*16 {
+			t.Errorf("parity row %d words %d, want 256", c.row, words)
+		}
+	}
+	// Matrix tiles are not the parity placement's business.
+	if _, words := place(a.Handle(0, 0)); words != 0 {
+		t.Error("matrix tile handle billed by parity placement")
+	}
+}
+
+// TestParityCommitTrafficCounted replays a resilient Cholesky with erasure
+// armed: every commit ships a finalized tile to the checksum column and a
+// reconstruction pulls the parity back, traffic only visible once the
+// parity handles are placed. The plain block-cyclic placement must miss
+// it, the merged one must bill it.
+func TestParityCommitTrafficCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, nb := 128, 16
+	aD := matgen.DiagDomSPD[float64](rng, n)
+	a := tile.FromColMajor(n, n, aD, n, nb)
+	rec := sched.NewRecorder()
+	err := core.ResilientCholesky(rec, a, core.FTOptions{
+		Erasure:   true,
+		LoseTiles: []core.TileLoss{{Step: 2, I: 3, J: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rec.Graph()
+
+	// Without the parity placement the reconstruction looks free: its only
+	// placed operand is the tile it rebuilds, which is its own home. (The
+	// commit tasks still show traffic — their unplaced parity output
+	// defaults them to process 0, which is exactly the mis-accounting
+	// ParityPlacement fixes.)
+	plain := dist.Count(g, 4, dist.BlockCyclic(a, 2, 2))
+	if plain.ByKernel["reconstruct"] != 0 {
+		t.Fatalf("plain placement billed reconstruction traffic: %v", plain.ByKernel)
+	}
+
+	merged := dist.Count(g, 4, dist.Merge(
+		dist.BlockCyclic(a, 2, 2), dist.ParityPlacement(a.NT, 2, 2)))
+	if merged.ByKernel["commit"] == 0 {
+		t.Error("merged placement bills no commit traffic")
+	}
+	if merged.ByKernel["reconstruct"] == 0 {
+		t.Error("merged placement bills no reconstruction traffic")
+	}
+	// The erasure scheme's traffic is a real surcharge over an unprotected
+	// factorization of the same matrix on the same grid.
+	clean, ca := choleskyGraph(n, nb)
+	cleanStats := dist.Count(clean, 4, dist.BlockCyclic(ca, 2, 2))
+	if merged.Words <= cleanStats.Words {
+		t.Errorf("erasure comm bill %d not above unprotected %d", merged.Words, cleanStats.Words)
 	}
 }
 

@@ -1,0 +1,171 @@
+package ft
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"exadla/internal/tile"
+)
+
+// This file extends the Huang–Abraham checksum scheme from error
+// *correction* to *erasure* recovery — the hard-fault half of the ABFT
+// story. The 2×n column sums of tilesum.go locate and fix a flipped entry;
+// they cannot rebuild a tile that is gone wholesale (a dead worker's
+// output, a lost process's memory). For that, RowErasure keeps one parity
+// tile per tile row of the matrix: the XOR of the float64 bit patterns of
+// every *committed* (finalized) tile in the row. XOR is subtraction in
+// GF(2), so a single lost tile is recovered exactly — bit for bit — by
+// XOR-ing the parity with the surviving peers. Bitwise exactness is the
+// point: a floating-point checksum row (the classic formulation) recovers
+// the tile only up to rounding, which would break the repository's
+// bitwise-reproducibility guarantees for chaos runs; the GF(2) parity is
+// also order-independent, so commits need no serialization for the parity
+// to be well defined.
+//
+// The protection model is fail-stop plus checksum defense-in-depth: one
+// lost tile per tile row is recoverable (FT-ScaLAPACK's checksum-column
+// discipline), and the column checksums of tilesum.go distinguish a flip
+// (one located fault, corrected in place) from wholesale loss (faults
+// across columns, reconstructed here).
+//
+// Concurrency: parity and the committed set are guarded by an internal
+// mutex. Reconstruction reads the *data* of committed peer tiles outside
+// any declared scheduler dependence; that is race-free because a committed
+// tile is finalized — its last writer happens-before the commit (a
+// declared RAW dependence), the commit's mutex release happens-before the
+// reconstruction's acquire, and amendments (Amend) to committed tiles are
+// serialized against reconstructions by the caller declaring the row's
+// parity handle (RowHandle) as written on both task types.
+
+// RowErasure holds the per-tile-row XOR parity of one tile matrix.
+type RowErasure struct {
+	a     *tile.Matrix[float64]
+	stats *Stats
+
+	mu        sync.Mutex
+	parity    [][]uint64 // parity[i]: TileRows(i)×NB words, column-major
+	committed [][]bool   // committed[i][j]
+}
+
+// NewRowErasure allocates zeroed parity for every tile row of a. stats may
+// be nil.
+func NewRowErasure(a *tile.Matrix[float64], stats *Stats) *RowErasure {
+	e := &RowErasure{
+		a:         a,
+		stats:     stats,
+		parity:    make([][]uint64, a.MT),
+		committed: make([][]bool, a.MT),
+	}
+	for i := 0; i < a.MT; i++ {
+		e.parity[i] = make([]uint64, a.TileRows(i)*a.NB)
+		e.committed[i] = make([]bool, a.NT)
+	}
+	return e
+}
+
+// ErasureRowHandle is the scheduler identity of one tile row's parity
+// tile. Tasks that commit to, amend, or reconstruct from a row's parity
+// declare its handle as written, which serializes them per row and gives
+// reconstruction its happens-before edge to every earlier commit.
+type ErasureRowHandle struct {
+	e   *RowErasure
+	row int
+}
+
+// Row returns the tile-row index the parity tile protects.
+func (h ErasureRowHandle) Row() int { return h.row }
+
+// Words returns the parity tile's size in words (for communication
+// accounting: moving a parity tile costs as much as a full-width tile).
+func (h ErasureRowHandle) Words() int { return h.e.a.TileRows(h.row) * h.e.a.NB }
+
+// RowHandle returns the parity handle of tile row i.
+func (e *RowErasure) RowHandle(i int) ErasureRowHandle { return ErasureRowHandle{e, i} }
+
+// Commit folds tile (i, j) into its row parity and marks it committed —
+// called exactly when the factorization finalizes the tile (it must not be
+// rewritten afterwards except through Amend). Committing a committed tile
+// is a no-op, so retried commit tasks are idempotent.
+func (e *RowErasure) Commit(i, j int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.committed[i][j] {
+		return
+	}
+	e.xorTile(i, j)
+	e.committed[i][j] = true
+}
+
+// Committed reports whether tile (i, j) is part of its row's parity group.
+func (e *RowErasure) Committed(i, j int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.committed[i][j]
+}
+
+// Amend fixes the row parity for an in-place change of one entry of the
+// committed tile (i, j) from oldVal to newVal — the ABFT correction path
+// mutates finalized tiles, and the parity must follow or later
+// reconstructions in the row would be wrong. No-op if the tile is not
+// committed.
+func (e *RowErasure) Amend(i, j, row, col int, oldVal, newVal float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.committed[i][j] {
+		return
+	}
+	tr := e.a.TileRows(i)
+	e.parity[i][col*tr+row] ^= math.Float64bits(oldVal) ^ math.Float64bits(newVal)
+}
+
+// ReconstructTile rebuilds the committed tile (i, j) in place from the row
+// parity and the surviving committed peers: parity ⊕ (⊕ peers) is exactly
+// the lost tile's bit pattern. The tile's current (corrupt or zeroed)
+// contents are ignored. Errors if the tile was never committed — an
+// uncommitted tile has no contribution in the parity to recover.
+func (e *RowErasure) ReconstructTile(i, j int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.committed[i][j] {
+		return fmt.Errorf("ft: tile (%d,%d) is not in its row parity group; cannot reconstruct", i, j)
+	}
+	a := e.a
+	tr := a.TileRows(i)
+	acc := make([]uint64, len(e.parity[i]))
+	copy(acc, e.parity[i])
+	for jj := 0; jj < a.NT; jj++ {
+		if jj == j || !e.committed[i][jj] {
+			continue
+		}
+		t := a.Tile(i, jj)
+		for c := 0; c < a.TileCols(jj); c++ {
+			for r := 0; r < tr; r++ {
+				acc[c*tr+r] ^= math.Float64bits(t[r+c*tr])
+			}
+		}
+	}
+	dst := a.Tile(i, j)
+	for c := 0; c < a.TileCols(j); c++ {
+		for r := 0; r < tr; r++ {
+			dst[r+c*tr] = math.Float64frombits(acc[c*tr+r])
+		}
+	}
+	if e.stats != nil {
+		e.stats.TilesReconstructed.Add(1)
+	}
+	return nil
+}
+
+// xorTile folds tile (i, j)'s bit pattern into parity[i]. Caller holds mu.
+func (e *RowErasure) xorTile(i, j int) {
+	a := e.a
+	tr := a.TileRows(i)
+	t := a.Tile(i, j)
+	p := e.parity[i]
+	for c := 0; c < a.TileCols(j); c++ {
+		for r := 0; r < tr; r++ {
+			p[c*tr+r] ^= math.Float64bits(t[r+c*tr])
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package ft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exadla/internal/tile"
+)
+
+// randTiled builds an m×n tiled matrix of nb-sized tiles with random
+// (including denormal-ish and negative) entries.
+func randTiled(t *testing.T, rng *rand.Rand, m, n, nb int) *tile.Matrix[float64] {
+	t.Helper()
+	data := make([]float64, m*n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return tile.FromColMajor(m, n, data, m, nb)
+}
+
+func cloneTiles(a *tile.Matrix[float64]) [][]float64 {
+	out := make([][]float64, a.MT*a.NT)
+	for j := 0; j < a.NT; j++ {
+		for i := 0; i < a.MT; i++ {
+			out[i+j*a.MT] = append([]float64(nil), a.Tile(i, j)...)
+		}
+	}
+	return out
+}
+
+// TestErasureReconstructBitwise commits every tile, wipes one, and checks
+// reconstruction is exact to the bit — including boundary tiles narrower
+// or shorter than NB, and special values.
+func TestErasureReconstructBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ m, n, nb int }{
+		{96, 96, 32},  // uniform tiles
+		{100, 70, 32}, // ragged right and bottom boundary tiles
+		{64, 64, 64},  // single tile row/col
+		{33, 97, 16},  // many ragged tiles
+	}
+	for _, sh := range shapes {
+		a := randTiled(t, rng, sh.m, sh.n, sh.nb)
+		// Seed some special values: negative zero, subnormal, huge.
+		tl := a.Tile(0, 0)
+		tl[0] = math.Copysign(0, -1)
+		tl[1] = math.SmallestNonzeroFloat64
+		tl[2] = math.MaxFloat64
+		var st Stats
+		e := NewRowErasure(a, &st)
+		for j := 0; j < a.NT; j++ {
+			for i := 0; i < a.MT; i++ {
+				e.Commit(i, j)
+			}
+		}
+		want := cloneTiles(a)
+
+		for i := 0; i < a.MT; i++ {
+			for j := 0; j < a.NT; j++ {
+				// Wipe tile (i,j) and reconstruct it.
+				lost := a.Tile(i, j)
+				for k := range lost {
+					lost[k] = 0
+				}
+				if err := e.ReconstructTile(i, j); err != nil {
+					t.Fatalf("%dx%d/nb=%d: ReconstructTile(%d,%d): %v", sh.m, sh.n, sh.nb, i, j, err)
+				}
+				got := a.Tile(i, j)
+				for k := range got {
+					if math.Float64bits(got[k]) != math.Float64bits(want[i+j*a.MT][k]) {
+						t.Fatalf("%dx%d/nb=%d tile(%d,%d)[%d]: got %x want %x",
+							sh.m, sh.n, sh.nb, i, j, k,
+							math.Float64bits(got[k]), math.Float64bits(want[i+j*a.MT][k]))
+					}
+				}
+			}
+		}
+		if got := st.TilesReconstructed.Load(); got != int64(a.MT*a.NT) {
+			t.Errorf("TilesReconstructed = %d, want %d", got, a.MT*a.NT)
+		}
+	}
+}
+
+// TestErasureUncommitted: a tile outside the parity group cannot be
+// reconstructed, and committing twice folds the tile in only once.
+func TestErasureUncommitted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randTiled(t, rng, 64, 64, 32)
+	e := NewRowErasure(a, nil)
+	if err := e.ReconstructTile(0, 0); err == nil {
+		t.Fatal("ReconstructTile of uncommitted tile succeeded")
+	}
+	if e.Committed(0, 1) {
+		t.Fatal("Committed true before Commit")
+	}
+
+	e.Commit(0, 0)
+	e.Commit(0, 0) // idempotent: parity must not cancel to zero
+	e.Commit(0, 1)
+	want := append([]float64(nil), a.Tile(0, 0)...)
+	for k := range a.Tile(0, 0) {
+		a.Tile(0, 0)[k] = math.NaN()
+	}
+	if err := e.ReconstructTile(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Tile(0, 0) {
+		if math.Float64bits(v) != math.Float64bits(want[k]) {
+			t.Fatalf("double-commit broke parity at [%d]: %x vs %x",
+				k, math.Float64bits(v), math.Float64bits(want[k]))
+		}
+	}
+}
+
+// TestErasureAmend: correcting an entry of a committed tile and amending
+// the parity keeps later reconstructions of *other* tiles — and of the
+// amended tile itself — exact.
+func TestErasureAmend(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randTiled(t, rng, 96, 96, 32)
+	e := NewRowErasure(a, nil)
+	for j := 0; j < a.NT; j++ {
+		e.Commit(0, j)
+	}
+
+	// In-place "ABFT correction" of entry (3, 5) of tile (0, 1).
+	tl := a.Tile(0, 1)
+	ld := a.TileRows(0)
+	oldV := tl[3+5*ld]
+	newV := oldV + 42.5
+	tl[3+5*ld] = newV
+	e.Amend(0, 1, 3, 5, oldV, newV)
+
+	// Peer reconstruction still bitwise-exact.
+	want := append([]float64(nil), a.Tile(0, 2)...)
+	for k := range a.Tile(0, 2) {
+		a.Tile(0, 2)[k] = 0
+	}
+	if err := e.ReconstructTile(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Tile(0, 2) {
+		if math.Float64bits(v) != math.Float64bits(want[k]) {
+			t.Fatalf("post-amend peer reconstruction wrong at [%d]", k)
+		}
+	}
+
+	// The amended tile reconstructs to its corrected value.
+	wantSelf := append([]float64(nil), tl...)
+	for k := range tl {
+		tl[k] = 0
+	}
+	if err := e.ReconstructTile(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Tile(0, 1) {
+		if math.Float64bits(v) != math.Float64bits(wantSelf[k]) {
+			t.Fatalf("amended tile reconstruction wrong at [%d]", k)
+		}
+	}
+	if got := a.Tile(0, 1)[3+5*ld]; got != newV {
+		t.Fatalf("corrected entry reconstructed as %v, want %v", got, newV)
+	}
+}
+
+// TestErasureRowHandleIdentity: handles are comparable per (erasure, row)
+// and report the parity tile's footprint.
+func TestErasureRowHandleIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randTiled(t, rng, 100, 64, 32) // last tile row has 4 rows
+	e := NewRowErasure(a, nil)
+	e2 := NewRowErasure(a, nil)
+	if e.RowHandle(0) != e.RowHandle(0) {
+		t.Error("same row handle not equal to itself")
+	}
+	if e.RowHandle(0) == e.RowHandle(1) {
+		t.Error("different rows compare equal")
+	}
+	if e.RowHandle(0) == e2.RowHandle(0) {
+		t.Error("handles from different erasure groups compare equal")
+	}
+	if h := e.RowHandle(3); h.Row() != 3 || h.Words() != 4*32 {
+		t.Errorf("RowHandle(3) = row %d, %d words; want 3, 128", h.Row(), h.Words())
+	}
+}

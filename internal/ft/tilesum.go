@@ -129,6 +129,9 @@ type Stats struct {
 	// Unlocated counts faults detected but not locatable under the
 	// single-error-per-column model (these fail the factorization).
 	Unlocated atomic.Int64
+	// TilesReconstructed counts whole tiles rebuilt from a row parity
+	// group after a hard loss (see RowErasure.ReconstructTile).
+	TilesReconstructed atomic.Int64
 }
 
 // note records one verification outcome on s; nil-safe.
@@ -161,18 +164,27 @@ type CorruptionError struct {
 	Faults []Fault
 	// Corrected is how many of them were repaired in place.
 	Corrected int
+	// Reconstructed reports that the whole tile was rebuilt from its row
+	// parity group instead of per-entry correction — the erasure path taken
+	// when the fault pattern looks like wholesale loss rather than a flip.
+	Reconstructed bool
 }
 
 // CorrectedInPlace reports whether at least one fault was repaired before
-// the error was returned. It implements sched.InPlaceCorrector, so span
-// traces classify the retried verification attempt as corruption-corrected
-// rather than a generic retry.
-func (e *CorruptionError) CorrectedInPlace() bool { return e.Corrected > 0 }
+// the error was returned — by entry correction or whole-tile
+// reconstruction. It implements sched.InPlaceCorrector, so span traces
+// classify the retried verification attempt as corruption-corrected rather
+// than a generic retry.
+func (e *CorruptionError) CorrectedInPlace() bool { return e.Corrected > 0 || e.Reconstructed }
 
 func (e *CorruptionError) Error() string {
 	where := fmt.Sprintf("tile (%d,%d)", e.TileRow, e.TileCol)
 	if e.TileRow < 0 {
 		where = "final sweep"
+	}
+	if e.Reconstructed {
+		return fmt.Sprintf("ft: %s: %d checksum fault(s), tile reconstructed from row parity",
+			where, len(e.Faults))
 	}
 	return fmt.Sprintf("ft: %s: %d checksum fault(s), %d corrected in place",
 		where, len(e.Faults), e.Corrected)

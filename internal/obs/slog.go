@@ -16,6 +16,7 @@ import (
 //
 //	chaos                  injected by WithChaos (errors.Is ErrInjected)
 //	corruption-corrected   ABFT checksum fault, already repaired in place
+//	timeout                watchdog deadline expiry (worker presumed lost)
 //	panic                  the task body panicked
 //	error                  any other task error
 //
@@ -27,6 +28,8 @@ func FailureLogger(l *slog.Logger) func(sched.FailureEvent) {
 		switch {
 		case e.Panicked:
 			kind = "panic"
+		case e.TimedOut:
+			kind = "timeout"
 		case errors.Is(e.Err, sched.ErrInjected):
 			kind = "chaos"
 		case errors.As(e.Err, &c) && c.CorrectedInPlace():

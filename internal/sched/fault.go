@@ -23,6 +23,10 @@ import (
 // they are skipped without running (their outputs would be garbage), the
 // DAG still drains, and WaitErr reports the root failures plus the skip
 // count. Wait keeps its legacy fail-fast semantics (it panics).
+//
+// Hard faults — a worker that dies or hangs holding a task, never handing
+// control back — are the watchdog's job; see liveness.go. The chaos modes
+// here (WithHardChaos) inject exactly those faults deterministically.
 
 // TaskError describes one permanently failed task with its kernel and
 // data-handle context.
@@ -160,25 +164,62 @@ func UniformDelay(max time.Duration) DelayDist {
 
 // chaosState is the scheduler-level fault injector: a seeded stream (the
 // ft.Injector discipline — same seed, same decision sequence) that kills
-// or delays task attempts. Decisions are drawn under a lock so the stream
-// stays a single deterministic sequence; which attempt receives which draw
-// still depends on worker interleaving, as real soft errors do.
+// or delays task attempts (soft faults), and — when the hard modes are
+// armed via WithHardChaos — kills the executing worker outright or hangs
+// the attempt, exercising the watchdog. Decisions are drawn under a lock
+// so the stream stays a single deterministic sequence; which attempt
+// receives which draw still depends on worker interleaving, as real soft
+// errors do. The hard-mode draws are only taken when hard chaos is armed,
+// so seeded soft-chaos streams are unchanged by this extension.
 type chaosState struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	failProb float64
 	delay    DelayDist
+
+	// Hard modes (WithHardChaos). budget caps the number of hard faults
+	// injected, so "kill exactly k workers" sweeps are expressible; a
+	// negative budget is unlimited.
+	killWorkerProb float64
+	hangProb       float64
+	budget         int
 }
 
+// chaosFate is the outcome of one chaos draw for one task attempt. At most
+// one of kill/killWorker/hang is set.
+type chaosFate struct {
+	kill       bool // soft: fail the attempt, worker survives
+	killWorker bool // hard: the worker goroutine dies holding the task
+	hang       bool // hard: the body blocks until the watchdog abandons it
+	delay      time.Duration
+}
+
+// hard reports whether any hard-fault mode is armed (watchdog required).
+func (c *chaosState) hard() bool { return c.killWorkerProb > 0 || c.hangProb > 0 }
+
 // draw returns the fate of one task attempt.
-func (c *chaosState) draw() (fail bool, delay time.Duration) {
+func (c *chaosState) draw() (f chaosFate) {
 	c.mu.Lock()
-	fail = c.rng.Float64() < c.failProb
+	f.kill = c.rng.Float64() < c.failProb
 	if c.delay != nil {
-		delay = c.delay(c.rng)
+		f.delay = c.delay(c.rng)
+	}
+	if c.hard() && c.budget != 0 {
+		// One extra draw decides the hard fate; soft-only configurations
+		// never reach here, keeping their seeded streams unchanged.
+		u := c.rng.Float64()
+		switch {
+		case u < c.killWorkerProb:
+			f.killWorker, f.kill = true, false
+		case u < c.killWorkerProb+c.hangProb:
+			f.hang, f.kill = true, false
+		}
+		if (f.killWorker || f.hang) && c.budget > 0 {
+			c.budget--
+		}
 	}
 	c.mu.Unlock()
-	return fail, delay
+	return f
 }
 
 // WithRetry installs a retry policy: a transiently failed task is
@@ -215,6 +256,31 @@ func WithChaos(seed int64, taskFailProb float64, delayDist DelayDist) Option {
 	}
 }
 
+// WithHardChaos arms the chaos layer's hard-fault modes: each task attempt
+// kills its worker goroutine outright with probability killWorkerProb, or
+// hangs forever with probability hangProb. When WithChaos is also present
+// the soft layer's seeded stream is shared (and seed here is ignored);
+// alone, WithHardChaos seeds its own stream.
+// Both strike strictly before the body runs, so watchdog re-execution is
+// bitwise-safe for non-idempotent kernels. maxFaults caps the total number
+// of hard faults injected (negative for unlimited), making "kill exactly k
+// workers at seeded points" sweeps deterministic. Hard chaos requires
+// WithTaskDeadline — New panics otherwise, because nothing else can
+// recover a dead or hung worker.
+func WithHardChaos(seed int64, killWorkerProb, hangProb float64, maxFaults int) Option {
+	return func(r *Runtime) {
+		if killWorkerProb <= 0 && hangProb <= 0 {
+			return
+		}
+		if r.chaos == nil {
+			r.chaos = &chaosState{rng: rand.New(rand.NewSource(seed))}
+		}
+		r.chaos.killWorkerProb = killWorkerProb
+		r.chaos.hangProb = hangProb
+		r.chaos.budget = maxFaults
+	}
+}
+
 // FailureEvent describes one failed task attempt, delivered to the
 // failure observer.
 type FailureEvent struct {
@@ -229,6 +295,9 @@ type FailureEvent struct {
 	Panicked bool
 	// Retrying reports whether the runtime will re-enqueue the task.
 	Retrying bool
+	// TimedOut reports a watchdog abandonment: the attempt overran the
+	// task deadline and its worker was declared dead (see WithTaskDeadline).
+	TimedOut bool
 }
 
 // WithFailureObserver registers a callback invoked once per failed task

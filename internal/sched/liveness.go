@@ -1,0 +1,286 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the runtime's liveness layer — the hard-fault half of the
+// failure model. fault.go handles *soft* faults: a body that returns an
+// error, panics, or is killed by chaos still hands control back to the
+// runtime. A *hard* fault does not: the worker hangs inside a body, or the
+// goroutine dies holding the task, and without intervention Wait blocks
+// forever. Two mechanisms restore liveness:
+//
+//   - WithTaskDeadline arms a watchdog. Every attempt is registered with a
+//     deadline; a polling watchdog abandons attempts that overrun it, marks
+//     the executing worker dead, spawns a replacement worker under the same
+//     id, and routes the task back through the ordinary retry path as a
+//     transient *TimeoutError. Go cannot kill a goroutine, so an abandoned
+//     worker that eventually returns from its body discovers the
+//     abandonment and exits instead of double-completing the task.
+//
+//   - WaitCtx bounds the wait itself: even without a deadline (or when the
+//     watchdog cannot help, e.g. a deadlock between bodies), the caller
+//     gets control back when its context expires.
+//
+// The watchdog's correctness constraint: the deadline must comfortably
+// exceed the worst-case task execution time. A legitimately slow attempt
+// that overruns the deadline is re-executed while the original may still
+// be running — harmless for idempotent bodies, unsound for in-place
+// read-modify-write kernels. The chaos modes that exercise this layer
+// (WithHardChaos) therefore strike strictly before the body runs, keeping
+// chaos runs bitwise identical to clean runs under retries.
+
+// ErrTaskTimeout is the root of every watchdog-abandoned attempt's error,
+// for errors.Is checks in tests and policies.
+var ErrTaskTimeout = errors.New("task deadline exceeded")
+
+// TimeoutError reports one task attempt abandoned by the watchdog: the
+// attempt ran past the runtime's task deadline, the executing worker was
+// declared dead, and the task was handed back to the retry policy.
+type TimeoutError struct {
+	// Kernel and Seq identify the task.
+	Kernel string
+	Seq    int
+	// Attempt is the 1-based attempt number that was abandoned.
+	Attempt int
+	// Worker is the worker declared dead.
+	Worker int
+	// Deadline is the per-task deadline that was exceeded.
+	Deadline time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("task %q (seq %d) attempt %d exceeded %v deadline on worker %d; worker marked dead",
+		e.Kernel, e.Seq, e.Attempt, e.Deadline, e.Worker)
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrTaskTimeout }
+
+// WithTaskDeadline bounds every task attempt to d and arms the watchdog:
+// an attempt still running past d is abandoned, its worker is declared
+// dead (a replacement worker is spawned so the pool keeps its capacity),
+// and the task is re-enqueued through the retry path as a transient
+// timeout, counted by the sched.tasks_timed_out and sched.workers_lost
+// metrics and reported as an OutcomeTimedOut span.
+//
+// d must comfortably exceed the worst-case execution time of any single
+// task: the runtime cannot distinguish a hung worker from a slow one, and
+// re-executing an attempt whose original is still mutating its output
+// tile is unsound for non-idempotent kernels.
+func WithTaskDeadline(d time.Duration) Option {
+	return func(r *Runtime) {
+		if d <= 0 {
+			return
+		}
+		r.taskDeadline = d
+	}
+}
+
+// attempt tracks one in-flight task execution for the watchdog. Fields are
+// set at registration and immutable afterwards, except abandoned, which is
+// guarded by Runtime.watchMu.
+type attempt struct {
+	n       *node
+	worker  int
+	num     int   // 1-based attempt number
+	readyAt int64 // trace-epoch enqueue time, for the abandoned span
+	start   int64 // trace-epoch start time
+	began   time.Time
+	// lost is closed when the watchdog abandons the attempt; chaos-hung
+	// bodies park on it so deterministic hang tests terminate.
+	lost      chan struct{}
+	abandoned bool
+}
+
+// registerAttempt records the start of one attempt with the watchdog.
+// Returns nil when no deadline is armed.
+func (r *Runtime) registerAttempt(n *node, worker, num int, readyAt, start int64) *attempt {
+	if r.taskDeadline <= 0 {
+		return nil
+	}
+	att := &attempt{
+		n:       n,
+		worker:  worker,
+		num:     num,
+		readyAt: readyAt,
+		start:   start,
+		began:   time.Now(),
+		lost:    make(chan struct{}),
+	}
+	r.watchMu.Lock()
+	r.running[att] = struct{}{}
+	r.watchMu.Unlock()
+	return att
+}
+
+// completeAttempt deregisters an attempt whose body returned. It reports
+// false when the watchdog abandoned the attempt first: the task has
+// already been re-enqueued elsewhere and a replacement worker owns this
+// worker's slot, so the caller must discard the result and exit.
+func (r *Runtime) completeAttempt(att *attempt) bool {
+	if att == nil {
+		return true
+	}
+	r.watchMu.Lock()
+	abandoned := att.abandoned
+	if !abandoned {
+		delete(r.running, att)
+	}
+	r.watchMu.Unlock()
+	return !abandoned
+}
+
+// startWatchdog arms the deadline poller. Called from New when a task
+// deadline is configured.
+func (r *Runtime) startWatchdog() {
+	r.running = make(map[*attempt]struct{})
+	r.watchStop = make(chan struct{})
+	r.watchDone = make(chan struct{})
+	// Poll at a quarter of the deadline so overruns are detected within
+	// ~1.25·d, clamped to keep the poller cheap and responsive.
+	poll := r.taskDeadline / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	go r.watchdog(poll)
+}
+
+// stopWatchdog halts the poller and waits for it to exit. Idempotent.
+func (r *Runtime) stopWatchdog() {
+	if r.watchStop == nil {
+		return
+	}
+	r.watchOnce.Do(func() { close(r.watchStop) })
+	<-r.watchDone
+}
+
+func (r *Runtime) watchdog(poll time.Duration) {
+	defer close(r.watchDone)
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.watchStop:
+			return
+		case <-t.C:
+			r.reapOverdue()
+		}
+	}
+}
+
+// reapOverdue abandons every attempt past its deadline and recovers each
+// one: the worker is replaced and the task re-routed through the failure
+// path outside watchMu (resolveFailure takes Runtime.mu).
+func (r *Runtime) reapOverdue() {
+	var overdue []*attempt
+	now := time.Now()
+	r.watchMu.Lock()
+	for att := range r.running {
+		if now.Sub(att.began) > r.taskDeadline {
+			att.abandoned = true
+			close(att.lost)
+			delete(r.running, att)
+			overdue = append(overdue, att)
+		}
+	}
+	r.watchMu.Unlock()
+	for _, att := range overdue {
+		r.recoverLost(att)
+	}
+}
+
+// recoverLost handles one abandoned attempt: the worker is presumed dead
+// (hung inside a body, or its goroutine gone), so a replacement worker is
+// spawned under the same id — the pool keeps its capacity and the
+// per-worker metrics their indices — and the timeout is routed through
+// resolveFailure like any transient attempt failure. If the worker was
+// merely hung, its goroutine discovers the abandonment when the body
+// returns (completeAttempt reports false) and exits quietly.
+func (r *Runtime) recoverLost(att *attempt) {
+	r.met.taskTimedOut()
+	r.met.workerLost()
+	go r.worker(att.worker)
+
+	err := &TimeoutError{
+		Kernel:   att.n.task.Name,
+		Seq:      att.n.seq,
+		Attempt:  att.num,
+		Worker:   att.worker,
+		Deadline: r.taskDeadline,
+	}
+	retrying := att.num <= r.retryMax
+	end := traceNow()
+	// Emit the abandoned attempt's span before resolveFailure can retire
+	// the node, mirroring the worker fast path's ordering guarantee.
+	if r.spanTracer != nil {
+		sp := Span{
+			ID:      att.n.seq,
+			Name:    att.n.task.Name,
+			Worker:  att.worker,
+			Attempt: att.num,
+			Deps:    att.n.deps,
+			Ready:   att.readyAt,
+			Start:   att.start,
+			End:     end,
+			Err:     err.Error(),
+		}
+		if retrying {
+			sp.Outcome = OutcomeTimedOut
+		} else {
+			sp.Outcome = OutcomeFailed
+		}
+		r.spanTracer.TaskSpan(sp)
+	} else if r.tracer != nil {
+		r.tracer.TaskRan(att.n.task.Name, att.worker, att.start, end)
+	}
+	skipped := r.resolveFailure(att.n, err, retrying, att.num)
+	if len(skipped) > 0 {
+		r.emitSkipped(skipped, end)
+		r.completeSkipped(len(skipped))
+	}
+}
+
+// WaitCtx blocks like WaitErr but additionally returns ctx.Err() as soon
+// as the context is cancelled, even if tasks are still in flight — the
+// escape hatch when a task body deadlocks and no watchdog deadline is
+// armed. On cancellation the runtime's failure state is left untouched:
+// tasks keep draining in the background, and a later WaitErr/Shutdown
+// observes their results.
+func (r *Runtime) WaitCtx(ctx context.Context) error {
+	if ctx == nil {
+		return r.WaitErr()
+	}
+	// Wake the cond broadcast loop when the context fires. AfterFunc covers
+	// both a deadline in the future and a ctx already cancelled.
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+
+	r.mu.Lock()
+	for r.inFlight > 0 && ctx.Err() == nil {
+		r.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	fs := r.failures
+	sk := r.skipped
+	r.failures = nil
+	r.skipped = 0
+	r.mu.Unlock()
+	if len(fs) == 0 {
+		return nil
+	}
+	return &FailuresError{Failures: fs, Skipped: sk}
+}

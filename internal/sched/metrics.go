@@ -20,6 +20,8 @@ import (
 //	sched.tasks_failed               counter (permanent task failures)
 //	sched.tasks_panicked             counter (permanent failures via panic)
 //	sched.tasks_skipped              counter (dependents poisoned by a failure)
+//	sched.tasks_timed_out            counter (attempts abandoned by the watchdog)
+//	sched.workers_lost               counter (workers declared dead and replaced)
 //	sched.ready_depth                gauge (current ready-queue length)
 //	sched.ready_high_water           gauge (max ready-queue length seen)
 //	sched.queue_wait_ns              histogram (per-attempt ready→start wait)
@@ -38,6 +40,8 @@ type rtMetrics struct {
 	failed    *metrics.Counter
 	panicked  *metrics.Counter
 	skipped   *metrics.Counter
+	timedOut  *metrics.Counter
+	lost      *metrics.Counter
 	depth     *metrics.Gauge
 	highWater *metrics.Gauge
 	queueWait *metrics.Histogram
@@ -62,6 +66,8 @@ func newRTMetrics(reg *metrics.Registry, workers int) *rtMetrics {
 		failed:    reg.Counter("sched.tasks_failed"),
 		panicked:  reg.Counter("sched.tasks_panicked"),
 		skipped:   reg.Counter("sched.tasks_skipped"),
+		timedOut:  reg.Counter("sched.tasks_timed_out"),
+		lost:      reg.Counter("sched.workers_lost"),
 		depth:     reg.Gauge("sched.ready_depth"),
 		highWater: reg.Gauge("sched.ready_high_water"),
 		queueWait: reg.Histogram("sched.queue_wait_ns"),
@@ -118,6 +124,12 @@ func (m *rtMetrics) taskFailed(panicked bool) {
 
 // taskSkipped records one dependent poisoned by an upstream failure.
 func (m *rtMetrics) taskSkipped() { m.skipped.Inc() }
+
+// taskTimedOut records one attempt abandoned past its deadline.
+func (m *rtMetrics) taskTimedOut() { m.timedOut.Inc() }
+
+// workerLost records one worker declared dead and replaced.
+func (m *rtMetrics) workerLost() { m.lost.Inc() }
 
 // workerIdle records ns nanoseconds worker w spent without a task.
 func (m *rtMetrics) workerIdle(w int, ns int64) {

@@ -1,6 +1,9 @@
 package sched
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // GraphNode is one task in a recorded graph.
 type GraphNode struct {
@@ -241,6 +244,18 @@ func (rec *Recorder) WaitErr() error {
 		return nil
 	}
 	return &FailuresError{Failures: fs}
+}
+
+// WaitCtx matches Runtime.WaitCtx for interface parity. Tasks were
+// executed inline at Submit, so there is never anything in flight: a
+// cancelled context is still honoured, but nothing is abandoned.
+func (rec *Recorder) WaitCtx(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return rec.WaitErr()
 }
 
 // Graph returns the recorded DAG.

@@ -34,6 +34,7 @@ package sched
 
 import (
 	"container/heap"
+	"errors"
 	"sync"
 	"time"
 
@@ -83,7 +84,7 @@ type node struct {
 	seq      int // submission order, for FIFO tie-breaking
 	enqueued bool
 	done     bool  // completed; guarded by Runtime.mu
-	attempts int   // executions so far; touched only by the executing worker
+	attempts int   // executions so far; guarded by Runtime.mu
 	poisoned bool  // an upstream task failed; skip the body. Guarded by mu.
 	deps     []int // dep task seqs, recorded only under a SpanTracer; immutable after link
 	readyAt  int64 // when the node was (last) enqueued; guarded by mu
@@ -108,6 +109,16 @@ type Runtime struct {
 	retryBackoff time.Duration
 	chaos        *chaosState
 	failObs      func(FailureEvent)
+
+	// Liveness layer (see liveness.go). taskDeadline is immutable after
+	// New; the attempt registry has its own lock so the watchdog never
+	// contends with the scheduling fast path.
+	taskDeadline time.Duration
+	watchMu      sync.Mutex
+	running      map[*attempt]struct{}
+	watchStop    chan struct{}
+	watchDone    chan struct{}
+	watchOnce    sync.Once
 
 	tracer     Tracer
 	spanTracer SpanTracer // tracer's span extension, when implemented
@@ -168,6 +179,12 @@ func New(workers int, opts ...Option) *Runtime {
 	}
 	if r.met == nil {
 		r.met = newRTMetrics(metrics.Default(), workers)
+	}
+	if r.chaos != nil && r.chaos.hard() && r.taskDeadline <= 0 {
+		panic("sched: WithHardChaos (worker kills / task hangs) requires WithTaskDeadline so the watchdog can recover")
+	}
+	if r.taskDeadline > 0 {
+		r.startWatchdog()
 	}
 	for w := 0; w < workers; w++ {
 		go r.worker(w)
@@ -289,15 +306,32 @@ func (r *Runtime) worker(id int) {
 		n := heap.Pop(&r.ready).(*node)
 		n.enqueued = false // may be re-enqueued by the retry path
 		r.met.readyLen(len(r.ready))
+		// Capture attempt-local state before the retry path can re-enqueue
+		// the node (which resets readyAt and lets another worker bump
+		// attempts concurrently). attempts is bumped under mu: after a
+		// watchdog abandonment the replacement execution races the zombie's
+		// last reads, and both sides must see a consistent count.
+		n.attempts++
+		attemptNum := n.attempts
+		readyAt := n.readyAt
 		r.mu.Unlock()
 
 		start := clock.now()
 		r.met.workerIdle(id, start-idleFrom)
-		// Capture attempt-local state before the retry path can re-enqueue
-		// the node (which resets readyAt and lets another worker bump
-		// attempts concurrently).
-		readyAt := n.readyAt
-		err := r.runTask(n)
+		att := r.registerAttempt(n, id, attemptNum, readyAt, start)
+		err, died := r.runTask(n, att, attemptNum)
+		if died {
+			// Hard chaos killed this worker while it held the task. The
+			// attempt stays registered: the watchdog will declare the worker
+			// dead, re-enqueue the task, and spawn a replacement worker.
+			return
+		}
+		if !r.completeAttempt(att) {
+			// The watchdog abandoned this attempt — the task has been handed
+			// to another worker and a replacement owns this id. Discard the
+			// result and exit; the span was emitted by the watchdog.
+			return
+		}
 		end := clock.now()
 		idleFrom = end
 		wait := int64(-1)
@@ -310,13 +344,13 @@ func (r *Runtime) worker(id int) {
 		// re-enqueued: Wait/WaitErr/Shutdown return once inFlight reaches
 		// zero, so anything emitted after finish()/resolveFailure() could be
 		// missed by a caller reading the tracer right after Wait.
-		retrying := err != nil && n.attempts <= r.retryMax && retryable(err)
+		retrying := err != nil && attemptNum <= r.retryMax && retryable(err)
 		if r.spanTracer != nil {
 			sp := Span{
 				ID:      n.seq,
 				Name:    n.task.Name,
 				Worker:  id,
-				Attempt: n.attempts,
+				Attempt: attemptNum,
 				Deps:    n.deps,
 				Ready:   readyAt,
 				Start:   start,
@@ -335,7 +369,7 @@ func (r *Runtime) worker(id int) {
 		if err == nil {
 			skipped = r.finish(n, false)
 		} else {
-			skipped = r.resolveFailure(n, err, retrying)
+			skipped = r.resolveFailure(n, err, retrying, attemptNum)
 		}
 		if len(skipped) > 0 {
 			r.emitSkipped(skipped, end)
@@ -370,18 +404,31 @@ func (r *Runtime) finish(n *node, failed bool) []*node {
 }
 
 // runTask executes one attempt of a task body: the chaos layer may delay
-// or kill the attempt first, then FnErr (preferred) or Fn runs with panic
-// capture, so one faulty kernel can neither unwind a worker nor deadlock
-// the pool. It returns the attempt's failure, nil on success.
-func (r *Runtime) runTask(n *node) (err error) {
-	n.attempts++
+// the attempt, kill it (soft: the worker survives and reports the injected
+// error), kill the *worker* (hard: died is returned true and the caller's
+// goroutine exits holding the task, leaving recovery to the watchdog), or
+// hang it (the body parks until the watchdog abandons the attempt). Then
+// FnErr (preferred) or Fn runs with panic capture, so one faulty kernel
+// can neither unwind a worker nor deadlock the pool. All chaos strikes
+// before the body, so a re-executed attempt is bitwise-safe even for
+// non-idempotent read-modify-write kernels.
+func (r *Runtime) runTask(n *node, att *attempt, attemptNum int) (err error, died bool) {
 	if r.chaos != nil {
-		fail, delay := r.chaos.draw()
-		if delay > 0 {
-			time.Sleep(delay)
+		fate := r.chaos.draw()
+		if fate.delay > 0 {
+			time.Sleep(fate.delay)
 		}
-		if fail {
-			return &chaosError{kernel: n.task.Name, attempt: n.attempts}
+		switch {
+		case fate.killWorker:
+			return nil, true
+		case fate.hang:
+			// att is always non-nil here: New rejects hard chaos without a
+			// task deadline. Park until the watchdog declares the attempt
+			// lost, then exit through the abandoned-worker path.
+			<-att.lost
+			return nil, false
+		case fate.kill:
+			return &chaosError{kernel: n.task.Name, attempt: attemptNum}, false
 		}
 	}
 	defer func() {
@@ -390,34 +437,38 @@ func (r *Runtime) runTask(n *node) (err error) {
 		}
 	}()
 	if n.task.FnErr != nil {
-		return n.task.FnErr()
+		return n.task.FnErr(), false
 	}
 	if n.task.Fn != nil {
 		n.task.Fn()
 	}
-	return nil
+	return nil, false
 }
 
 // resolveFailure routes one failed attempt: re-enqueue through the retry
 // policy when retry (computed by the worker before emitting the attempt's
 // span) is set, or make the failure permanent and poison the task's
-// dependents. It returns the dependents skipped by a permanent failure
-// (collected only under a SpanTracer).
-func (r *Runtime) resolveFailure(n *node, err error, retry bool) (skipped []*node) {
+// dependents. attempt is the caller's snapshot of the attempt number (the
+// watchdog resolves abandoned attempts concurrently with the replacement
+// execution, so n.attempts cannot be read here). It returns the dependents
+// skipped by a permanent failure (collected only under a SpanTracer).
+func (r *Runtime) resolveFailure(n *node, err error, retry bool, attempt int) (skipped []*node) {
 	_, panicked := err.(*panicError)
 	if r.failObs != nil {
+		var toErr *TimeoutError
 		r.failObs(FailureEvent{
 			Kernel:   n.task.Name,
 			Seq:      n.seq,
-			Attempt:  n.attempts,
+			Attempt:  attempt,
 			Err:      err,
 			Panicked: panicked,
 			Retrying: retry,
+			TimedOut: errors.As(err, &toErr),
 		})
 	}
 	if retry {
 		r.met.taskRetried()
-		delay := r.backoffFor(n.attempts)
+		delay := r.backoffFor(attempt)
 		if delay <= 0 {
 			r.mu.Lock()
 			r.enqueueLocked(n)
@@ -437,7 +488,7 @@ func (r *Runtime) resolveFailure(n *node, err error, retry bool) (skipped []*nod
 	te := &TaskError{
 		Kernel:   n.task.Name,
 		Seq:      n.seq,
-		Attempts: n.attempts,
+		Attempts: attempt,
 		Writes:   append([]Handle(nil), n.task.Writes...),
 		Err:      err,
 	}
@@ -563,6 +614,11 @@ func (r *Runtime) Shutdown() {
 	r.shutdown = true
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	// The watchdog outlives the last task so late overruns are still
+	// reaped; it stops only here. Workers hung inside bodies (hard chaos,
+	// or a genuinely stuck kernel) are abandoned goroutines by now — Go
+	// cannot kill them — and exit whenever their bodies return.
+	r.stopWatchdog()
 }
 
 // Workers reports the size of the worker pool.

@@ -29,6 +29,12 @@ const (
 	// OutcomeSkipped marks a task that never ran because an upstream
 	// failure poisoned it. Skipped spans have Attempt 0 and Worker -1.
 	OutcomeSkipped
+	// OutcomeTimedOut is an attempt the watchdog abandoned because it
+	// overran the task deadline (see WithTaskDeadline): the executing
+	// worker is presumed dead and the task is re-enqueued through the
+	// retry path. An attempt whose timeout exhausts the retry budget is
+	// reported as OutcomeFailed instead, like any other permanent failure.
+	OutcomeTimedOut
 )
 
 // String returns the lower-case label used in traces and structured logs.
@@ -44,6 +50,8 @@ func (o Outcome) String() string {
 		return "corrected"
 	case OutcomeSkipped:
 		return "skipped"
+	case OutcomeTimedOut:
+		return "timed_out"
 	}
 	return "unknown"
 }

@@ -13,7 +13,7 @@ import (
 type DAGStats struct {
 	// Tasks is the number of distinct executed tasks; Attempts counts task
 	// executions including retries, and Retries how many attempts ended
-	// retried or corruption-corrected.
+	// retried, corruption-corrected, or timed out (watchdog re-execution).
 	Tasks, Attempts, Retries int
 	// T1 is the total work: summed duration of every attempt — the
 	// single-worker makespan lower bound.
@@ -88,7 +88,8 @@ func (l *Log) AnalyzeDAG() DAGStats {
 			first, last = e.Start, e.End
 		}
 		st.Attempts++
-		if e.Outcome == sched.OutcomeRetried || e.Outcome == sched.OutcomeCorrected {
+		if e.Outcome == sched.OutcomeRetried || e.Outcome == sched.OutcomeCorrected ||
+			e.Outcome == sched.OutcomeTimedOut {
 			st.Retries++
 		}
 		if e.Start < first {
