@@ -46,6 +46,23 @@ func BenchmarkGemm(b *testing.B) {
 	}
 }
 
+// BenchmarkGemmAxpy tracks the pre-packing axpy path — the baseline the
+// packed register-blocked kernel is graded against (see BENCH_gemm.json).
+func BenchmarkGemmAxpy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{128, 256, 512} {
+		a := matgen.Dense[float64](rng, n, n)
+		bb := matgen.Dense[float64](rng, n, n)
+		c := make([]float64, n*n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				blas.GemmAxpy(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, bb, n, 0, c, n)
+			}
+			reportGFLOPS(b, 2*float64(n)*float64(n)*float64(n))
+		})
+	}
+}
+
 func BenchmarkGemmFloat32(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	n := 512

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"exadla/internal/autotune"
+	"exadla/internal/blas"
+	"exadla/internal/core"
+	"exadla/internal/lapack"
+	"exadla/internal/matgen"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// The -json mode measures the two hot-path benchmarks the kernel layer is
+// graded on and writes them as machine-readable artifacts:
+//
+//	BENCH_gemm.json  — float64 Gemm GF/s by square size, packed
+//	                   register-blocked path vs the axpy baseline kernel
+//	BENCH_chol.json  — float64 Cholesky GF/s by size, serial Potrf kernel
+//	                   and the full tiled dataflow run
+//
+// CI runs this in -quick mode and archives the files; full mode covers the
+// 256–1024 range the kernel work targets.
+
+type gemmSizeResult struct {
+	N            int     `json:"n"`
+	AxpyGflops   float64 `json:"axpy_gflops"`
+	PackedGflops float64 `json:"packed_gflops"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type gemmBenchReport struct {
+	Benchmark  string           `json:"benchmark"`
+	Baseline   string           `json:"baseline"`
+	Blocking   blas.Blocking    `json:"blocking"`
+	Sizes      []gemmSizeResult `json:"sizes"`
+	MinSpeedup float64          `json:"min_speedup"`
+}
+
+type cholSizeResult struct {
+	N                  int     `json:"n"`
+	NB                 int     `json:"nb"`
+	SerialPotrfGflops  float64 `json:"serial_potrf_gflops"`
+	TiledGflops        float64 `json:"tiled_gflops"`
+	TiledOverSerialPct float64 `json:"tiled_over_serial_pct"`
+}
+
+type cholBenchReport struct {
+	Benchmark string           `json:"benchmark"`
+	Workers   int              `json:"workers"`
+	Sizes     []cholSizeResult `json:"sizes"`
+}
+
+// minTime returns the fastest of reps runs of f, the standard timing-noise
+// filter.
+func minTime(reps int, f func()) float64 {
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		if s := autotune.Time(f); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func runBenchJSON(quick bool) error {
+	if err := benchGemmJSON(quick); err != nil {
+		return err
+	}
+	return benchCholJSON(quick)
+}
+
+func benchGemmJSON(quick bool) error {
+	sizes := pick(quick, []int{128, 256}, []int{256, 512, 1024})
+	reps := pick(quick, 2, 3)
+	report := gemmBenchReport{
+		Benchmark:  "gemm-f64-nn",
+		Baseline:   "axpy",
+		Blocking:   blas.GemmBlocking(),
+		MinSpeedup: math.Inf(1),
+	}
+	fmt.Printf("gemm: packed register-blocked path vs axpy baseline (float64, C ← A·B)\n\n")
+	tbl := newTable("n", "axpy GF/s", "packed GF/s", "speedup")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := matgen.Dense[float64](rng, n, n)
+		b := matgen.Dense[float64](rng, n, n)
+		c := make([]float64, n*n)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		axpy := flops / minTime(reps, func() {
+			blas.GemmAxpy(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+		}) / 1e9
+		packed := flops / minTime(reps, func() {
+			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+		}) / 1e9
+		sp := packed / axpy
+		report.Sizes = append(report.Sizes, gemmSizeResult{N: n, AxpyGflops: axpy, PackedGflops: packed, Speedup: sp})
+		report.MinSpeedup = math.Min(report.MinSpeedup, sp)
+		tbl.add(n, axpy, packed, sp)
+	}
+	tbl.print()
+	return writeBenchFile("BENCH_gemm.json", report)
+}
+
+func benchCholJSON(quick bool) error {
+	sizes := pick(quick, []int{256, 512}, []int{512, 1024})
+	nb := pick(quick, 64, 96)
+	reps := 2
+	workers := runtime.GOMAXPROCS(0)
+	report := cholBenchReport{Benchmark: "cholesky-f64", Workers: workers}
+	fmt.Printf("\ncholesky: serial Potrf kernel and full tiled dataflow run (nb=%d, workers=%d)\n\n", nb, workers)
+	tbl := newTable("n", "serial GF/s", "tiled GF/s")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		aD := matgen.DiagDomSPD[float64](rng, n)
+		flops := float64(n) * float64(n) * float64(n) / 3
+
+		serial := flops / minTime(reps, func() {
+			aCopy := append([]float64(nil), aD...)
+			if err := lapack.Potrf(blas.Lower, n, aCopy, n); err != nil {
+				panic(err)
+			}
+		}) / 1e9
+
+		tiled := flops / minTime(reps, func() {
+			at := tile.FromColMajor(n, n, aD, n, nb)
+			rt := sched.New(workers)
+			defer rt.Shutdown()
+			if err := core.Cholesky(rt, at); err != nil {
+				panic(err)
+			}
+		}) / 1e9
+
+		report.Sizes = append(report.Sizes, cholSizeResult{
+			N: n, NB: nb,
+			SerialPotrfGflops:  serial,
+			TiledGflops:        tiled,
+			TiledOverSerialPct: 100 * (tiled/serial - 1),
+		})
+		tbl.add(n, serial, tiled)
+	}
+	tbl.print()
+	return writeBenchFile("BENCH_chol.json", report)
+}
+
+func writeBenchFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

@@ -7,6 +7,7 @@
 //	exabench -exp e1          # one experiment
 //	exabench -exp all         # the full suite
 //	exabench -exp e1 -quick   # smaller sizes for a fast sanity pass
+//	exabench -json            # kernel benchmarks → BENCH_gemm.json, BENCH_chol.json
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced sizes for a fast pass")
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and dump a JSON snapshot per experiment")
 	faults := flag.Bool("faults", false, "run the fault-injection mode instead of the experiment suite")
+	jsonBench := flag.Bool("json", false, "run the kernel benchmark suite and write BENCH_gemm.json / BENCH_chol.json")
 	obsAddr := flag.String("obs", "", "serve live observability (metrics, healthz, pprof) on this host:port while the suite runs")
 	flag.Parse()
 
@@ -56,6 +58,14 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("observability server listening on http://%s\n", srv.Addr())
+	}
+	if *jsonBench {
+		fmt.Printf("\n=== kernel benchmarks (JSON artifacts) ===\n\n")
+		if err := runBenchJSON(*quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *faults {
 		fmt.Printf("\n=== fault injection: chaos retries and ABFT recovery ===\n\n")

@@ -5,6 +5,7 @@
 //
 //	exatune -op cholesky -n 1024 -workers 4 -out tuning.json
 //	exatune -op qr -n 512
+//	exatune -op gemm -n 768 -out tuning.json   # packed-GEMM blocking factors
 package main
 
 import (
@@ -24,13 +25,20 @@ import (
 )
 
 func main() {
-	op := flag.String("op", "cholesky", "operation to tune: cholesky, lu, or qr")
+	op := flag.String("op", "cholesky", "operation to tune: cholesky, lu, qr, or gemm")
 	n := flag.Int("n", 1024, "problem size")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 	reps := flag.Int("reps", 3, "repetitions per candidate (min is kept)")
 	out := flag.String("out", "", "tuning table JSON to update (optional)")
 	list := flag.String("nb", "16,32,48,64,96,128,192,256", "comma-separated tile sizes to try")
 	flag.Parse()
+
+	if *op == "gemm" {
+		// The GEMM blocking search sweeps its own per-parameter candidate
+		// lists (coordinate descent); -nb and -workers do not apply.
+		tuneGemm(*n, *reps, *out)
+		return
+	}
 
 	candidates, err := parseList(*list)
 	if err != nil {

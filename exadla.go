@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"exadla/internal/autotune"
+	"exadla/internal/blas"
 	"exadla/internal/ft"
 	"exadla/internal/metrics"
 	"exadla/internal/obs"
@@ -122,9 +123,11 @@ func WithMetrics() Option {
 
 // WithTuningTable loads the autotuner's persistent table (as written by
 // cmd/exatune) and uses its per-operation tile sizes, falling back to the
-// configured tile size for untuned shapes. A missing file yields an empty
-// table; a corrupt file panics, since silently ignoring a requested tuning
-// configuration would be worse.
+// configured tile size for untuned shapes. Machine-global gemm.* blocking
+// keys (exatune -op gemm) are installed into the packed GEMM kernel
+// immediately — the blocking is process-global, like the metrics registry.
+// A missing file yields an empty table; a corrupt file panics, since
+// silently ignoring a requested tuning configuration would be worse.
 func WithTuningTable(path string) Option {
 	return func(c *Context) {
 		t, err := autotune.Load(path)
@@ -132,6 +135,47 @@ func WithTuningTable(path string) Option {
 			panic("exadla: " + err.Error())
 		}
 		c.tuning = t
+		applyGemmTuning(t)
+	}
+}
+
+// applyGemmTuning installs any machine-global gemm.* blocking parameters
+// from the tuning table into the packed GEMM kernel. Absent keys leave the
+// corresponding field at its current value (SetGemmBlocking treats zero as
+// "keep default"), and out-of-range values are clamped there, so a partial
+// or stale table can never produce an invalid blocking.
+func applyGemmTuning(t *autotune.Table) {
+	var b blas.Blocking
+	changed := false
+	set := func(key string, field *int) {
+		if v, ok := t.Lookup(autotune.GlobalKey(key)); ok {
+			*field = v
+			changed = true
+		}
+	}
+	set("gemm.mr", &b.MR)
+	set("gemm.nr", &b.NR)
+	set("gemm.mc", &b.MC)
+	set("gemm.kc", &b.KC)
+	set("gemm.nc", &b.NC)
+	if changed {
+		cur := blas.GemmBlocking()
+		if b.MR == 0 {
+			b.MR = cur.MR
+		}
+		if b.NR == 0 {
+			b.NR = cur.NR
+		}
+		if b.MC == 0 {
+			b.MC = cur.MC
+		}
+		if b.KC == 0 {
+			b.KC = cur.KC
+		}
+		if b.NC == 0 {
+			b.NC = cur.NC
+		}
+		blas.SetGemmBlocking(b)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"exadla"
 	"exadla/internal/autotune"
+	"exadla/internal/blas"
 )
 
 func newCtx(t *testing.T, opts ...exadla.Option) *exadla.Context {
@@ -446,6 +447,42 @@ func TestWithTuningTable(t *testing.T) {
 	b2 := ctx.Multiply(a2, exadla.RandomGeneral(rng, 50, 1))
 	if _, err := ctx.SolveSPD(a2, b2); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWithTuningTableGemmBlocking(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tune.json")
+	// Machine-global gemm.* keys (as written by exatune -op gemm) must be
+	// installed into the packed-GEMM blocking when the table is loaded;
+	// absent fields keep their prior values.
+	prev := blas.GemmBlocking()
+	t.Cleanup(func() { blas.SetGemmBlocking(prev) })
+	tab := autotune.NewTable()
+	tab.Set(autotune.GlobalKey("gemm.kc"), 192)
+	tab.Set(autotune.GlobalKey("gemm.mc"), 128)
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCtx(t, exadla.WithTuningTable(path))
+	got := blas.GemmBlocking()
+	if got.KC != 192 || got.MC != 128 {
+		t.Errorf("blocking after load = %+v, want KC=192 MC=128", got)
+	}
+	if got.MR != prev.MR || got.NR != prev.NR || got.NC != prev.NC {
+		t.Errorf("untuned fields changed: %+v (prev %+v)", got, prev)
+	}
+	// The tuned blocking must still produce correct results end-to-end.
+	rng := rand.New(rand.NewSource(31))
+	a := exadla.RandomSPD(rng, 96)
+	xTrue := exadla.RandomGeneral(rng, 96, 1)
+	b := ctx.Multiply(a, xTrue)
+	x, err := ctx.SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := exadla.Residual(a, x, b); r > 1e-12 {
+		t.Errorf("tuned solve residual %g", r)
 	}
 }
 

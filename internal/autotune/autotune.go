@@ -94,6 +94,13 @@ func Key(op string, n, workers int) string {
 	return fmt.Sprintf("%s/n=%d/w=%d", op, n, workers)
 }
 
+// GlobalKey builds the lookup key for a machine-global parameter — one that
+// does not vary with problem size or worker count, such as the GEMM
+// register- and cache-blocking factors tuned by exatune.
+func GlobalKey(param string) string {
+	return "global/" + param
+}
+
 // Lookup returns the tuned parameter for key, if present.
 func (t *Table) Lookup(key string) (int, bool) {
 	t.mu.Lock()

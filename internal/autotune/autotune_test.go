@@ -138,3 +138,16 @@ func TestTimeMeasures(t *testing.T) {
 		t.Error("negative time")
 	}
 }
+
+func TestGlobalKey(t *testing.T) {
+	got := GlobalKey("gemm.mr")
+	if got != "global/gemm.mr" {
+		t.Fatalf("GlobalKey = %q", got)
+	}
+	// Global keys must round-trip through the table like any other key.
+	tb := NewTable()
+	tb.Set(got, 8)
+	if v, ok := tb.Lookup(GlobalKey("gemm.mr")); !ok || v != 8 {
+		t.Fatalf("Lookup(global key) = %d, %v", v, ok)
+	}
+}

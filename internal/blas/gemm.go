@@ -1,18 +1,34 @@
 package blas
 
-// Blocking parameters for Gemm. The kc×nc block of B is streamed against
-// full columns of A, keeping the active working set near L1/L2 size for
-// float64 (and comfortably inside it for float32).
+// Blocking parameters for the axpy (pre-packing) Gemm path, retained as the
+// small-size fallback: the kc×nc block of B is streamed against full
+// columns of A, keeping the active working set near L1/L2 size for float64
+// (and comfortably inside it for float32).
 const (
 	gemmKC = 128
 	gemmNC = 64
 )
+
+// minPackedVolume is the small-size cutover: products with m·n·k below this
+// volume skip panel packing and use the cache-blocked axpy kernels, since
+// the mc·kc + kc·nc packing traffic only amortizes once the register tile
+// stays hot across many depth steps. With the AVX2 microkernel the packed
+// path wins from roughly 12×12×12 up (measured); below that, pack setup
+// and pool round-trips dominate. Tests override it to pin a path.
+var minPackedVolume int64 = 12 * 12 * 12
 
 // Gemm computes the general matrix-matrix product
 //
 //	C ← α·op(A)·op(B) + β·C
 //
 // where op(A) is m×k, op(B) is k×n and C is m×n, all column-major.
+//
+// Non-finite values propagate exactly as in the reference three-loop
+// formulation: every A·B product term participates, including terms whose
+// other factor is zero, so NaN and ±Inf in the operands reach C. The two
+// coefficient gates follow the BLAS convention instead: β == 0 means C is
+// overwritten without being read, and α == 0 means op(A)·op(B) is never
+// formed.
 func Gemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
 	checkTrans(transA)
 	checkTrans(transB)
@@ -32,26 +48,157 @@ func Gemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda in
 	}
 	start := gemmMetrics.Start()
 
-	// C ← β·C.
+	// C ← β·C. The m·n scaling flops are charged to the dedicated
+	// β-scaling counter, never to the 2mnk product counter that feeds the
+	// GF/s gauge.
 	if beta != 1 {
-		for j := 0; j < n; j++ {
-			col := c[j*ldc : j*ldc+m]
-			if beta == 0 {
-				for i := range col {
-					col[i] = 0
-				}
-			} else {
-				for i := range col {
-					col[i] *= beta
+		scaleMatrix(m, n, beta, c, ldc)
+		gemmScaleFlops.Add(int64(m) * int64(n))
+	}
+	if alpha == 0 || k == 0 {
+		// No product work was done (β == 1 makes this a complete no-op);
+		// charge zero product flops so metrics stay truthful.
+		gemmMetrics.Stop(start, 0)
+		return
+	}
+
+	gemmAccum(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	gemmMetrics.Stop(start, 2*int64(m)*int64(n)*int64(k))
+}
+
+// GemmAxpy is Gemm restricted to the pre-packing cache-blocked axpy
+// kernels. It is the small-size path of Gemm and the baseline the packed
+// kernel is benchmarked against (cmd/exabench -json); it records no
+// metrics.
+func GemmAxpy[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	checkTrans(transA)
+	checkTrans(transB)
+	if transA == NoTrans {
+		checkMatrix("A", m, k, a, lda)
+	} else {
+		checkMatrix("A", k, m, a, lda)
+	}
+	if transB == NoTrans {
+		checkMatrix("B", k, n, b, ldb)
+	} else {
+		checkMatrix("B", n, k, b, ldb)
+	}
+	checkMatrix("C", m, n, c, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta != 1 {
+		scaleMatrix(m, n, beta, c, ldc)
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	gemmAxpyKernel(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// scaleMatrix computes C ← β·C columnwise, writing zeros outright for
+// β == 0 per the BLAS convention (C is not read, so stale NaNs die).
+func scaleMatrix[T Float](m, n int, beta T, c []T, ldc int) {
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+	}
+}
+
+// gemmAccum computes C += α·op(A)·op(B) with no argument validation,
+// metrics, or β-scaling — the shared internal entry point for Gemm itself
+// and for the level-3 routines (Syrk, Trmm) that are built from rectangular
+// GEMM updates and keep their own accounting. Callers guarantee
+// m, n, k ≥ 1 and α ≠ 0.
+func gemmAccum[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	if int64(m)*int64(n)*int64(k) < minPackedVolume {
+		gemmAxpyKernel(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	gemmPacked(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// gemmPacked is the packed, register-blocked path: kc×nc panels of op(B)
+// and mc×kc panels of op(A) are packed into contiguous pooled buffers
+// (normalizing all four transpose cases at pack time), then an mr×nr
+// register-tile microkernel sweeps the panels under mc/kc/nc cache
+// blocking. Edge tiles run through a zeroed scratch tile; the packed
+// slivers themselves are zero-padded so the microkernel never branches.
+func gemmPacked[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	p := GemmBlocking()
+	mr, nr := p.MR, p.NR
+	if mr == 8 && (!is64[T]() || !haveAvx2Fma) {
+		mr = 4 // the 8-row kernel is AVX2+FMA assembly, float64 only
+	}
+	kern := kernelFor[T](mr)
+	mc, kc, nc := p.MC, p.KC, p.NC
+
+	kcEff := min(kc, k)
+	aBuf := getScratch[T](roundUp(min(mc, m), mr) * kcEff)
+	bBuf := getScratch[T](kcEff * roundUp(min(nc, n), nr))
+	// Edge-tile scratch lives in the pool too: a local array would escape
+	// through the kern indirect call and cost one heap allocation per call.
+	tBuf := getScratch[T](maxMR * maxNR)
+	for jc := 0; jc < n; jc += nc {
+		nb := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kb := min(kc, k-pc)
+			packB(transB, kb, nb, b, ldb, pc, jc, nr, bBuf.buf)
+			for ic := 0; ic < m; ic += mc {
+				mb := min(mc, m-ic)
+				packA(transA, mb, kb, a, lda, ic, pc, mr, aBuf.buf)
+				macroKernel(mb, nb, kb, mr, nr, alpha, aBuf.buf, bBuf.buf, c[ic+jc*ldc:], ldc, kern, tBuf.buf)
+			}
+		}
+	}
+	aBuf.release()
+	bBuf.release()
+	tBuf.release()
+}
+
+// macroKernel sweeps the register tiles of one packed mb×kb × kb×nb block
+// pair, dispatching full tiles straight into C and partial edge tiles
+// through a zeroed mr×nr scratch (tmp, pool-backed, ≥ maxMR·maxNR) whose
+// valid region is then accumulated.
+func macroKernel[T Float](mb, nb, kb, mr, nr int, alpha T, ap, bp, c []T, ldc int, kern microKernel[T], tmp []T) {
+	for jr := 0; jr < nb; jr += nr {
+		cols := min(nr, nb-jr)
+		bs := bp[(jr/nr)*(kb*nr):]
+		for ir := 0; ir < mb; ir += mr {
+			rows := min(mr, mb-ir)
+			as := ap[(ir/mr)*(kb*mr):]
+			if rows == mr && cols == nr {
+				kern(kb, as, bs, alpha, c[ir+jr*ldc:], ldc)
+				continue
+			}
+			clear(tmp[:mr*nr])
+			kern(kb, as, bs, alpha, tmp[:], mr)
+			for j := 0; j < cols; j++ {
+				dst := c[ir+(jr+j)*ldc:]
+				src := tmp[j*mr:]
+				for i := 0; i < rows; i++ {
+					dst[i] += src[i]
 				}
 			}
 		}
 	}
-	if alpha == 0 || k == 0 {
-		gemmMetrics.Stop(start, int64(m)*int64(n)) // β-scaling only
-		return
-	}
+}
 
+// roundUp rounds v up to the next multiple of unit.
+func roundUp(v, unit int) int {
+	return (v + unit - 1) / unit * unit
+}
+
+// gemmAxpyKernel dispatches the four transpose cases of the axpy path.
+func gemmAxpyKernel[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
 	switch {
 	case transA == NoTrans && transB == NoTrans:
 		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
@@ -62,12 +209,12 @@ func Gemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda in
 	default:
 		gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
 	}
-	gemmMetrics.Stop(start, 2*int64(m)*int64(n)*int64(k))
 }
 
 // gemmNN computes C += α·A·B. The kernel accumulates axpy updates of
 // contiguous A columns into contiguous C columns, two k-steps at a time,
-// blocked over (k, n) so the touched A panel stays cache resident.
+// blocked over (k, n) so the touched A panel stays cache resident. Zero
+// B coefficients are NOT skipped: 0·NaN must propagate (see Gemm).
 func gemmNN[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
 	for jb := 0; jb < n; jb += gemmNC {
 		nb := min(gemmNC, n-jb)
@@ -80,9 +227,6 @@ func gemmNN[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T
 				for ; l+1 < lb+kb; l += 2 {
 					b0 := alpha * bcol[l]
 					b1 := alpha * bcol[l+1]
-					if b0 == 0 && b1 == 0 {
-						continue
-					}
 					a0 := a[l*lda : l*lda+m]
 					a1 := a[(l+1)*lda : (l+1)*lda+m]
 					for i := range ccol {
@@ -91,11 +235,9 @@ func gemmNN[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T
 				}
 				if l < lb+kb {
 					b0 := alpha * bcol[l]
-					if b0 != 0 {
-						a0 := a[l*lda : l*lda+m]
-						for i := range ccol {
-							ccol[i] += b0 * a0[i]
-						}
+					a0 := a[l*lda : l*lda+m]
+					for i := range ccol {
+						ccol[i] += b0 * a0[i]
 					}
 				}
 			}
@@ -116,9 +258,6 @@ func gemmNT[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T
 				for ; l+1 < lb+kb; l += 2 {
 					b0 := alpha * b[j+l*ldb]
 					b1 := alpha * b[j+(l+1)*ldb]
-					if b0 == 0 && b1 == 0 {
-						continue
-					}
 					a0 := a[l*lda : l*lda+m]
 					a1 := a[(l+1)*lda : (l+1)*lda+m]
 					for i := range ccol {
@@ -127,11 +266,9 @@ func gemmNT[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T
 				}
 				if l < lb+kb {
 					b0 := alpha * b[j+l*ldb]
-					if b0 != 0 {
-						a0 := a[l*lda : l*lda+m]
-						for i := range ccol {
-							ccol[i] += b0 * a0[i]
-						}
+					a0 := a[l*lda : l*lda+m]
+					for i := range ccol {
+						ccol[i] += b0 * a0[i]
 					}
 				}
 			}
@@ -163,20 +300,19 @@ func gemmTN[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T
 }
 
 // gemmTT computes C += α·Aᵀ·Bᵀ = α·(B·A)ᵀ. It streams axpy updates of B
-// columns into a row of C per A column; strided C writes are blocked.
+// columns into a pooled row of C per A column; strided C writes are
+// blocked. Zero A coefficients are NOT skipped so 0·NaN propagates.
 func gemmTT[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
 	// C[i,j] = α Σ_l A[l,i]·B[j,l]. Iterate i over columns of A
 	// (contiguous), then l down that column, scattering into row i of C.
-	row := make([]T, n)
+	rowBuf := getScratch[T](n)
+	row := rowBuf.buf
 	for i := 0; i < m; i++ {
 		acol := a[i*lda : i*lda+k]
 		for j := range row {
 			row[j] = 0
 		}
 		for l, av := range acol {
-			if av == 0 {
-				continue
-			}
 			bcol := b[l*ldb : l*ldb+n]
 			for j, bv := range bcol {
 				row[j] += av * bv
@@ -186,4 +322,5 @@ func gemmTT[T Float](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T
 			c[i+j*ldc] += alpha * v
 		}
 	}
+	rowBuf.release()
 }

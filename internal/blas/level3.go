@@ -1,11 +1,18 @@
 package blas
 
+// level3Block is the partition size used to route Syrk and Trmm through the
+// packed GEMM kernel: diagonal blocks of this order run the specialized
+// triangular/symmetric small kernels, everything off-diagonal is a plain
+// rectangular GEMM update that inherits the packed path's throughput.
+const level3Block = 128
+
 // Syrk computes the symmetric rank-k update
 //
 //	C ← α·A·Aᵀ + β·C   (trans == NoTrans, A is n×k)
 //	C ← α·Aᵀ·A + β·C   (trans == Trans,   A is k×n)
 //
-// where only the uplo triangle of the n×n matrix C is referenced and updated.
+// where only the uplo triangle of the n×n matrix C is referenced and
+// updated. Off-diagonal blocks are routed through the packed GEMM kernel.
 func Syrk[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
 	checkUplo(uplo)
 	checkTrans(trans)
@@ -19,7 +26,6 @@ func Syrk[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int
 		return
 	}
 	start := syrkMetrics.Start()
-	defer func() { syrkMetrics.Stop(start, int64(n)*int64(n+1)*int64(k)) }()
 
 	// Scale the referenced triangle of C.
 	if beta != 1 {
@@ -41,18 +47,55 @@ func Syrk[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int
 		}
 	}
 	if alpha == 0 || k == 0 {
+		// No product work performed; charge zero so GF/s stays truthful.
+		syrkMetrics.Stop(start, 0)
 		return
 	}
 
+	if n <= level3Block {
+		syrkKernel(uplo, trans, n, k, alpha, a, lda, c, ldc)
+	} else {
+		for j0 := 0; j0 < n; j0 += level3Block {
+			bj := min(level3Block, n-j0)
+			if trans == NoTrans {
+				syrkKernel(uplo, NoTrans, bj, k, alpha, a[j0:], lda, c[j0+j0*ldc:], ldc)
+			} else {
+				syrkKernel(uplo, Trans, bj, k, alpha, a[j0*lda:], lda, c[j0+j0*ldc:], ldc)
+			}
+			if uplo == Lower {
+				for i0 := j0 + bj; i0 < n; i0 += level3Block {
+					bi := min(level3Block, n-i0)
+					if trans == NoTrans {
+						gemmAccum(NoTrans, Trans, bi, bj, k, alpha, a[i0:], lda, a[j0:], lda, c[i0+j0*ldc:], ldc)
+					} else {
+						gemmAccum(Trans, NoTrans, bi, bj, k, alpha, a[i0*lda:], lda, a[j0*lda:], lda, c[i0+j0*ldc:], ldc)
+					}
+				}
+			} else {
+				for i0 := 0; i0 < j0; i0 += level3Block {
+					bi := min(level3Block, j0-i0)
+					if trans == NoTrans {
+						gemmAccum(NoTrans, Trans, bi, bj, k, alpha, a[i0:], lda, a[j0:], lda, c[i0+j0*ldc:], ldc)
+					} else {
+						gemmAccum(Trans, NoTrans, bi, bj, k, alpha, a[i0*lda:], lda, a[j0*lda:], lda, c[i0+j0*ldc:], ldc)
+					}
+				}
+			}
+		}
+	}
+	syrkMetrics.Stop(start, int64(n)*int64(n+1)*int64(k))
+}
+
+// syrkKernel accumulates the uplo triangle of C += α·op(A)·op(A)ᵀ for a
+// diagonal block whose β-scaling has already been applied. Zero operand
+// values are not skipped, so non-finite inputs propagate as in RefSyrk.
+func syrkKernel[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int, c []T, ldc int) {
 	if trans == NoTrans {
 		// C[i,j] += α Σ_l A[i,l]·A[j,l]: accumulate column-wise axpy.
 		for l := 0; l < k; l++ {
 			acol := a[l*lda : l*lda+n]
 			for j := 0; j < n; j++ {
 				v := alpha * acol[j]
-				if v == 0 {
-					continue
-				}
 				ccol := c[j*ldc:]
 				if uplo == Lower {
 					for i := j; i < n; i++ {
@@ -102,9 +145,11 @@ func Symm[T Float](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []
 	if m == 0 || n == 0 {
 		return
 	}
-	// Symm appears only on cold paths here; expand the symmetric operand and
-	// delegate to Gemm rather than duplicating its blocking.
-	full := make([]T, na*na)
+	// Symm appears only on cold paths here; expand the symmetric operand
+	// into a pooled scratch buffer and delegate to Gemm (whose packed path
+	// and metrics it then shares) rather than duplicating its blocking.
+	fullBuf := getScratch[T](na * na)
+	full := fullBuf.buf
 	for j := 0; j < na; j++ {
 		for i := 0; i < na; i++ {
 			var v T
@@ -121,10 +166,13 @@ func Symm[T Float](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []
 	} else {
 		Gemm(NoTrans, NoTrans, m, n, n, alpha, b, ldb, full, na, beta, c, ldc)
 	}
+	fullBuf.release()
 }
 
 // Trmm computes B ← α·op(A)·B (side == Left) or B ← α·B·op(A)
-// (side == Right) in place, where A is triangular and B is m×n.
+// (side == Right) in place, where A is triangular and B is m×n. Large
+// operands are partitioned so that only diagonal blocks run the triangular
+// small kernel; the off-diagonal bulk goes through the packed GEMM path.
 func Trmm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
 	checkSide(side)
 	checkUplo(uplo)
@@ -140,34 +188,133 @@ func Trmm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 		return
 	}
 	start := trmmMetrics.Start()
-	defer func() { trmmMetrics.Stop(start, int64(m)*int64(n)*int64(na)) }()
+	if alpha == 0 {
+		scaleMatrix(m, n, 0, b, ldb)
+		trmmMetrics.Stop(start, 0)
+		return
+	}
 	if side == Left {
-		// Apply the triangular product column-by-column of B via Trmv.
+		trmmLeft(uplo, transA, diag, m, n, a, lda, b, ldb)
+	} else {
+		trmmRight(uplo, transA, diag, m, n, a, lda, b, ldb)
+	}
+	// α is applied in one sweep at the end: the blocked updates must all
+	// read unscaled row/column blocks, whatever the processing order.
+	if alpha != 1 {
 		for j := 0; j < n; j++ {
-			col := b[j*ldb : j*ldb+m]
-			Trmv(uplo, transA, diag, m, a, lda, col, 1)
-			if alpha != 1 {
-				Scal(m, alpha, col, 1)
+			Scal(m, alpha, b[j*ldb:j*ldb+m], 1)
+		}
+	}
+	trmmMetrics.Stop(start, int64(m)*int64(n)*int64(na))
+}
+
+// trmmLeft computes B ← op(A)·B in place (α = 1).
+func trmmLeft[T Float](uplo Uplo, transA Transpose, diag Diag, m, n int, a []T, lda int, b []T, ldb int) {
+	if m <= level3Block {
+		trmmSmallLeft(uplo, transA, diag, m, n, a, lda, b, ldb)
+		return
+	}
+	lowerEff := (uplo == Lower) == (transA == NoTrans)
+	if lowerEff {
+		// B_i ← op(A)_ii·B_i + Σ_{j<i} op(A)_ij·B_j, descending i so the
+		// sum reads unprocessed (old) row blocks.
+		last := (m - 1) / level3Block * level3Block
+		for i0 := last; i0 >= 0; i0 -= level3Block {
+			bi := min(level3Block, m-i0)
+			trmmSmallLeft(uplo, transA, diag, bi, n, a[i0+i0*lda:], lda, b[i0:], ldb)
+			for j0 := 0; j0 < i0; j0 += level3Block {
+				bj := min(level3Block, i0-j0)
+				if transA == NoTrans {
+					gemmAccum(NoTrans, NoTrans, bi, n, bj, 1, a[i0+j0*lda:], lda, b[j0:], ldb, b[i0:], ldb)
+				} else {
+					gemmAccum(Trans, NoTrans, bi, n, bj, 1, a[j0+i0*lda:], lda, b[j0:], ldb, b[i0:], ldb)
+				}
 			}
 		}
 		return
 	}
-	// side == Right: Bᵀ ← α·op(A)ᵀ·Bᵀ; operate on rows of B.
+	// Effective upper triangle: ascending i, contributions from j > i.
+	for i0 := 0; i0 < m; i0 += level3Block {
+		bi := min(level3Block, m-i0)
+		trmmSmallLeft(uplo, transA, diag, bi, n, a[i0+i0*lda:], lda, b[i0:], ldb)
+		for j0 := i0 + bi; j0 < m; j0 += level3Block {
+			bj := min(level3Block, m-j0)
+			if transA == NoTrans {
+				gemmAccum(NoTrans, NoTrans, bi, n, bj, 1, a[i0+j0*lda:], lda, b[j0:], ldb, b[i0:], ldb)
+			} else {
+				gemmAccum(Trans, NoTrans, bi, n, bj, 1, a[j0+i0*lda:], lda, b[j0:], ldb, b[i0:], ldb)
+			}
+		}
+	}
+}
+
+// trmmRight computes B ← B·op(A) in place (α = 1).
+func trmmRight[T Float](uplo Uplo, transA Transpose, diag Diag, m, n int, a []T, lda int, b []T, ldb int) {
+	if n <= level3Block {
+		trmmSmallRight(uplo, transA, diag, m, n, a, lda, b, ldb)
+		return
+	}
+	lowerEff := (uplo == Lower) == (transA == NoTrans)
+	if lowerEff {
+		// B_j ← B_j·op(A)_jj + Σ_{i>j} B_i·op(A)_ij, ascending j.
+		for j0 := 0; j0 < n; j0 += level3Block {
+			bj := min(level3Block, n-j0)
+			trmmSmallRight(uplo, transA, diag, m, bj, a[j0+j0*lda:], lda, b[j0*ldb:], ldb)
+			for i0 := j0 + bj; i0 < n; i0 += level3Block {
+				bi := min(level3Block, n-i0)
+				if transA == NoTrans {
+					gemmAccum(NoTrans, NoTrans, m, bj, bi, 1, b[i0*ldb:], ldb, a[i0+j0*lda:], lda, b[j0*ldb:], ldb)
+				} else {
+					gemmAccum(NoTrans, Trans, m, bj, bi, 1, b[i0*ldb:], ldb, a[j0+i0*lda:], lda, b[j0*ldb:], ldb)
+				}
+			}
+		}
+		return
+	}
+	// Effective upper triangle: descending j, contributions from i < j.
+	last := (n - 1) / level3Block * level3Block
+	for j0 := last; j0 >= 0; j0 -= level3Block {
+		bj := min(level3Block, n-j0)
+		trmmSmallRight(uplo, transA, diag, m, bj, a[j0+j0*lda:], lda, b[j0*ldb:], ldb)
+		for i0 := 0; i0 < j0; i0 += level3Block {
+			bi := min(level3Block, j0-i0)
+			if transA == NoTrans {
+				gemmAccum(NoTrans, NoTrans, m, bj, bi, 1, b[i0*ldb:], ldb, a[i0+j0*lda:], lda, b[j0*ldb:], ldb)
+			} else {
+				gemmAccum(NoTrans, Trans, m, bj, bi, 1, b[i0*ldb:], ldb, a[j0+i0*lda:], lda, b[j0*ldb:], ldb)
+			}
+		}
+	}
+}
+
+// trmmSmallLeft applies the triangular product column-by-column of B via
+// Trmv (α = 1).
+func trmmSmallLeft[T Float](uplo Uplo, transA Transpose, diag Diag, m, n int, a []T, lda int, b []T, ldb int) {
+	for j := 0; j < n; j++ {
+		Trmv(uplo, transA, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+	}
+}
+
+// trmmSmallRight computes B ← B·op(A) as Bᵀ ← op(A)ᵀ·Bᵀ, operating on rows
+// of B through a pooled row buffer (α = 1).
+func trmmSmallRight[T Float](uplo Uplo, transA Transpose, diag Diag, m, n int, a []T, lda int, b []T, ldb int) {
 	// op'(A) is the flipped transpose.
 	t := Trans
 	if transA == Trans {
 		t = NoTrans
 	}
-	row := make([]T, n)
+	rowBuf := getScratch[T](n)
+	row := rowBuf.buf
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			row[j] = b[i+j*ldb]
 		}
 		Trmv(uplo, t, diag, n, a, lda, row, 1)
 		for j := 0; j < n; j++ {
-			b[i+j*ldb] = alpha * row[j]
+			b[i+j*ldb] = row[j]
 		}
 	}
+	rowBuf.release()
 }
 
 // Trsm solves one of the triangular systems
@@ -191,7 +338,6 @@ func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 		return
 	}
 	start := trsmMetrics.Start()
-	defer func() { trsmMetrics.Stop(start, int64(m)*int64(n)*int64(na)) }()
 	if alpha != 1 {
 		for j := 0; j < n; j++ {
 			col := b[j*ldb : j*ldb+m]
@@ -204,6 +350,8 @@ func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 			}
 		}
 		if alpha == 0 {
+			// B was zeroed without any solve; no product flops were spent.
+			trsmMetrics.Stop(start, 0)
 			return
 		}
 	}
@@ -341,4 +489,5 @@ func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 			}
 		}
 	}
+	trsmMetrics.Stop(start, int64(m)*int64(n)*int64(na))
 }

@@ -9,11 +9,21 @@ import "exadla/internal/metrics"
 // single atomic load, and recording happens per kernel invocation — never
 // inside the compute loops.
 //
+// Accounting rules, kept truthful by tests:
+//   - the per-kernel flop counters record only product work actually
+//     performed (2mnk for Gemm); early-out paths (α == 0, k == 0) charge
+//     zero, so GF/s gauges never report work that never ran;
+//   - Gemm's β-scaling pass (m·n multiplies) is charged to the separate
+//     "blas.gemm.scale_flops" counter, never to the product counter.
+//
 // Symm is not separately instrumented: it expands the symmetric operand and
-// delegates to Gemm, so its work is reported under blas.gemm.
+// delegates to Gemm, so its work is reported under blas.gemm. Syrk and Trmm
+// route their off-diagonal blocks through the internal unmetered GEMM entry
+// and keep their own counters, so nothing is double-counted.
 var (
-	gemmMetrics = metrics.Default().Kernel("blas.gemm")
-	syrkMetrics = metrics.Default().Kernel("blas.syrk")
-	trmmMetrics = metrics.Default().Kernel("blas.trmm")
-	trsmMetrics = metrics.Default().Kernel("blas.trsm")
+	gemmMetrics    = metrics.Default().Kernel("blas.gemm")
+	gemmScaleFlops = metrics.Default().Counter("blas.gemm.scale_flops")
+	syrkMetrics    = metrics.Default().Kernel("blas.syrk")
+	trmmMetrics    = metrics.Default().Kernel("blas.trmm")
+	trsmMetrics    = metrics.Default().Kernel("blas.trsm")
 )

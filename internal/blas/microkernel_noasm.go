@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package blas
+
+// Non-amd64 targets have no assembly kernel; the generic Go microkernels
+// carry all tile shapes.
+const haveAvx2Fma = false
+
+func microKern8x4F64Avx(kb int, ap, bp []float64, alpha float64, c []float64, ldc int) {
+	panic("blas: AVX2 microkernel dispatched without assembly support")
+}

@@ -1,0 +1,267 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"exadla/internal/metrics"
+)
+
+// Tests pinned to the packed register-blocked GEMM path: exhaustive edge
+// geometries around the register-tile size, non-finite propagation, pack
+// pool reuse under concurrency, steady-state allocation freedom, and the
+// flop-accounting contract of the metrics counters.
+
+// forcePath pins Gemm to the packed or axpy kernel for the duration of the
+// test by overriding the small-size cutover.
+func forcePath(t *testing.T, packed bool) {
+	t.Helper()
+	old := minPackedVolume
+	if packed {
+		minPackedVolume = 0
+	} else {
+		minPackedVolume = 1 << 62
+	}
+	t.Cleanup(func() { minPackedVolume = old })
+}
+
+// TestGemmPackedEdgeSweep drives the packed path through every geometry
+// around the register tile: m, n, k ∈ {1..2·MR+1} crosses every partial-tile
+// and partial-sliver combination for all four transpose cases, with leading
+// dimensions strictly greater than minimal and sentinel-filled padding.
+func TestGemmPackedEdgeSweep(t *testing.T) {
+	forcePath(t, true)
+	limit := 2*GemmBlocking().MR + 1
+	transes := []Transpose{NoTrans, Trans}
+	rng := rand.New(rand.NewSource(31))
+	for _, transA := range transes {
+		for _, transB := range transes {
+			for m := 1; m <= limit; m++ {
+				for n := 1; n <= limit; n++ {
+					for k := 1; k <= limit; k++ {
+						ar, ac := m, k
+						if transA == Trans {
+							ar, ac = k, m
+						}
+						br, bc := k, n
+						if transB == Trans {
+							br, bc = n, k
+						}
+						pad := 1 + (m+n+k)%3
+						lda, ldb, ldc := ar+pad, br+pad, m+pad
+						a := randPadded(rng, ar, ac, lda)
+						b := randPadded(rng, br, bc, ldb)
+						c := randPadded(rng, m, n, ldc)
+						got := append([]float64(nil), c...)
+						want := append([]float64(nil), c...)
+						Gemm(transA, transB, m, n, k, 1.25, a, lda, b, ldb, 0.5, got, ldc)
+						RefGemm(transA, transB, m, n, k, 1.25, a, lda, b, ldb, 0.5, want, ldc)
+						checkPadding(t, "Gemm C", m, n, ldc, got)
+						if d := maxAbsDiff(got, want); d > 1e-10*float64(k+1) {
+							t.Fatalf("transA=%v transB=%v m=%d n=%d k=%d: max diff %g", transA, transB, m, n, k, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// seedNonFinite overwrites a few active entries of an m×n/ld matrix with
+// NaN and ±Inf.
+func seedNonFinite(rng *rand.Rand, s []float64, m, n, ld int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		s[rng.Intn(m)+rng.Intn(n)*ld] = specials[rng.Intn(3)]
+	}
+}
+
+// sameValueClass compares element-wise with non-finite awareness: NaN must
+// match NaN, infinities must match exactly (including sign), finite values
+// within tolerance.
+func sameValueClass(got, want, tol float64) bool {
+	switch {
+	case math.IsNaN(want):
+		return math.IsNaN(got)
+	case math.IsInf(want, 0):
+		return got == want
+	default:
+		return !math.IsNaN(got) && !math.IsInf(got, 0) && math.Abs(got-want) <= tol
+	}
+}
+
+// TestGemmNonFinitePropagation pins the propagation semantics documented on
+// Gemm: NaN and ±Inf seeded into referenced operands must reach C exactly
+// as the reference loops produce them — in particular the kernels must not
+// skip zero coefficients inside the product — while β == 0 and α == 0 must
+// keep unreferenced NaNs out. Both kernel paths are checked.
+func TestGemmNonFinitePropagation(t *testing.T) {
+	for _, packed := range []bool{true, false} {
+		t.Run(fmt.Sprintf("packed=%v", packed), func(t *testing.T) {
+			forcePath(t, packed)
+			transes := []Transpose{NoTrans, Trans}
+			rng := rand.New(rand.NewSource(37))
+			for iter := 0; iter < 300; iter++ {
+				transA := transes[rng.Intn(2)]
+				transB := transes[rng.Intn(2)]
+				m, n, k := 1+rng.Intn(24), 1+rng.Intn(24), 1+rng.Intn(24)
+				ar, ac := m, k
+				if transA == Trans {
+					ar, ac = k, m
+				}
+				br, bc := k, n
+				if transB == Trans {
+					br, bc = n, k
+				}
+				lda, ldb, ldc := ar+1, br+1, m+1
+				a := randPadded(rng, ar, ac, lda)
+				b := randPadded(rng, br, bc, ldb)
+				c := randPadded(rng, m, n, ldc)
+				// Sprinkle exact zeros so zero-coefficient shortcuts would
+				// be caught dropping 0·NaN terms.
+				for i := 0; i < 4; i++ {
+					a[rng.Intn(ar)+rng.Intn(ac)*lda] = 0
+					b[rng.Intn(br)+rng.Intn(bc)*ldb] = 0
+				}
+				seedNonFinite(rng, a, ar, ac, lda)
+				seedNonFinite(rng, b, br, bc, ldb)
+				seedNonFinite(rng, c, m, n, ldc)
+				alpha, beta := pickScalar(rng), pickScalar(rng)
+
+				got := append([]float64(nil), c...)
+				want := append([]float64(nil), c...)
+				Gemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, got, ldc)
+				RefGemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, want, ldc)
+				// Active entries are O(1); an out-of-bounds read of the
+				// 1e30 padding sentinel blows this tolerance immediately.
+				tol := 1e-9 * float64(k+1)
+				for j := 0; j < n; j++ {
+					for i := 0; i < m; i++ {
+						g, w := got[i+j*ldc], want[i+j*ldc]
+						if !sameValueClass(g, w, tol) {
+							t.Fatalf("iter %d transA=%v transB=%v m=%d n=%d k=%d α=%g β=%g: C(%d,%d) = %g, ref %g",
+								iter, transA, transB, m, n, k, alpha, beta, i, j, g, w)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGemmConcurrentPool hammers the shared pack-buffer pool from many
+// goroutines (meaningful under -race) and checks every result.
+func TestGemmConcurrentPool(t *testing.T) {
+	forcePath(t, true)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 20; iter++ {
+				m, n, k := 1+rng.Intn(60), 1+rng.Intn(60), 1+rng.Intn(60)
+				a := randPadded(rng, m, k, m)
+				b := randPadded(rng, k, n, k)
+				got := randPadded(rng, m, n, m)
+				want := append([]float64(nil), got...)
+				Gemm(NoTrans, NoTrans, m, n, k, 1.5, a, m, b, k, 0.5, got, m)
+				RefGemm(NoTrans, NoTrans, m, n, k, 1.5, a, m, b, k, 0.5, want, m)
+				if d := maxAbsDiff(got, want); d > 1e-10*float64(k+1) {
+					errs <- fmt.Errorf("worker %d iter %d m=%d n=%d k=%d: max diff %g", seed, iter, m, n, k, d)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLevel3ZeroAllocSteadyState asserts that, once the pack pool is warm,
+// the pooled level-3 routines allocate nothing per call: the packed Gemm,
+// the axpy TT path (pooled row scratch), Symm (pooled symmetric expansion),
+// and Trmm from the right (pooled row scratch).
+func TestLevel3ZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool intentionally bypasses caching under the race detector")
+	}
+	const n = 48
+	rng := rand.New(rand.NewSource(41))
+	a := randPadded(rng, n, n, n)
+	b := randPadded(rng, n, n, n)
+	c := randPadded(rng, n, n, n)
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"GemmPacked", func() {
+			Gemm(NoTrans, NoTrans, n, n, n, 1.1, a, n, b, n, 0.9, c, n)
+		}},
+		{"GemmAxpyTT", func() {
+			GemmAxpy(Trans, Trans, n, n, n, 1.1, a, n, b, n, 0.9, c, n)
+		}},
+		{"Symm", func() {
+			Symm(Left, Lower, n, n, 1.1, a, n, b, n, 0.9, c, n)
+		}},
+		{"TrmmRight", func() {
+			Trmm(Right, Upper, NoTrans, NonUnit, 24, 24, 1.1, a, n, c, n)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warm the pool
+			if avg := testing.AllocsPerRun(10, tc.run); avg != 0 {
+				t.Errorf("%s allocates %.1f objects per call in steady state", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestGemmMetricsAccounting pins the flop-accounting contract: the product
+// counter records exactly the product work performed (2mnk, zero on
+// early-outs) and β-scaling lands only on the dedicated scale counter.
+func TestGemmMetricsAccounting(t *testing.T) {
+	reg := metrics.Enable()
+	t.Cleanup(func() {
+		metrics.Disable()
+		metrics.Reset()
+	})
+	product := reg.Counter("blas.gemm.flops")
+	scale := reg.Counter("blas.gemm.scale_flops")
+
+	const m, n, k = 7, 5, 9
+	rng := rand.New(rand.NewSource(43))
+	a := randPadded(rng, m, k, m)
+	b := randPadded(rng, k, n, k)
+	c := randPadded(rng, m, n, m)
+
+	check := func(name string, alpha, beta float64, kk int, wantProduct, wantScale int64) {
+		t.Helper()
+		metrics.Reset()
+		Gemm(NoTrans, NoTrans, m, n, kk, alpha, a, m, b, k, beta, c, m)
+		if got := product.Load(); got != wantProduct {
+			t.Errorf("%s: product flops = %d, want %d", name, got, wantProduct)
+		}
+		if got := scale.Load(); got != wantScale {
+			t.Errorf("%s: scale flops = %d, want %d", name, got, wantScale)
+		}
+	}
+
+	check("no-op α=0 β=1", 0, 1, k, 0, 0)
+	check("β-only", 0, 2.5, k, 0, m*n)
+	check("β-zero k=0", 1, 0, 0, 0, m*n)
+	check("product β=1", 1.5, 1, k, 2*m*n*k, 0)
+	check("product with β", 1.5, 0.5, k, 2*m*n*k, m*n)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package blas
+
+// raceEnabled reports whether the race detector is active; under it
+// sync.Pool intentionally bypasses caching, so allocation-count tests
+// do not hold.
+const raceEnabled = true

@@ -6,6 +6,13 @@ package blas
 // of the definitions over speed.
 
 // RefGemm computes C ← α·op(A)·op(B) + β·C with triple loops.
+//
+// The coefficient gates follow the BLAS convention, which the optimized
+// Gemm is pinned to: β == 0 overwrites C without reading it and α == 0
+// skips the product entirely (op(A)/op(B) are never read), so stale NaNs in
+// unread operands do not leak into C. Inside the product, however, every
+// term participates — zero entries of A and B are NOT skipped — so NaN and
+// ±Inf in referenced operands propagate.
 func RefGemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
 	at := func(i, l int) T {
 		if transA == NoTrans {
@@ -21,11 +28,18 @@ func RefGemm[T Float](transA, transB Transpose, m, n, k int, alpha T, a []T, lda
 	}
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
-			var s T
-			for l := 0; l < k; l++ {
-				s += at(i, l) * bt(l, j)
+			var v T
+			if beta != 0 {
+				v = beta * c[i+j*ldc]
 			}
-			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+			if alpha != 0 {
+				var s T
+				for l := 0; l < k; l++ {
+					s += at(i, l) * bt(l, j)
+				}
+				v += alpha * s
+			}
+			c[i+j*ldc] = v
 		}
 	}
 }
