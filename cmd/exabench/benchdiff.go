@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The -benchdiff mode is the CI regression gate on the strong-scaling
+// report: it compares a freshly generated BENCH_scale.json against the
+// committed baseline and fails when any speedup regressed beyond the
+// tolerance. Only RELATIVE metrics are compared — speedups and the
+// tiled-vs-serial ratio — because absolute GF/s shift with the host, while
+// ratios measured on the same machine in the same run cancel that out.
+//
+// Entries are matched by (op, n, nb, workers); baseline entries with no
+// counterpart in the new report (e.g. full-mode sizes absent from a -quick
+// run) are skipped. Zero matched entries is itself a failure, so a schema
+// drift cannot silently turn the gate off.
+
+// diffEntry is one compared metric, kept for the report table.
+type diffEntry struct {
+	key      string
+	old, new float64
+	regress  bool
+}
+
+func runBenchDiff(basePath, newPath string, tol float64) error {
+	base, err := loadScaleReport(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := loadScaleReport(newPath)
+	if err != nil {
+		return fmt.Errorf("new report: %w", err)
+	}
+
+	type opKey struct {
+		op    string
+		n, nb int
+	}
+	baseOps := map[opKey]*scaleOpResult{}
+	for i := range base.Ops {
+		op := &base.Ops[i]
+		baseOps[opKey{op.Op, op.N, op.NB}] = op
+	}
+
+	var entries []diffEntry
+	check := func(key string, oldV, newV float64) {
+		// A metric regresses when it drops more than tol below baseline.
+		entries = append(entries, diffEntry{key, oldV, newV, newV < oldV*(1-tol)})
+	}
+	for i := range cur.Ops {
+		op := &cur.Ops[i]
+		b, ok := baseOps[opKey{op.Op, op.N, op.NB}]
+		if !ok {
+			fmt.Printf("benchdiff: %s n=%d nb=%d not in baseline, skipped\n", op.Op, op.N, op.NB)
+			continue
+		}
+		// Tiled-vs-serial is a ratio of two times from the same run; compare
+		// it as serial/tiled so "bigger is better" like the speedups.
+		check(fmt.Sprintf("%s/n%d/tiled_vs_serial", op.Op, op.N),
+			1+b.TiledOverSerialPct/100, 1+op.TiledOverSerialPct/100)
+		// Parallelism of the recorded DAG: T1/TInf shrinking means the graph
+		// itself lost parallel slack.
+		if b.GraphTInf > 0 && op.GraphTInf > 0 {
+			check(fmt.Sprintf("%s/n%d/graph_parallelism", op.Op, op.N),
+				b.GraphT1/b.GraphTInf, op.GraphT1/op.GraphTInf)
+		}
+		baseMeasured := map[int]scaleMeasuredPoint{}
+		for _, mp := range b.Measured {
+			baseMeasured[mp.Workers] = mp
+		}
+		for _, mp := range op.Measured {
+			if bp, ok := baseMeasured[mp.Workers]; ok && mp.Workers > 1 {
+				check(fmt.Sprintf("%s/n%d/measured_speedup_w%d", op.Op, op.N, mp.Workers),
+					bp.Speedup, mp.Speedup)
+			}
+		}
+		baseSim := map[int]scaleSimPoint{}
+		for _, sp := range b.Simulated {
+			baseSim[sp.Workers] = sp
+		}
+		for _, sp := range op.Simulated {
+			if bp, ok := baseSim[sp.Workers]; ok && sp.Workers > 1 {
+				check(fmt.Sprintf("%s/n%d/sim_speedup_w%d", op.Op, op.N, sp.Workers),
+					bp.Speedup, sp.Speedup)
+			}
+		}
+	}
+
+	if len(entries) == 0 {
+		return fmt.Errorf("benchdiff: no entries in %s matched the baseline %s — nothing was checked", newPath, basePath)
+	}
+	tbl := newTable("metric", "baseline", "new", "change %", "status")
+	regressions := 0
+	for _, e := range entries {
+		status := "ok"
+		if e.regress {
+			status = "REGRESSION"
+			regressions++
+		}
+		tbl.add(e.key, e.old, e.new, 100*(e.new/e.old-1), status)
+	}
+	tbl.print()
+	if regressions > 0 {
+		return fmt.Errorf("benchdiff: %d of %d metrics regressed beyond %.0f%% tolerance", regressions, len(entries), 100*tol)
+	}
+	fmt.Printf("\nbenchdiff: %d metrics within %.0f%% of baseline\n", len(entries), 100*tol)
+	return nil
+}
+
+func loadScaleReport(path string) (*scaleBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r scaleBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Benchmark != "strong-scaling-f64" {
+		return nil, fmt.Errorf("%s: benchmark is %q, want strong-scaling-f64", path, r.Benchmark)
+	}
+	return &r, nil
+}

@@ -7,7 +7,8 @@
 //	exabench -exp e1          # one experiment
 //	exabench -exp all         # the full suite
 //	exabench -exp e1 -quick   # smaller sizes for a fast sanity pass
-//	exabench -json            # kernel benchmarks → BENCH_gemm.json, BENCH_chol.json
+//	exabench -json            # benchmarks → BENCH_gemm.json, BENCH_chol.json, BENCH_scale.json
+//	exabench -benchdiff BASE  # diff BENCH_scale.json against a baseline, fail on regression
 package main
 
 import (
@@ -43,9 +44,20 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced sizes for a fast pass")
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and dump a JSON snapshot per experiment")
 	faults := flag.Bool("faults", false, "run the fault-injection mode instead of the experiment suite")
-	jsonBench := flag.Bool("json", false, "run the kernel benchmark suite and write BENCH_gemm.json / BENCH_chol.json")
+	jsonBench := flag.Bool("json", false, "run the kernel benchmark suite and write BENCH_gemm.json / BENCH_chol.json / BENCH_scale.json")
+	benchDiff := flag.String("benchdiff", "", "compare the scaling report named by -benchnew against this baseline JSON and exit non-zero on regressions")
+	benchNew := flag.String("benchnew", "BENCH_scale.json", "scaling report compared against the -benchdiff baseline")
+	benchTol := flag.Float64("benchtol", 0.10, "relative tolerance for -benchdiff speedup regressions")
 	obsAddr := flag.String("obs", "", "serve live observability (metrics, healthz, pprof) on this host:port while the suite runs")
 	flag.Parse()
+
+	if *benchDiff != "" {
+		if err := runBenchDiff(*benchDiff, *benchNew, *benchTol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *showMetrics {
 		metrics.Enable()

@@ -110,7 +110,9 @@ func TestDiffSyrk(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		uplo := uplos[rng.Intn(2)]
 		trans := transes[rng.Intn(2)]
-		n, k := rng.Intn(30), rng.Intn(30)
+		// Sizes cross the level3Block recursion cutoff so both the halving
+		// and the diagonal leaves are exercised.
+		n, k := rng.Intn(90), rng.Intn(60)
 		ar, ac := n, k
 		if trans == Trans {
 			ar, ac = k, n
@@ -146,7 +148,9 @@ func TestDiffTrsm(t *testing.T) {
 		uplo := uplos[rng.Intn(2)]
 		trans := transes[rng.Intn(2)]
 		diag := diags[rng.Intn(2)]
-		m, n := rng.Intn(30), rng.Intn(30)
+		// Sizes cross the trsmBlock recursion cutoff so both the blocked
+		// splitting and the substitution leaves are exercised.
+		m, n := rng.Intn(90), rng.Intn(90)
 		na := m
 		if side == Right {
 			na = n
@@ -155,9 +159,17 @@ func TestDiffTrsm(t *testing.T) {
 		ldb := max(1, m) + rng.Intn(4)
 		a := randPadded(rng, na, na, lda)
 		// Keep the triangle well conditioned so forward/back substitution
-		// does not amplify the comparison noise.
-		for i := 0; i < na; i++ {
-			a[i+i*lda] = 2 + math.Abs(a[i+i*lda])
+		// does not amplify the comparison noise: dominant diagonal, damped
+		// off-diagonal (a unit-diagonal triangle with N(0,1) off-diagonal
+		// entries is exponentially ill-conditioned at these sizes).
+		for j := 0; j < na; j++ {
+			for i := 0; i < na; i++ {
+				if i == j {
+					a[i+j*lda] = 2 + math.Abs(a[i+j*lda])
+				} else {
+					a[i+j*lda] /= float64(na)
+				}
+			}
 		}
 		b := randPadded(rng, m, n, ldb)
 		alpha := pickScalar(rng)
@@ -185,7 +197,9 @@ func TestDiffTrmm(t *testing.T) {
 		uplo := uplos[rng.Intn(2)]
 		trans := transes[rng.Intn(2)]
 		diag := diags[rng.Intn(2)]
-		m, n := rng.Intn(30), rng.Intn(30)
+		// Sizes cross the level3Block partition so the off-diagonal GEMM
+		// routing is exercised, not just the small triangular kernels.
+		m, n := rng.Intn(90), rng.Intn(90)
 		na := m
 		if side == Right {
 			na = n

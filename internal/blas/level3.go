@@ -1,10 +1,12 @@
 package blas
 
-// level3Block is the partition size used to route Syrk and Trmm through the
-// packed GEMM kernel: diagonal blocks of this order run the specialized
+// level3Block is the diagonal-leaf size used to route Syrk and Trmm through
+// the packed GEMM kernel: diagonal blocks of this order run the specialized
 // triangular/symmetric small kernels, everything off-diagonal is a plain
-// rectangular GEMM update that inherits the packed path's throughput.
-const level3Block = 128
+// rectangular GEMM update that inherits the packed path's throughput. Kept
+// small so that tile-sized operands (nb = 64–256) spend most of their flops
+// in the packed kernel rather than the axpy leaves.
+const level3Block = 32
 
 // Syrk computes the symmetric rank-k update
 //
@@ -52,38 +54,43 @@ func Syrk[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int
 		return
 	}
 
+	syrkRec(uplo, trans, n, k, alpha, a, lda, c, ldc)
+	syrkMetrics.Stop(start, int64(n)*int64(n+1)*int64(k))
+}
+
+// syrkRec recursively halves the updated triangle: the two diagonal halves
+// recurse (down to level3Block-sized leaves handled by syrkKernel) and the
+// off-diagonal coupling block — the bulk of the flops — is one rectangular
+// gemmAccum update at packed-kernel speed.
+func syrkRec[T Float](uplo Uplo, trans Transpose, n, k int, alpha T, a []T, lda int, c []T, ldc int) {
 	if n <= level3Block {
 		syrkKernel(uplo, trans, n, k, alpha, a, lda, c, ldc)
+		return
+	}
+	n1 := n / 2
+	n2 := n - n1
+	// Rows (NoTrans) or columns (Trans) n1: of A feed the second half.
+	a1, a2 := a, a[n1:]
+	if trans == Trans {
+		a2 = a[n1*lda:]
+	}
+	syrkRec(uplo, trans, n1, k, alpha, a1, lda, c, ldc)
+	if uplo == Lower {
+		// C21 += α·A2·A1ᵀ (n2×n1).
+		if trans == NoTrans {
+			gemmAccum(NoTrans, Trans, n2, n1, k, alpha, a2, lda, a1, lda, c[n1:], ldc)
+		} else {
+			gemmAccum(Trans, NoTrans, n2, n1, k, alpha, a2, lda, a1, lda, c[n1:], ldc)
+		}
 	} else {
-		for j0 := 0; j0 < n; j0 += level3Block {
-			bj := min(level3Block, n-j0)
-			if trans == NoTrans {
-				syrkKernel(uplo, NoTrans, bj, k, alpha, a[j0:], lda, c[j0+j0*ldc:], ldc)
-			} else {
-				syrkKernel(uplo, Trans, bj, k, alpha, a[j0*lda:], lda, c[j0+j0*ldc:], ldc)
-			}
-			if uplo == Lower {
-				for i0 := j0 + bj; i0 < n; i0 += level3Block {
-					bi := min(level3Block, n-i0)
-					if trans == NoTrans {
-						gemmAccum(NoTrans, Trans, bi, bj, k, alpha, a[i0:], lda, a[j0:], lda, c[i0+j0*ldc:], ldc)
-					} else {
-						gemmAccum(Trans, NoTrans, bi, bj, k, alpha, a[i0*lda:], lda, a[j0*lda:], lda, c[i0+j0*ldc:], ldc)
-					}
-				}
-			} else {
-				for i0 := 0; i0 < j0; i0 += level3Block {
-					bi := min(level3Block, j0-i0)
-					if trans == NoTrans {
-						gemmAccum(NoTrans, Trans, bi, bj, k, alpha, a[i0:], lda, a[j0:], lda, c[i0+j0*ldc:], ldc)
-					} else {
-						gemmAccum(Trans, NoTrans, bi, bj, k, alpha, a[i0*lda:], lda, a[j0*lda:], lda, c[i0+j0*ldc:], ldc)
-					}
-				}
-			}
+		// C12 += α·A1·A2ᵀ (n1×n2).
+		if trans == NoTrans {
+			gemmAccum(NoTrans, Trans, n1, n2, k, alpha, a1, lda, a2, lda, c[n1*ldc:], ldc)
+		} else {
+			gemmAccum(Trans, NoTrans, n1, n2, k, alpha, a1, lda, a2, lda, c[n1*ldc:], ldc)
 		}
 	}
-	syrkMetrics.Stop(start, int64(n)*int64(n+1)*int64(k))
+	syrkRec(uplo, trans, n2, k, alpha, a2, lda, c[n1+n1*ldc:], ldc)
 }
 
 // syrkKernel accumulates the uplo triangle of C += α·op(A)·op(A)ᵀ for a
@@ -323,6 +330,12 @@ func trmmSmallRight[T Float](uplo Uplo, transA Transpose, diag Diag, m, n int, a
 //	X·op(A) = α·B   (side == Right)
 //
 // in place: X overwrites the m×n matrix B. A is m×m (Left) or n×n (Right).
+// Triangles larger than trsmBlock are solved recursively: the triangle is
+// split in half, each half solved in turn, and the rectangular coupling
+// block applied as a GEMM update that inherits the packed kernel's
+// throughput — so tile-sized solves run at GEMM speed rather than the
+// substitution loops' (which handle only the trsmBlock-sized diagonal
+// leaves).
 func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
 	checkSide(side)
 	checkUplo(uplo)
@@ -355,7 +368,84 @@ func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 			return
 		}
 	}
+	trsmRec(side, uplo, transA, diag, m, n, a, lda, b, ldb)
+	trsmMetrics.Stop(start, int64(m)*int64(n)*int64(na))
+}
 
+// trsmBlock is the diagonal-leaf cutoff of the recursive Trsm: triangles of
+// this order and below run the substitution loops, everything above splits
+// so the off-diagonal coupling goes through gemmAccum.
+const trsmBlock = 32
+
+// trsmRec recursively solves op(A)·X = B (Left) or X·op(A) = B (Right) in
+// place with α already applied. The triangle is halved; the rectangular
+// block coupling the two halves becomes one gemmAccum update.
+func trsmRec[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, a []T, lda int, b []T, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	if na <= trsmBlock {
+		trsmSmall(side, uplo, transA, diag, m, n, a, lda, b, ldb)
+		return
+	}
+	n1 := na / 2
+	n2 := na - n1
+	a11 := a
+	a22 := a[n1+n1*lda:]
+	// Off-diagonal block of A: lower stores A21 (n2×n1) at a[n1:], upper
+	// stores A12 (n1×n2) at a[n1*lda:].
+	lowerEff := (uplo == Lower) == (transA == NoTrans)
+	if side == Left {
+		b1, b2 := b, b[n1:]
+		if lowerEff {
+			// [L11 0; L21 L22]·[X1; X2] = [B1; B2]: solve X1, update, solve X2.
+			trsmRec(side, uplo, transA, diag, n1, n, a11, lda, b1, ldb)
+			if uplo == Lower {
+				gemmAccum(NoTrans, NoTrans, n2, n, n1, T(-1), a[n1:], lda, b1, ldb, b2, ldb)
+			} else { // op(A)21 = A12ᵀ
+				gemmAccum(Trans, NoTrans, n2, n, n1, T(-1), a[n1*lda:], lda, b1, ldb, b2, ldb)
+			}
+			trsmRec(side, uplo, transA, diag, n2, n, a22, lda, b2, ldb)
+			return
+		}
+		// [U11 U12; 0 U22]·[X1; X2] = [B1; B2]: solve X2, update, solve X1.
+		trsmRec(side, uplo, transA, diag, n2, n, a22, lda, b2, ldb)
+		if uplo == Upper {
+			gemmAccum(NoTrans, NoTrans, n1, n, n2, T(-1), a[n1*lda:], lda, b2, ldb, b1, ldb)
+		} else { // op(A)12 = A21ᵀ
+			gemmAccum(Trans, NoTrans, n1, n, n2, T(-1), a[n1:], lda, b2, ldb, b1, ldb)
+		}
+		trsmRec(side, uplo, transA, diag, n1, n, a11, lda, b1, ldb)
+		return
+	}
+	// side == Right: split the columns of B.
+	b1, b2 := b, b[n1*ldb:]
+	if lowerEff {
+		// [X1 X2]·[L11 0; L21 L22] = [B1 B2]: X2·L22 = B2 first, then
+		// B1 -= X2·op(A)21 and X1·L11 = B1.
+		trsmRec(side, uplo, transA, diag, m, n2, a22, lda, b2, ldb)
+		if uplo == Lower {
+			gemmAccum(NoTrans, NoTrans, m, n1, n2, T(-1), b2, ldb, a[n1:], lda, b1, ldb)
+		} else { // op(A)21 = A12ᵀ
+			gemmAccum(NoTrans, Trans, m, n1, n2, T(-1), b2, ldb, a[n1*lda:], lda, b1, ldb)
+		}
+		trsmRec(side, uplo, transA, diag, m, n1, a11, lda, b1, ldb)
+		return
+	}
+	// [X1 X2]·[U11 U12; 0 U22] = [B1 B2]: X1·U11 = B1 first, then
+	// B2 -= X1·op(A)12 and X2·U22 = B2.
+	trsmRec(side, uplo, transA, diag, m, n1, a11, lda, b1, ldb)
+	if uplo == Upper {
+		gemmAccum(NoTrans, NoTrans, m, n2, n1, T(-1), b1, ldb, a[n1*lda:], lda, b2, ldb)
+	} else { // op(A)12 = A21ᵀ
+		gemmAccum(NoTrans, Trans, m, n2, n1, T(-1), b1, ldb, a[n1:], lda, b2, ldb)
+	}
+	trsmRec(side, uplo, transA, diag, m, n2, a22, lda, b2, ldb)
+}
+
+// trsmSmall runs the substitution loops on a diagonal leaf (α = 1).
+func trsmSmall[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, a []T, lda int, b []T, ldb int) {
 	unit := diag == Unit
 	switch {
 	case side == Left && transA == NoTrans && uplo == Lower:
@@ -489,5 +579,4 @@ func Trsm[T Float](side Side, uplo Uplo, transA Transpose, diag Diag, m, n int, 
 			}
 		}
 	}
-	trsmMetrics.Stop(start, int64(m)*int64(n)*int64(na))
 }

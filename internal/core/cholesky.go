@@ -55,7 +55,7 @@ func submitCholeskyRange[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es 
 					return
 				}
 				n := a.TileCols(k)
-				if err := lapack.Potf2(blas.Lower, n, a.Tile(k, k), a.TileRows(k)); err != nil {
+				if err := lapack.Potrf(blas.Lower, n, a.Tile(k, k), a.TileRows(k)); err != nil {
 					perr := err.(*lapack.NotPositiveDefiniteError)
 					es.set(&lapack.NotPositiveDefiniteError{Index: k*a.NB + perr.Index})
 				}
@@ -89,7 +89,7 @@ func submitCholeskyRange[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es 
 			j := j
 			s.Submit(sched.Task{
 				Name:     "syrk",
-				Priority: prioUpdate(k, nt),
+				Priority: prioUpdate(j, nt),
 				Reads:    []sched.Handle{a.Handle(j, k)},
 				Writes:   []sched.Handle{a.Handle(j, j)},
 				Fn: timed(updateNs, func() {
@@ -105,7 +105,7 @@ func submitCholeskyRange[F blas.Float](s sched.Scheduler, a *tile.Matrix[F], es 
 				i := i
 				s.Submit(sched.Task{
 					Name:     "gemm",
-					Priority: prioUpdate(k, nt),
+					Priority: prioUpdate(j, nt),
 					Reads:    []sched.Handle{a.Handle(i, k), a.Handle(j, k)},
 					Writes:   []sched.Handle{a.Handle(i, j)},
 					Fn: timed(updateNs, func() {

@@ -48,11 +48,18 @@ func (e *errState) get() error {
 
 func (e *errState) failed() bool { return e.get() != nil }
 
-// Priority bands: panel kernels sit on the critical path and outrank the
-// trailing updates of the same step; earlier steps outrank later ones.
-func prioPanel(step, steps int) int  { return 3*(steps-step) + 2 }
-func prioSolve(step, steps int) int  { return 3*(steps-step) + 1 }
-func prioUpdate(step, steps int) int { return 3 * (steps - step) }
+// Priority bands implement panel lookahead. A task's urgency is keyed to
+// the panel column it feeds — the column of its target tile — not the step
+// that submitted it: the trailing updates that complete column k+1 outrank
+// the bulk updates of later columns, so the next panel factorization
+// becomes ready (and overlaps the rest of the trailing update) as early as
+// the DAG allows. This is the lookahead trick that lets HPL hide panel
+// factorization behind the update, generalized to every column. Within one
+// column, panel kernels outrank solves outrank updates, matching their
+// order on the critical path.
+func prioPanel(col, cols int) int  { return 3*(cols-col) + 2 }
+func prioSolve(col, cols int) int  { return 3*(cols-col) + 1 }
+func prioUpdate(col, cols int) int { return 3 * (cols - col) }
 
 // Gemm submits tile tasks computing C ← α·op(A)·op(B) + β·C over tiled
 // matrices. Tile geometries must agree (same NB, conforming dimensions).

@@ -78,7 +78,7 @@ func submitLURange[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errStat
 			Fn: timed(panelNs, func() {
 				tr, tc := a.TileRows(k), a.TileCols(k)
 				piv := make([]int, min(tr, tc))
-				if err := lapack.Getf2(tr, tc, a.Tile(k, k), tr, piv); err != nil {
+				if err := lapack.Getrf(tr, tc, a.Tile(k, k), tr, piv); err != nil {
 					serr := err.(*lapack.SingularError)
 					es.set(&lapack.SingularError{Index: k*a.NB + serr.Index})
 				}
@@ -92,7 +92,7 @@ func submitLURange[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errStat
 			j := j
 			s.Submit(sched.Task{
 				Name:     "gessm",
-				Priority: prioSolve(k, kt),
+				Priority: prioSolve(j, kt),
 				Reads:    []sched.Handle{a.Handle(k, k)},
 				Writes:   []sched.Handle{a.Handle(k, j)},
 				Fn: timed(solveNs, func() {
@@ -129,7 +129,7 @@ func submitLURange[F blas.Float](s sched.Scheduler, f *LUFactors[F], es *errStat
 				j := j
 				s.Submit(sched.Task{
 					Name:     "ssssm",
-					Priority: prioUpdate(k, kt),
+					Priority: prioUpdate(j, kt),
 					Reads:    []sched.Handle{a.Handle(i, k)},
 					Writes:   []sched.Handle{a.Handle(k, j), a.Handle(i, j)},
 					Fn: timed(updateNs, func() {

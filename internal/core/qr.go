@@ -61,7 +61,7 @@ func submitQR[F blas.Float](s sched.Scheduler, f *QRFactors[F], forkJoin bool) {
 			j := j
 			s.Submit(sched.Task{
 				Name:     "unmqr",
-				Priority: prioSolve(k, kt),
+				Priority: prioSolve(j, kt),
 				Reads:    []sched.Handle{a.Handle(k, k), t.Handle(k, k)},
 				Writes:   []sched.Handle{a.Handle(k, j)},
 				Fn: timed(solveNs, func() {
@@ -92,7 +92,7 @@ func submitQR[F blas.Float](s sched.Scheduler, f *QRFactors[F], forkJoin bool) {
 				j := j
 				s.Submit(sched.Task{
 					Name:     "tsmqr",
-					Priority: prioUpdate(k, kt),
+					Priority: prioUpdate(j, kt),
 					Reads:    []sched.Handle{a.Handle(i, k), t.Handle(i, k)},
 					Writes:   []sched.Handle{a.Handle(k, j), a.Handle(i, j)},
 					Fn: timed(updateNs, func() {

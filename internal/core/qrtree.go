@@ -79,7 +79,7 @@ func submitQRTree[F blas.Float](s sched.Scheduler, f *QRFactors[F]) {
 				j := j
 				s.Submit(sched.Task{
 					Name:     "unmqr",
-					Priority: prioSolve(k, kt),
+					Priority: prioSolve(j, kt),
 					Reads:    []sched.Handle{a.Handle(i, k), t.Handle(i, k)},
 					Writes:   []sched.Handle{a.Handle(i, j)},
 					Fn: func() {
@@ -111,7 +111,7 @@ func submitQRTree[F blas.Float](s sched.Scheduler, f *QRFactors[F]) {
 				j := j
 				s.Submit(sched.Task{
 					Name:     "ttmqr",
-					Priority: prioUpdate(k, kt),
+					Priority: prioUpdate(j, kt),
 					Reads:    []sched.Handle{a.Handle(i2, k), t2.Handle(i2, k)},
 					Writes:   []sched.Handle{a.Handle(i1, j), a.Handle(i2, j)},
 					Fn: func() {

@@ -257,7 +257,7 @@ func submitResilientCholesky(s sched.Scheduler, st *resilientState) {
 				n := a.TileCols(k)
 				t := a.Tile(k, k)
 				ld := a.TileRows(k)
-				if err := lapack.Potf2(blas.Lower, n, t, ld); err != nil {
+				if err := lapack.Potrf(blas.Lower, n, t, ld); err != nil {
 					perr := err.(*lapack.NotPositiveDefiniteError)
 					return sched.Permanent(&lapack.NotPositiveDefiniteError{Index: k*a.NB + perr.Index})
 				}
@@ -334,7 +334,7 @@ func submitResilientCholesky(s sched.Scheduler, st *resilientState) {
 			j := j
 			s.Submit(sched.Task{
 				Name:     "syrk",
-				Priority: prioUpdate(k, nt),
+				Priority: prioUpdate(j, nt),
 				Reads:    []sched.Handle{a.Handle(j, k)},
 				Writes:   []sched.Handle{a.Handle(j, j)},
 				Fn: timed(updateNs, func() {
@@ -346,7 +346,7 @@ func submitResilientCholesky(s sched.Scheduler, st *resilientState) {
 				i := i
 				s.Submit(sched.Task{
 					Name:     "gemm",
-					Priority: prioUpdate(k, nt),
+					Priority: prioUpdate(j, nt),
 					Reads:    []sched.Handle{a.Handle(i, k), a.Handle(j, k), st.handle(i, k)},
 					Writes:   []sched.Handle{a.Handle(i, j), st.handle(i, j)},
 					Fn: timed(updateNs, func() {
@@ -549,7 +549,9 @@ func ResilientLU(s sched.Scheduler, a *tile.Matrix[float64], opt FTOptions) (*LU
 	}
 	f := newLUFactors(a)
 	es := &errState{}
-	submitLU(s, f, es, false)
+	// The tolerance reads the input matrix, so it must be computed before
+	// the factorization DAG is submitted — tasks start mutating tiles the
+	// moment Submit links them.
 	st := &resilientState{
 		a:    a,
 		sums: make([][]float64, a.MT*a.NT),
@@ -559,6 +561,7 @@ func ResilientLU(s sched.Scheduler, a *tile.Matrix[float64], opt FTOptions) (*LU
 	if opt.Erasure {
 		st.ers = ft.NewRowErasure(a, opt.Stats)
 	}
+	submitLU(s, f, es, false)
 	submitLURecords(s, st)
 	return f, finishErr(es, s)
 }

@@ -67,48 +67,42 @@ func Potf2[T blas.Float](uplo blas.Uplo, n int, a []T, lda int) error {
 	return nil
 }
 
-// Potrf computes the blocked Cholesky factorization of the n×n symmetric
-// positive definite matrix A in place, using level-3 updates on panels of
-// width blockSize.
+// potrfLeaf is the recursion cutoff of Potrf: triangles of this order run
+// the unblocked Potf2, everything larger splits in half so the solve and
+// update — the bulk of the flops — run through the blocked level-3 routines
+// (and from there the packed GEMM kernel). Smaller than the level-3
+// blockSize because Potf2's scalar loops are the slowest code in the
+// factorization; the level-3 routines handle 32-sized operands fine.
+const potrfLeaf = 32
+
+// Potrf computes the Cholesky factorization of the n×n symmetric positive
+// definite matrix A in place, recursively: the leading half is factored,
+// the coupling panel solved with Trsm, the trailing half updated with Syrk
+// and factored in turn. All but an O(n·potrfLeaf²) sliver of the flops run
+// as level-3 updates.
 func Potrf[T blas.Float](uplo blas.Uplo, n int, a []T, lda int) error {
-	if n <= blockSize {
+	if n <= potrfLeaf {
 		return Potf2(uplo, n, a, lda)
 	}
-	if uplo == blas.Lower {
-		for j := 0; j < n; j += blockSize {
-			jb := min(blockSize, n-j)
-			// Diagonal block: A[j:j+jb, j:j+jb] -= L21·L21ᵀ.
-			blas.Syrk(blas.Lower, blas.NoTrans, jb, j, -1, a[j:], lda, 1, a[j+j*lda:], lda)
-			if err := Potf2(blas.Lower, jb, a[j+j*lda:], lda); err != nil {
-				perr := err.(*NotPositiveDefiniteError)
-				return &NotPositiveDefiniteError{Index: j + perr.Index}
-			}
-			if j+jb < n {
-				// Panel below: A[j+jb:, j:j+jb] -= A[j+jb:, 0:j]·A[j:j+jb, 0:j]ᵀ.
-				blas.Gemm(blas.NoTrans, blas.Trans, n-j-jb, jb, j,
-					-1, a[j+jb:], lda, a[j:], lda, 1, a[j+jb+j*lda:], lda)
-				// Solve against the new diagonal block.
-				blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
-					n-j-jb, jb, 1, a[j+j*lda:], lda, a[j+jb+j*lda:], lda)
-			}
-		}
-		return nil
+	n1 := n / 2
+	n2 := n - n1
+	if err := Potrf(uplo, n1, a, lda); err != nil {
+		return err
 	}
-	// Upper.
-	for j := 0; j < n; j += blockSize {
-		jb := min(blockSize, n-j)
-		blas.Syrk(blas.Upper, blas.Trans, jb, j, -1, a[j*lda:], lda, 1, a[j+j*lda:], lda)
-		if err := Potf2(blas.Upper, jb, a[j+j*lda:], lda); err != nil {
-			perr := err.(*NotPositiveDefiniteError)
-			return &NotPositiveDefiniteError{Index: j + perr.Index}
-		}
-		if j+jb < n {
-			// A[j:j+jb, j+jb:] -= A[0:j, j:j+jb]ᵀ·A[0:j, j+jb:], then solve.
-			blas.Gemm(blas.Trans, blas.NoTrans, jb, n-j-jb, j,
-				-1, a[j*lda:], lda, a[(j+jb)*lda:], lda, 1, a[j+(j+jb)*lda:], lda)
-			blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit,
-				jb, n-j-jb, 1, a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
-		}
+	if uplo == blas.Lower {
+		// A21 ← A21·L11⁻ᵀ, then A22 -= L21·L21ᵀ.
+		blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
+			n2, n1, 1, a, lda, a[n1:], lda)
+		blas.Syrk(blas.Lower, blas.NoTrans, n2, n1, -1, a[n1:], lda, 1, a[n1+n1*lda:], lda)
+	} else {
+		// A12 ← U11⁻ᵀ·A12, then A22 -= U12ᵀ·U12.
+		blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit,
+			n1, n2, 1, a, lda, a[n1*lda:], lda)
+		blas.Syrk(blas.Upper, blas.Trans, n2, n1, -1, a[n1*lda:], lda, 1, a[n1+n1*lda:], lda)
+	}
+	if err := Potrf(uplo, n2, a[n1+n1*lda:], lda); err != nil {
+		perr := err.(*NotPositiveDefiniteError)
+		return &NotPositiveDefiniteError{Index: n1 + perr.Index}
 	}
 	return nil
 }

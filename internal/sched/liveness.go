@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -96,20 +97,30 @@ type attempt struct {
 	abandoned bool
 }
 
+// attemptPool recycles attempt records between registrations. Only
+// attempts that completed normally are pooled: an abandoned attempt stays
+// referenced by its zombie worker (and its lost channel is closed), so it
+// is left for the garbage collector.
+var attemptPool = sync.Pool{New: func() any { return &attempt{} }}
+
 // registerAttempt records the start of one attempt with the watchdog.
 // Returns nil when no deadline is armed.
 func (r *Runtime) registerAttempt(n *node, worker, num int, readyAt, start int64) *attempt {
 	if r.taskDeadline <= 0 {
 		return nil
 	}
-	att := &attempt{
-		n:       n,
-		worker:  worker,
-		num:     num,
-		readyAt: readyAt,
-		start:   start,
-		began:   time.Now(),
-		lost:    make(chan struct{}),
+	att := attemptPool.Get().(*attempt)
+	att.n = n
+	att.worker = worker
+	att.num = num
+	att.readyAt = readyAt
+	att.start = start
+	att.began = time.Now()
+	att.abandoned = false
+	if att.lost == nil {
+		// A pooled attempt that was never abandoned still holds an open,
+		// reusable channel.
+		att.lost = make(chan struct{})
 	}
 	r.watchMu.Lock()
 	r.running[att] = struct{}{}
@@ -131,6 +142,10 @@ func (r *Runtime) completeAttempt(att *attempt) bool {
 		delete(r.running, att)
 	}
 	r.watchMu.Unlock()
+	if !abandoned {
+		att.n = nil
+		attemptPool.Put(att)
+	}
 	return !abandoned
 }
 
@@ -240,7 +255,7 @@ func (r *Runtime) recoverLost(att *attempt) {
 	} else if r.tracer != nil {
 		r.tracer.TaskRan(att.n.task.Name, att.worker, att.start, end)
 	}
-	skipped := r.resolveFailure(att.n, err, retrying, att.num)
+	skipped := r.resolveFailure(att.n, err, retrying, att.num, att.worker)
 	if len(skipped) > 0 {
 		r.emitSkipped(skipped, end)
 		r.completeSkipped(len(skipped))

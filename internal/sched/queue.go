@@ -1,0 +1,75 @@
+package sched
+
+import "sync"
+
+// readyShard is one worker's ready queue: a slice-backed max-heap ordered
+// by (Priority, FIFO seq) behind its own mutex. Sharding the ready set per
+// worker keeps enqueue/dequeue off the runtime-wide dependence lock — the
+// per-task dispatch cost that dominates fine-grained tile DAGs — while the
+// heap preserves priority order within each shard. A worker drains its own
+// shard first (tasks its finishes made ready stay local) and steals the
+// top of another shard when it runs dry.
+type readyShard struct {
+	mu sync.Mutex
+	q  []*node
+}
+
+// runsBefore reports whether a should run before b when both are ready:
+// higher priority first, submission order breaking ties.
+func runsBefore(a, b *node) bool {
+	if a.task.Priority != b.task.Priority {
+		return a.task.Priority > b.task.Priority
+	}
+	return a.seq < b.seq
+}
+
+// push adds n to the shard.
+func (s *readyShard) push(n *node) {
+	s.mu.Lock()
+	s.q = append(s.q, n)
+	i := len(s.q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !runsBefore(s.q[i], s.q[p]) {
+			break
+		}
+		s.q[i], s.q[p] = s.q[p], s.q[i]
+		i = p
+	}
+	s.mu.Unlock()
+}
+
+// pop removes and returns the highest-priority node, or nil when the shard
+// is empty. The node's enqueued flag is cleared under the shard lock, so a
+// concurrent re-enqueue (retry, watchdog) observes a consistent state.
+func (s *readyShard) pop() *node {
+	s.mu.Lock()
+	if len(s.q) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	n := s.q[0]
+	last := len(s.q) - 1
+	s.q[0] = s.q[last]
+	s.q[last] = nil
+	s.q = s.q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && runsBefore(s.q[l], s.q[best]) {
+			best = l
+		}
+		if r < last && runsBefore(s.q[r], s.q[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.q[i], s.q[best] = s.q[best], s.q[i]
+		i = best
+	}
+	n.enqueued.Store(false)
+	s.mu.Unlock()
+	return n
+}

@@ -22,6 +22,14 @@
 // barriers by calling Wait between phases, which Runtime executes as a real
 // join and Recorder records as an all-to-all dependence.
 //
+// Dispatch is built for fine-grained tile DAGs, where per-task overhead
+// competes directly with kernel time: the ready set is sharded into
+// per-worker priority heaps with work stealing (dependence tracking keeps
+// the runtime lock, ready-queue traffic does not), nodes are allocated from
+// a slab, wakeups signal one idle worker per enqueue instead of
+// broadcasting to the pool, and the steady-state dispatch path — pop, run,
+// resolve successors — performs no heap allocation.
+//
 // The runtime is fault-aware ("at extreme scale, faults are the norm"):
 // tasks may return errors (Task.FnErr) or panic without taking down the
 // pool, transient failures are retried with capped exponential backoff
@@ -33,9 +41,9 @@
 package sched
 
 import (
-	"container/heap"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exadla/internal/metrics"
@@ -76,18 +84,22 @@ type Scheduler interface {
 	Wait()
 }
 
-// node is the runtime's internal task state.
+// node is the runtime's internal task state. Graph state (succs, nDeps,
+// done, poisoned) is guarded by Runtime.mu; the per-attempt fields crossed
+// by the dispatch path and the watchdog (enqueued, attempts, readyAt) are
+// atomics so popping a task never touches the runtime lock.
 type node struct {
 	task     Task
 	succs    []*node
 	nDeps    int // remaining unmet dependences; guarded by Runtime.mu
 	seq      int // submission order, for FIFO tie-breaking
-	enqueued bool
 	done     bool  // completed; guarded by Runtime.mu
-	attempts int   // executions so far; guarded by Runtime.mu
 	poisoned bool  // an upstream task failed; skip the body. Guarded by mu.
 	deps     []int // dep task seqs, recorded only under a SpanTracer; immutable after link
-	readyAt  int64 // when the node was (last) enqueued; guarded by mu
+
+	enqueued atomic.Bool  // on a ready shard (or about to be)
+	attempts atomic.Int32 // executions so far
+	readyAt  atomic.Int64 // when the node was (last) enqueued
 }
 
 // Runtime executes tasks on a fixed pool of worker goroutines.
@@ -96,13 +108,24 @@ type Runtime struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	ready    readyQueue
 	last     map[Handle]*access
 	inFlight int // submitted but not yet completed
 	seq      int
 	shutdown bool
 	failures []*TaskError // permanent failures of the current Wait epoch
 	skipped  int          // poisoned dependents that never ran
+	nodeSlab []node       // slab allocator for nodes; guarded by mu
+	finStack []finEntry   // finishLocked scratch, reused; guarded by mu
+
+	// Ready set: per-worker shards plus the idle-worker parking lot.
+	// readyCount is the total across shards; stopping mirrors shutdown for
+	// lock-free reads in the dequeue loop.
+	shards     []readyShard
+	readyCount atomic.Int64
+	stopping   atomic.Bool
+	idleMu     sync.Mutex
+	idleCond   *sync.Cond
+	idlers     atomic.Int32 // modified under idleMu; read lock-free by enqueuers
 
 	// Failure policy, immutable after New.
 	retryMax     int
@@ -172,8 +195,10 @@ func New(workers int, opts ...Option) *Runtime {
 	r := &Runtime{
 		workers: workers,
 		last:    make(map[Handle]*access),
+		shards:  make([]readyShard, workers),
 	}
 	r.cond = sync.NewCond(&r.mu)
+	r.idleCond = sync.NewCond(&r.idleMu)
 	for _, o := range opts {
 		o(r)
 	}
@@ -192,26 +217,45 @@ func New(workers int, opts ...Option) *Runtime {
 	return r
 }
 
+// nodeSlabSize is the node slab block: Submit hands out nodes from a
+// pre-allocated block, so fine-grained DAGs cost one allocation per block
+// instead of one per task.
+const nodeSlabSize = 256
+
+// newNode allocates a node from the slab. Caller holds r.mu.
+func (r *Runtime) newNode() *node {
+	if len(r.nodeSlab) == 0 {
+		r.nodeSlab = make([]node, nodeSlabSize)
+	}
+	n := &r.nodeSlab[0]
+	r.nodeSlab = r.nodeSlab[1:]
+	return n
+}
+
 // Submit registers a task. Dependences on previously submitted tasks are
 // derived from the declared handles; the task runs as soon as they are all
 // satisfied. Submit is safe for concurrent use, though dependence order
 // follows the serialization of the Submit calls themselves.
 func (r *Runtime) Submit(t Task) {
-	n := &node{task: t}
 	r.mu.Lock()
 	if r.shutdown {
 		r.mu.Unlock()
 		panic("sched: Submit after Shutdown")
 	}
+	n := r.newNode()
+	n.task = t
 	n.seq = r.seq
 	r.seq++
 	r.inFlight++
 	r.met.taskSubmitted()
 	r.link(n)
-	if n.nDeps == 0 {
-		r.enqueueLocked(n)
-	}
+	ready := n.nDeps == 0
 	r.mu.Unlock()
+	if ready {
+		// Source tasks spread round-robin across shards so a burst of
+		// submissions parallelizes immediately.
+		r.enqueue(n, n.seq%r.workers)
+	}
 }
 
 // link derives dependences for n and registers it in the access map.
@@ -243,15 +287,12 @@ func (r *Runtime) link(n *node) {
 		from.succs = append(from.succs, n)
 		n.nDeps++
 	}
-	// Reads: RAW on the last writer.
-	written := make(map[Handle]bool, len(n.task.Writes))
-	for _, h := range n.task.Writes {
-		written[h] = true
-	}
+	// Reads: RAW on the last writer. Write lists are tiny (one or two
+	// handles), so membership is a linear scan instead of a per-Submit map.
 	for _, h := range n.task.Reads {
 		acc := r.acc(h)
 		addDep(acc.lastWriter)
-		if !written[h] {
+		if !handleIn(n.task.Writes, h) {
 			acc.readers = append(acc.readers, n)
 		}
 	}
@@ -267,6 +308,16 @@ func (r *Runtime) link(n *node) {
 	}
 }
 
+// handleIn reports whether h appears in hs.
+func handleIn(hs []Handle, h Handle) bool {
+	for _, x := range hs {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
 func (r *Runtime) acc(h Handle) *access {
 	a := r.last[h]
 	if a == nil {
@@ -276,45 +327,75 @@ func (r *Runtime) acc(h Handle) *access {
 	return a
 }
 
-// enqueueLocked puts a dependence-free task on the ready queue.
-func (r *Runtime) enqueueLocked(n *node) {
-	if n.enqueued {
+// enqueue makes a dependence-free task runnable on shard home, waking one
+// idle worker if any is parked. It takes no runtime-wide lock and is safe
+// to call with or without r.mu held (shard and idle locks are leaves: no
+// code path acquires r.mu while holding either).
+func (r *Runtime) enqueue(n *node, home int) {
+	if !n.enqueued.CompareAndSwap(false, true) {
 		return
 	}
-	n.enqueued = true
 	if r.spanTracer != nil || r.met.on() {
-		n.readyAt = traceNow() // queue-wait epoch for the next attempt
+		n.readyAt.Store(traceNow()) // queue-wait epoch for the next attempt
 	}
-	heap.Push(&r.ready, n)
-	r.met.readyLen(len(r.ready))
-	r.cond.Broadcast()
+	r.shards[home].push(n)
+	depth := r.readyCount.Add(1)
+	r.met.readyLen(int(depth))
+	// Wake exactly one parked worker per enqueued task. The readyCount
+	// increment above is ordered before this load, and sleepers re-check
+	// readyCount under idleMu before parking, so the wakeup cannot be lost:
+	// either the sleeper sees the new count and never parks, or it is
+	// already in Wait when the Signal lands.
+	if r.idlers.Load() > 0 {
+		r.idleMu.Lock()
+		r.idleCond.Signal()
+		r.idleMu.Unlock()
+	}
+}
+
+// dequeue returns the next task for worker id: its own shard first (work
+// its finishes made ready), then a stealing sweep over the other shards,
+// then parking until an enqueue signals. Returns nil at shutdown.
+func (r *Runtime) dequeue(id int) *node {
+	for {
+		if n := r.shards[id].pop(); n != nil {
+			r.met.readyLen(int(r.readyCount.Add(-1)))
+			return n
+		}
+		for off := 1; off < len(r.shards); off++ {
+			if n := r.shards[(id+off)%len(r.shards)].pop(); n != nil {
+				r.met.readyLen(int(r.readyCount.Add(-1)))
+				return n
+			}
+		}
+		if r.stopping.Load() && r.readyCount.Load() == 0 {
+			return nil
+		}
+		r.idleMu.Lock()
+		r.idlers.Add(1)
+		for r.readyCount.Load() == 0 && !r.stopping.Load() {
+			r.idleCond.Wait()
+		}
+		r.idlers.Add(-1)
+		r.idleMu.Unlock()
+	}
 }
 
 func (r *Runtime) worker(id int) {
 	clock := newTraceClock()
 	idleFrom := clock.now()
 	for {
-		r.mu.Lock()
-		for len(r.ready) == 0 && !r.shutdown {
-			r.cond.Wait()
-		}
-		if r.shutdown && len(r.ready) == 0 {
-			r.mu.Unlock()
+		n := r.dequeue(id)
+		if n == nil {
 			r.met.workerIdle(id, clock.now()-idleFrom)
 			return
 		}
-		n := heap.Pop(&r.ready).(*node)
-		n.enqueued = false // may be re-enqueued by the retry path
-		r.met.readyLen(len(r.ready))
-		// Capture attempt-local state before the retry path can re-enqueue
-		// the node (which resets readyAt and lets another worker bump
-		// attempts concurrently). attempts is bumped under mu: after a
-		// watchdog abandonment the replacement execution races the zombie's
-		// last reads, and both sides must see a consistent count.
-		n.attempts++
-		attemptNum := n.attempts
-		readyAt := n.readyAt
-		r.mu.Unlock()
+		// The popped node is exclusively this worker's until its attempt
+		// resolves; the only concurrent writer is a watchdog abandonment of
+		// an *earlier* attempt re-enqueueing the node, which the atomics
+		// make safe (both sides see consistent attempt counts).
+		attemptNum := int(n.attempts.Add(1))
+		readyAt := n.readyAt.Load()
 
 		start := clock.now()
 		r.met.workerIdle(id, start-idleFrom)
@@ -367,9 +448,9 @@ func (r *Runtime) worker(id int) {
 
 		var skipped []*node
 		if err == nil {
-			skipped = r.finish(n, false)
+			skipped = r.finish(n, false, id)
 		} else {
-			skipped = r.resolveFailure(n, err, retrying, attemptNum)
+			skipped = r.resolveFailure(n, err, retrying, attemptNum, id)
 		}
 		if len(skipped) > 0 {
 			r.emitSkipped(skipped, end)
@@ -396,9 +477,11 @@ func (r *Runtime) emitSkipped(skipped []*node, ts int64) {
 
 // finish completes n outside the worker's fast path, returning the
 // poisoned dependents drained with it (non-empty only under a SpanTracer).
-func (r *Runtime) finish(n *node, failed bool) []*node {
+// home is the shard newly-ready successors are enqueued on — the finishing
+// worker's own shard, so dependent work stays local until stolen.
+func (r *Runtime) finish(n *node, failed bool, home int) []*node {
 	r.mu.Lock()
-	skipped := r.finishLocked(n, failed)
+	skipped := r.finishLocked(n, failed, home)
 	r.mu.Unlock()
 	return skipped
 }
@@ -450,9 +533,10 @@ func (r *Runtime) runTask(n *node, att *attempt, attemptNum int) (err error, die
 // span) is set, or make the failure permanent and poison the task's
 // dependents. attempt is the caller's snapshot of the attempt number (the
 // watchdog resolves abandoned attempts concurrently with the replacement
-// execution, so n.attempts cannot be read here). It returns the dependents
-// skipped by a permanent failure (collected only under a SpanTracer).
-func (r *Runtime) resolveFailure(n *node, err error, retry bool, attempt int) (skipped []*node) {
+// execution, so n.attempts cannot be read here). home is the shard retries
+// and newly-ready successors target. It returns the dependents skipped by
+// a permanent failure (collected only under a SpanTracer).
+func (r *Runtime) resolveFailure(n *node, err error, retry bool, attempt, home int) (skipped []*node) {
 	_, panicked := err.(*panicError)
 	if r.failObs != nil {
 		var toErr *TimeoutError
@@ -470,17 +554,13 @@ func (r *Runtime) resolveFailure(n *node, err error, retry bool, attempt int) (s
 		r.met.taskRetried()
 		delay := r.backoffFor(attempt)
 		if delay <= 0 {
-			r.mu.Lock()
-			r.enqueueLocked(n)
-			r.mu.Unlock()
+			r.enqueue(n, home)
 			return nil
 		}
 		// The node stays in flight during backoff, so Wait and Shutdown
 		// keep blocking until the retry resolves.
 		time.AfterFunc(delay, func() {
-			r.mu.Lock()
-			r.enqueueLocked(n)
-			r.mu.Unlock()
+			r.enqueue(n, home)
 		})
 		return nil
 	}
@@ -499,24 +579,28 @@ func (r *Runtime) resolveFailure(n *node, err error, retry bool, attempt int) (s
 	r.mu.Lock()
 	r.failures = append(r.failures, te)
 	r.met.taskFailed(te.Panicked)
-	skipped = r.finishLocked(n, true)
+	skipped = r.finishLocked(n, true, home)
 	r.mu.Unlock()
 	return skipped
+}
+
+// finEntry is one pending completion in finishLocked's drain stack.
+type finEntry struct {
+	n      *node
+	poison bool
 }
 
 // finishLocked marks n complete — failed reports a permanent failure —
 // releases its successors, and drains poisoned dependents inline: a
 // dependent of a failed or skipped task never runs its body, because its
-// inputs are garbage, but it still completes so the DAG drains. It returns
-// the drained dependents (collected only under a SpanTracer, for skip-span
-// emission outside the lock). Caller holds r.mu.
-func (r *Runtime) finishLocked(n *node, failed bool) []*node {
-	type done struct {
-		n      *node
-		poison bool
-	}
+// inputs are garbage, but it still completes so the DAG drains. Successors
+// made ready are enqueued on shard home. It returns the drained dependents
+// (collected only under a SpanTracer, for skip-span emission outside the
+// lock). Caller holds r.mu; the drain stack is reused across calls so the
+// steady-state dispatch path does not allocate.
+func (r *Runtime) finishLocked(n *node, failed bool, home int) []*node {
 	var skipped []*node
-	stack := []done{{n, failed}}
+	stack := append(r.finStack[:0], finEntry{n, failed})
 	for len(stack) > 0 {
 		d := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -533,14 +617,15 @@ func (r *Runtime) finishLocked(n *node, failed bool) []*node {
 					if r.spanTracer != nil {
 						skipped = append(skipped, s)
 					}
-					stack = append(stack, done{s, true})
+					stack = append(stack, finEntry{s, true})
 				} else {
-					r.enqueueLocked(s)
+					r.enqueue(s, home)
 				}
 			}
 		}
 		r.inFlight--
 	}
+	r.finStack = stack[:0]
 	// Dependents collected for skip-span emission stay in flight until
 	// completeSkipped runs, so Wait cannot observe a drained DAG whose
 	// trace is still missing their spans.
@@ -612,8 +697,13 @@ func (r *Runtime) Shutdown() {
 		r.cond.Wait()
 	}
 	r.shutdown = true
-	r.cond.Broadcast()
 	r.mu.Unlock()
+	// Release the worker pool: every shard is empty (inFlight hit zero), so
+	// workers parked in dequeue exit once woken.
+	r.stopping.Store(true)
+	r.idleMu.Lock()
+	r.idleCond.Broadcast()
+	r.idleMu.Unlock()
 	// The watchdog outlives the last task so late overruns are still
 	// reaped; it stops only here. Workers hung inside bodies (hard chaos,
 	// or a genuinely stuck kernel) are abandoned goroutines by now — Go
@@ -623,23 +713,3 @@ func (r *Runtime) Shutdown() {
 
 // Workers reports the size of the worker pool.
 func (r *Runtime) Workers() int { return r.workers }
-
-// readyQueue is a max-heap on (Priority, FIFO seq).
-type readyQueue []*node
-
-func (q readyQueue) Len() int { return len(q) }
-func (q readyQueue) Less(i, j int) bool {
-	if q[i].task.Priority != q[j].task.Priority {
-		return q[i].task.Priority > q[j].task.Priority
-	}
-	return q[i].seq < q[j].seq
-}
-func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *readyQueue) Push(x any)   { *q = append(*q, x.(*node)) }
-func (q *readyQueue) Pop() any {
-	old := *q
-	n := old[len(old)-1]
-	old[len(old)-1] = nil
-	*q = old[:len(old)-1]
-	return n
-}
