@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 )
 
 // The -benchdiff mode is the CI regression gate on the strong-scaling
@@ -13,10 +15,13 @@ import (
 // tiled-vs-serial ratio — because absolute GF/s shift with the host, while
 // ratios measured on the same machine in the same run cancel that out.
 //
-// Entries are matched by (op, n, nb, workers); baseline entries with no
-// counterpart in the new report (e.g. full-mode sizes absent from a -quick
-// run) are skipped. Zero matched entries is itself a failure, so a schema
-// drift cannot silently turn the gate off.
+// Entries are matched by (op, n, nb, workers). A baseline entry with no
+// counterpart in the new report fails the gate — a report that quietly
+// shrinks (an op crashed, a size was dropped) must not pass on whatever
+// remains — unless that entry is explicitly waived via -benchmissing
+// (format "op/n<N>/nb<NB>", comma-separated; how -quick runs declare the
+// full-mode sizes they legitimately omit). Zero matched entries is itself
+// a failure, so a schema drift cannot silently turn the gate off.
 
 // diffEntry is one compared metric, kept for the report table.
 type diffEntry struct {
@@ -25,7 +30,7 @@ type diffEntry struct {
 	regress  bool
 }
 
-func runBenchDiff(basePath, newPath string, tol float64) error {
+func runBenchDiff(basePath, newPath string, tol float64, missing string) error {
 	base, err := loadScaleReport(basePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -35,9 +40,9 @@ func runBenchDiff(basePath, newPath string, tol float64) error {
 		return fmt.Errorf("new report: %w", err)
 	}
 
-	type opKey struct {
-		op    string
-		n, nb int
+	waived, err := parseWaivers(missing)
+	if err != nil {
+		return err
 	}
 	baseOps := map[opKey]*scaleOpResult{}
 	for i := range base.Ops {
@@ -50,13 +55,16 @@ func runBenchDiff(basePath, newPath string, tol float64) error {
 		// A metric regresses when it drops more than tol below baseline.
 		entries = append(entries, diffEntry{key, oldV, newV, newV < oldV*(1-tol)})
 	}
+	matched := map[opKey]bool{}
 	for i := range cur.Ops {
 		op := &cur.Ops[i]
-		b, ok := baseOps[opKey{op.Op, op.N, op.NB}]
+		k := opKey{op.Op, op.N, op.NB}
+		b, ok := baseOps[k]
 		if !ok {
 			fmt.Printf("benchdiff: %s n=%d nb=%d not in baseline, skipped\n", op.Op, op.N, op.NB)
 			continue
 		}
+		matched[k] = true
 		// Tiled-vs-serial is a ratio of two times from the same run; compare
 		// it as serial/tiled so "bigger is better" like the speedups.
 		check(fmt.Sprintf("%s/n%d/tiled_vs_serial", op.Op, op.N),
@@ -89,6 +97,19 @@ func runBenchDiff(basePath, newPath string, tol float64) error {
 		}
 	}
 
+	// Baseline coverage must not shrink: every baseline op either matched
+	// or was explicitly waived.
+	var lost []string
+	for k := range baseOps {
+		if !matched[k] && !waived[k] {
+			lost = append(lost, fmt.Sprintf("%s/n%d/nb%d", k.op, k.n, k.nb))
+		}
+	}
+	if len(lost) > 0 {
+		sort.Strings(lost)
+		return fmt.Errorf("benchdiff: baseline entries missing from %s: %s (waive intentionally dropped sizes with -benchmissing)",
+			newPath, strings.Join(lost, ", "))
+	}
 	if len(entries) == 0 {
 		return fmt.Errorf("benchdiff: no entries in %s matched the baseline %s — nothing was checked", newPath, basePath)
 	}
@@ -108,6 +129,40 @@ func runBenchDiff(basePath, newPath string, tol float64) error {
 	}
 	fmt.Printf("\nbenchdiff: %d metrics within %.0f%% of baseline\n", len(entries), 100*tol)
 	return nil
+}
+
+// opKey identifies one benchmarked configuration across reports.
+type opKey struct {
+	op    string
+	n, nb int
+}
+
+// parseWaivers parses the -benchmissing list: comma-separated
+// "op/n<N>/nb<NB>" entries naming baseline configurations the new report
+// is allowed to omit.
+func parseWaivers(missing string) (map[opKey]bool, error) {
+	waived := map[opKey]bool{}
+	for _, w := range strings.Split(missing, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		var k opKey
+		parts := strings.Split(w, "/")
+		if len(parts) != 3 ||
+			!strings.HasPrefix(parts[1], "n") || !strings.HasPrefix(parts[2], "nb") {
+			return nil, fmt.Errorf("benchdiff: bad -benchmissing entry %q, want op/n<N>/nb<NB>", w)
+		}
+		k.op = parts[0]
+		if _, err := fmt.Sscanf(parts[1], "n%d", &k.n); err != nil {
+			return nil, fmt.Errorf("benchdiff: bad -benchmissing entry %q: %v", w, err)
+		}
+		if _, err := fmt.Sscanf(parts[2], "nb%d", &k.nb); err != nil {
+			return nil, fmt.Errorf("benchdiff: bad -benchmissing entry %q: %v", w, err)
+		}
+		waived[k] = true
+	}
+	return waived, nil
 }
 
 func loadScaleReport(path string) (*scaleBenchReport, error) {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The -benchdiff gate must fail when the new report covers fewer baseline
+// configurations than the baseline (an op that crashed or was dropped must
+// not pass silently), and -benchmissing must waive exactly the named
+// entries.
+
+func writeReport(t *testing.T, dir, name string, r scaleBenchReport) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func twoOpReport() scaleBenchReport {
+	r := sampleScaleReport()
+	lu := r.Ops[0]
+	lu.Op = "lu"
+	r.Ops = append(r.Ops, lu)
+	return r
+}
+
+func TestBenchDiffFailsOnShrunkCoverage(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", twoOpReport())
+
+	shrunk := twoOpReport()
+	shrunk.Ops = shrunk.Ops[:1] // "lu" vanished from the new report
+	cur := writeReport(t, dir, "new.json", shrunk)
+
+	err := runBenchDiff(base, cur, 0.10, "")
+	if err == nil {
+		t.Fatal("shrunk coverage passed the gate")
+	}
+	if !strings.Contains(err.Error(), "lu/n512/nb64") {
+		t.Fatalf("error does not name the missing entry: %v", err)
+	}
+}
+
+func TestBenchDiffWaivesMissingEntries(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", twoOpReport())
+
+	shrunk := twoOpReport()
+	shrunk.Ops = shrunk.Ops[:1]
+	cur := writeReport(t, dir, "new.json", shrunk)
+
+	if err := runBenchDiff(base, cur, 0.10, "lu/n512/nb64"); err != nil {
+		t.Fatalf("waived missing entry still failed: %v", err)
+	}
+	// A waiver for one entry must not cover another.
+	if err := runBenchDiff(base, cur, 0.10, "qr/n512/nb64"); err == nil {
+		t.Fatal("unrelated waiver let shrunk coverage pass")
+	}
+}
+
+func TestBenchDiffRejectsMalformedWaiver(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleScaleReport()
+	base := writeReport(t, dir, "base.json", r)
+	cur := writeReport(t, dir, "new.json", r)
+
+	if err := runBenchDiff(base, cur, 0.10, "cholesky-512"); err == nil {
+		t.Fatal("malformed -benchmissing entry was accepted")
+	}
+	if err := runBenchDiff(base, cur, 0.10, " cholesky/n512/nb64 , "); err != nil {
+		t.Fatalf("well-formed waiver with spaces rejected: %v", err)
+	}
+}

@@ -60,6 +60,11 @@ func runFaults(quick bool) {
 	fmt.Println("--- checkpoint/restart: abort mid-factorization, resume to a bitwise-identical factor ---")
 	fmt.Println()
 	checkpointDemo(n, nb, workers)
+
+	fmt.Println()
+	fmt.Println("--- distributed runtime: worker death, hangs, and wire chaos over net/rpc ---")
+	fmt.Println()
+	distFaultSweep(quick)
 }
 
 // chaosRun factors one matrix under a seeded chaos layer with generous

@@ -48,11 +48,12 @@ func main() {
 	benchDiff := flag.String("benchdiff", "", "compare the scaling report named by -benchnew against this baseline JSON and exit non-zero on regressions")
 	benchNew := flag.String("benchnew", "BENCH_scale.json", "scaling report compared against the -benchdiff baseline")
 	benchTol := flag.Float64("benchtol", 0.10, "relative tolerance for -benchdiff speedup regressions")
+	benchMissing := flag.String("benchmissing", "", "comma-separated op/n<N>/nb<NB> baseline entries the new report may omit (e.g. full-mode sizes in a -quick run)")
 	obsAddr := flag.String("obs", "", "serve live observability (metrics, healthz, pprof) on this host:port while the suite runs")
 	flag.Parse()
 
 	if *benchDiff != "" {
-		if err := runBenchDiff(*benchDiff, *benchNew, *benchTol); err != nil {
+		if err := runBenchDiff(*benchDiff, *benchNew, *benchTol, *benchMissing); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

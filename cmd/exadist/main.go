@@ -1,0 +1,237 @@
+// Command exadist runs the multi-process distributed runtime from the
+// shell: one -serve process owns the task DAG and the tile object store,
+// any number of -join processes pull tasks from it over net/rpc. Workers
+// are stateless and disposable — kill -9 one mid-run and the coordinator
+// reaps its lease, re-executes the lost work, and finishes with the same
+// bits. The -verify flag proves it by comparing against a single-process
+// factorization.
+//
+// A three-terminal demo:
+//
+//	exadist -serve 127.0.0.1:7000 -n 2048 -workers 3 -verify
+//	exadist -join 127.0.0.1:7000
+//	exadist -join 127.0.0.1:7000   # kill -9 this one; the job still finishes
+//
+// Fault hooks for the -join side (-kill-after, -hang-after, -drop, -dup,
+// -delay) make the chaos reproducible from the command line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"exadla"
+	"exadla/internal/dist"
+	"exadla/internal/metrics"
+	"exadla/internal/obs"
+)
+
+func main() {
+	serve := flag.String("serve", "", "serve a coordinator on this host:port")
+	join := flag.String("join", "", "join the coordinator at this host:port as a worker")
+
+	// Serve-side flags.
+	op := flag.String("op", "cholesky", "operation: cholesky or lunp (LU without pivoting)")
+	n := flag.Int("n", 1024, "matrix order")
+	nb := flag.Int("nb", exadla.DefaultTileSize, "tile size")
+	seed := flag.Int64("seed", 1, "matrix generator seed")
+	minWorkers := flag.Int("min-workers", 0, "fleet size below which the coordinator computes locally")
+	waitWorkers := flag.Int("wait-workers", 0, "hold task leasing until this many workers registered")
+	gridP := flag.Int("grid-p", 0, "process grid rows (with -strict)")
+	gridQ := flag.Int("grid-q", 0, "process grid columns (with -strict)")
+	strict := flag.Bool("strict", false, "strict owner-computes placement (byte-exact vs the replay cost model)")
+	writeBack := flag.Bool("writeback", false, "write-back residency: drop finalized tiles to worker caches, keep XOR parity")
+	lease := flag.Duration("lease", 2*time.Second, "task lease duration")
+	deadAfter := flag.Duration("dead-after", 1500*time.Millisecond, "heartbeat silence before a worker is declared dead")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory (arms snapshots; use -resume to restart)")
+	ckptEvery := flag.Int("ckpt-every", 1, "panel steps between checkpoints")
+	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -ckpt instead of starting fresh")
+	verify := flag.Bool("verify", false, "after the run, factor the same matrix single-process and compare bitwise")
+	obsAddr := flag.String("obs", "", "serve live observability (metrics with dist.* counters) on this host:port")
+
+	// Join-side fault hooks.
+	killAfter := flag.Int("kill-after", 0, "exit(137) upon being granted the Nth task (simulated SIGKILL)")
+	hangAfter := flag.Int("hang-after", 0, "hang upon the Nth granted task, heartbeats still flowing")
+	hangFor := flag.Duration("hang-for", 3*time.Second, "hang duration for -hang-after")
+	drop := flag.Float64("drop", 0, "probability of dropping an RPC request or reply")
+	dup := flag.Float64("dup", 0, "probability of duplicating an RPC")
+	delay := flag.Float64("delay", 0, "probability of delaying an RPC by -max-delay")
+	maxDelay := flag.Duration("max-delay", 5*time.Millisecond, "injected RPC latency")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the wire-fault injector")
+	flag.Parse()
+
+	switch {
+	case *serve != "" && *join != "":
+		fmt.Fprintln(os.Stderr, "exadist: -serve and -join are mutually exclusive")
+		os.Exit(2)
+	case *join != "":
+		opt := dist.WorkerOptions{
+			Chaos: dist.NetChaos{
+				DropSend:  *drop,
+				DropReply: *drop,
+				Dup:       *dup,
+				Delay:     *delay,
+				MaxDelay:  *maxDelay,
+				Seed:      *chaosSeed,
+			},
+			KillAfter:  *killAfter,
+			ExitOnKill: true,
+			HangAfter:  *hangAfter,
+			HangFor:    *hangFor,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		if err := dist.RunWorker(*join, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "exadist:", err)
+			os.Exit(1)
+		}
+		fmt.Println("exadist: job complete, worker done")
+	case *serve != "":
+		if err := runServe(*serve, serveConfig{
+			op: *op, n: *n, nb: *nb, seed: *seed,
+			minWorkers: *minWorkers, waitWorkers: *waitWorkers,
+			gridP: *gridP, gridQ: *gridQ, strict: *strict, writeBack: *writeBack,
+			lease: *lease, deadAfter: *deadAfter,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+			verify: *verify, obsAddr: *obsAddr,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "exadist:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type serveConfig struct {
+	op                      string
+	n, nb                   int
+	seed                    int64
+	minWorkers, waitWorkers int
+	gridP, gridQ            int
+	strict, writeBack       bool
+	lease, deadAfter        time.Duration
+	ckptDir                 string
+	ckptEvery               int
+	resume                  bool
+	verify                  bool
+	obsAddr                 string
+}
+
+func runServe(addr string, cfg serveConfig) error {
+	var distOp string
+	switch cfg.op {
+	case "cholesky":
+		distOp = exadla.DistCholesky
+	case "lunp", "lu-nopiv":
+		distOp = exadla.DistLUNoPiv
+	default:
+		return fmt.Errorf("unknown -op %q (want cholesky or lunp)", cfg.op)
+	}
+
+	if cfg.obsAddr != "" {
+		metrics.Enable()
+		srv, err := obs.Start(cfg.obsAddr, obs.Options{Registry: metrics.Default()})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/metrics\n", cfg.obsAddr)
+	}
+
+	dcfg := exadla.DistConfig{
+		Op: distOp, TileSize: cfg.nb,
+		GridP: cfg.gridP, GridQ: cfg.gridQ,
+		Strict: cfg.strict, WriteBack: cfg.writeBack,
+		MinWorkers: cfg.minWorkers, WaitWorkers: cfg.waitWorkers,
+		Lease: cfg.lease, DeadAfter: cfg.deadAfter,
+		CheckpointDir: cfg.ckptDir, CheckpointEvery: cfg.ckptEvery,
+		Metrics: cfg.obsAddr != "",
+	}
+
+	var job *exadla.DistJob
+	var a *exadla.Matrix
+	var err error
+	if cfg.resume {
+		if cfg.ckptDir == "" {
+			return fmt.Errorf("-resume needs -ckpt")
+		}
+		job, err = exadla.ResumeDist(addr, dcfg)
+	} else {
+		rng := rand.New(rand.NewSource(cfg.seed))
+		a = exadla.RandomSPD(rng, cfg.n)
+		job, err = exadla.ServeDist(addr, a.Clone(), dcfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("coordinator on %s: %s n=%d nb=%d (ctrl-c to abandon)\n", job.Addr(), cfg.op, cfg.n, cfg.nb)
+	t0 := time.Now()
+	got, err := job.Run()
+	wall := time.Since(t0)
+	if err != nil {
+		return err
+	}
+	s := job.Stats()
+	fmt.Printf("done in %v\n", wall)
+	fmt.Printf("  workers: %d joined, %d lost; leases: %d granted, %d expired\n",
+		s.WorkersJoined, s.WorkersLost, s.LeasesGranted, s.LeasesExpired)
+	fmt.Printf("  tasks: %d done (%d re-executed, %d local); commits: %d rejected, %d duplicate\n",
+		s.TasksCompleted, s.TasksReexecuted, s.TasksLocal, s.CommitsRejected, s.CommitsDuplicate)
+	fmt.Printf("  traffic: %d B fetched, %d B committed, %d B scattered, %d RPC retries\n",
+		s.BytesFetched, s.BytesCommitted, s.BytesScattered, s.RPCRetries)
+	fmt.Printf("  recovery: %d tiles reconstructed, %d checkpoints\n", s.TilesRebuilt, s.CheckpointsSaved)
+
+	if cfg.verify {
+		if a == nil {
+			fmt.Println("verify: skipped (resumed run has no reference input)")
+			return nil
+		}
+		want, err := localFactor(distOp, a, cfg.nb)
+		if err != nil {
+			return fmt.Errorf("verify reference: %w", err)
+		}
+		rows, cols := got.Dims()
+		for j := 0; j < cols; j++ {
+			for i := 0; i < rows; i++ {
+				if distOp == exadla.DistCholesky && i < j {
+					continue // Cholesky only defines the lower triangle
+				}
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(want.At(i, j)) {
+					return fmt.Errorf("verify: element (%d,%d) differs: %v != %v", i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+		fmt.Println("verify: bitwise identical to the single-process factorization")
+	}
+	return nil
+}
+
+// localFactor computes the single-process reference factor.
+func localFactor(op string, a *exadla.Matrix, nb int) (*exadla.Matrix, error) {
+	if op == exadla.DistCholesky {
+		ctx := exadla.NewContext(exadla.WithTileSize(nb))
+		defer ctx.Close()
+		f, err := ctx.Cholesky(a.Clone())
+		if err != nil {
+			return nil, err
+		}
+		return f.L(), nil
+	}
+	// LU without pivoting: run the distributed plan with zero workers — the
+	// coordinator degrades to pure local execution of the identical kernels.
+	job, err := exadla.ServeDist("127.0.0.1:0", a.Clone(), exadla.DistConfig{
+		Op: exadla.DistLUNoPiv, TileSize: nb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return job.Run()
+}

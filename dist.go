@@ -1,0 +1,178 @@
+package exadla
+
+import (
+	"fmt"
+	"time"
+
+	"exadla/internal/dist"
+	"exadla/internal/metrics"
+	"exadla/internal/tile"
+)
+
+// This file is the public face of the multi-process distributed runtime
+// (internal/dist): a coordinator that owns the task DAG and the tile
+// object store, serving stateless workers that pull tasks over net/rpc.
+// Workers may die (SIGKILL), hang past their lease, join mid-run, or sit
+// behind a flaky network — the factor that comes out is bitwise identical
+// to a single-process run, because the DAG serializes writers and a
+// revoked lease's late commit is never applied.
+//
+// Serve side:
+//
+//	job, _ := exadla.ServeDist("127.0.0.1:7000", a, exadla.DistConfig{})
+//	l, err := job.Run() // blocks until the factorization completes
+//
+// Worker side (any number of processes, any time):
+//
+//	err := exadla.JoinDist("coordinator:7000", exadla.DistChaos{})
+
+// Distributed operations accepted by DistConfig.Op.
+const (
+	// DistCholesky factors an SPD matrix into its lower Cholesky factor.
+	DistCholesky = dist.OpCholesky
+	// DistLUNoPiv factors without pivoting (deterministic task graph; the
+	// matrix must make pivot-free elimination stable, e.g. diagonally
+	// dominant).
+	DistLUNoPiv = dist.OpLUNoPiv
+)
+
+// DistChaos configures the seeded wire-fault injector a joining worker
+// wraps around every RPC (drop requests, drop replies after execution,
+// duplicate, delay). The zero value injects nothing.
+type DistChaos = dist.NetChaos
+
+// DistStats is a point-in-time snapshot of a distributed job's counters.
+type DistStats = dist.StatsSnapshot
+
+// DistConfig tunes a distributed job. The zero value runs Cholesky with
+// the Context-independent defaults: tile size DefaultTileSize, a 1×1
+// logical grid, caching enabled, no checkpoints.
+type DistConfig struct {
+	// Op is DistCholesky (default) or DistLUNoPiv.
+	Op string
+	// TileSize is the tile edge; DefaultTileSize when zero.
+	TileSize int
+	// GridP×GridQ is the logical process grid for block-cyclic placement.
+	GridP, GridQ int
+	// Strict enforces owner-computes placement on the grid and disables
+	// remote-tile caching, so measured traffic matches the replay cost
+	// model (dist.Count) exactly. Requires GridP·GridQ registered workers;
+	// set WaitWorkers accordingly.
+	Strict bool
+	// WriteBack lets the store drop finalized tiles whose bytes a worker
+	// holds (≤1 per tile row), relying on XOR parity for reconstruction.
+	WriteBack bool
+	// MinWorkers is the fleet size below which the coordinator degrades to
+	// executing ready tasks locally instead of waiting.
+	MinWorkers int
+	// WaitWorkers, when positive, holds task leasing until that many
+	// workers have registered.
+	WaitWorkers int
+	// Lease and DeadAfter override the task-lease duration and the
+	// heartbeat-silence eviction deadline.
+	Lease, DeadAfter time.Duration
+	// CheckpointDir, when set, arms per-panel-window snapshots (every
+	// CheckpointEvery steps, minimum 1) from which ResumeDist restarts.
+	CheckpointDir   string
+	CheckpointEvery int
+	// Metrics publishes the job's counters to the process-global metrics
+	// registry (dist.* names), visible on the WithObservability endpoint.
+	Metrics bool
+}
+
+func (cfg DistConfig) options(a *tile.Matrix[float64]) dist.Options {
+	opt := dist.Options{
+		Op:          cfg.Op,
+		A:           a,
+		GridP:       cfg.GridP,
+		GridQ:       cfg.GridQ,
+		Strict:      cfg.Strict,
+		WriteBack:   cfg.WriteBack,
+		MinWorkers:  cfg.MinWorkers,
+		WaitWorkers: cfg.WaitWorkers,
+		Lease:       cfg.Lease,
+		DeadAfter:   cfg.DeadAfter,
+		CkptDir:     cfg.CheckpointDir,
+		CkptEvery:   cfg.CheckpointEvery,
+	}
+	if opt.Op == "" {
+		opt.Op = DistCholesky
+	}
+	if cfg.Metrics {
+		metrics.Enable()
+		opt.Registry = metrics.Default()
+	}
+	return opt
+}
+
+// DistJob is a coordinator serving one distributed factorization.
+type DistJob struct {
+	c *dist.Coordinator
+	n int
+}
+
+// ServeDist starts a coordinator on addr (host:port; port 0 picks one —
+// see Addr) for the factorization of the square matrix a. Workers join
+// with JoinDist; Run blocks until the factor is complete.
+func ServeDist(addr string, a *Matrix, cfg DistConfig) (*DistJob, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("exadla: ServeDist needs a square matrix, got %d×%d", a.rows, a.cols)
+	}
+	nb := cfg.TileSize
+	if nb <= 0 {
+		nb = DefaultTileSize
+	}
+	opt := cfg.options(tile.FromColMajor(a.rows, a.cols, a.data, a.rows, nb))
+	c, err := dist.NewCoordinator(addr, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &DistJob{c: c, n: a.rows}, nil
+}
+
+// ResumeDist starts a coordinator that restarts the factorization
+// recorded in cfg.CheckpointDir from its newest valid snapshot. The
+// resumed run finishes bitwise identical to an uninterrupted one.
+func ResumeDist(addr string, cfg DistConfig) (*DistJob, error) {
+	if cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("exadla: ResumeDist needs DistConfig.CheckpointDir")
+	}
+	opt := cfg.options(nil)
+	opt.Resume = true
+	c, err := dist.NewCoordinator(addr, opt)
+	if err != nil {
+		return nil, err
+	}
+	j := &DistJob{c: c}
+	return j, nil
+}
+
+// Addr returns the coordinator's listen address (with the concrete port
+// when ServeDist was given port 0) — hand it to JoinDist.
+func (j *DistJob) Addr() string { return j.c.Addr() }
+
+// Run serves workers until the factorization completes and returns the
+// factor (lower Cholesky factor, or the packed L\U of the no-pivot LU).
+// With no workers and MinWorkers 0 the coordinator computes everything
+// itself — a distributed job degrades to a local one rather than hanging.
+func (j *DistJob) Run() (*Matrix, error) {
+	if err := j.c.Run(); err != nil {
+		return nil, err
+	}
+	r := j.c.Result()
+	return FromSlice(r.M, r.N, r.ToColMajor()), nil
+}
+
+// Stats snapshots the job's counters (workers joined/lost, leases
+// expired, commits rejected, bytes moved, tiles reconstructed, …). Safe
+// to call concurrently with Run.
+func (j *DistJob) Stats() DistStats { return j.c.Stats() }
+
+// JoinDist runs one worker against the coordinator at addr until the job
+// completes (nil) or the coordinator becomes unreachable. The worker is
+// stateless: kill -9 it at any point and the job still finishes with the
+// identical factor. chaos injects seeded wire faults for testing; pass
+// the zero value for a well-behaved worker.
+func JoinDist(addr string, chaos DistChaos) error {
+	return dist.RunWorker(addr, dist.WorkerOptions{Chaos: chaos})
+}

@@ -33,6 +33,10 @@ type Op uint8
 const (
 	OpCholesky Op = 1
 	OpLU       Op = 2
+	// OpLUNoPiv is the distributed runtime's right-looking LU without
+	// pivoting (internal/dist): no pivot or stack state, so a checkpoint is
+	// the matrix snapshot and frontier step alone, exactly like Cholesky.
+	OpLUNoPiv Op = 3
 )
 
 func (op Op) String() string {
@@ -41,6 +45,8 @@ func (op Op) String() string {
 		return "cholesky"
 	case OpLU:
 		return "lu"
+	case OpLUNoPiv:
+		return "lu-nopiv"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
@@ -277,7 +283,7 @@ func Decode(rd io.Reader) (*Checkpoint, error) {
 	c.NB = int(r.u32())
 	if r.err == nil {
 		switch {
-		case c.Op != OpCholesky && c.Op != OpLU:
+		case c.Op != OpCholesky && c.Op != OpLU && c.Op != OpLUNoPiv:
 			r.fail("unknown op %d", uint8(c.Op))
 		case c.M <= 0 || c.N <= 0 || c.M > maxDim || c.N > maxDim:
 			r.fail("bad dimensions %d×%d", c.M, c.N)

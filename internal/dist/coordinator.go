@@ -1,0 +1,906 @@
+package dist
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exadla/internal/ckpt"
+	"exadla/internal/metrics"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// The Coordinator is the stateful half of the disaggregated runtime: it
+// owns the task DAG (a sched.Frontier), the tile object store, the lease
+// table, and the worker registry. Workers own nothing durable — they pull
+// a lease, fetch operands, compute, and ship the result back — so any
+// worker can die at any point and the only thing lost is time:
+//
+//   - a task leased to a dead or hung worker is reaped when its lease
+//     deadline passes and re-leased elsewhere (capped by nothing: tasks
+//     retry until the job finishes or fails deterministically);
+//   - a straggler that finally commits after being reaped presents a stale
+//     lease token and is rejected, so duplicated work never double-writes;
+//   - tiles whose only copy lived on a dead worker (write-back residency)
+//     are reconstructed from XOR parity, not recomputed;
+//   - if the live worker count falls below the configured minimum the
+//     coordinator degrades to executing ready tasks itself — the job never
+//     deadlocks, it just stops being distributed;
+//   - with checkpointing enabled, leases are gated to a step window and a
+//     snapshot is cut at each window boundary, so a killed coordinator
+//     resumes from the last window bitwise-identically.
+//
+// Locking is deliberately coarse: one mutex guards the frontier, heaps,
+// leases, workers, and store maps, and every RPC handler takes it. Tile
+// *data* is written only under that mutex (commit copies, local kernels,
+// snapshots), and the DAG guarantees in-flight tasks touch disjoint tiles,
+// so workers compute outside any lock while the coordinator stays simple
+// enough to reason about under chaos.
+
+// ErrAborted is returned by Run when the coordinator was told to abort
+// after a checkpoint (the AbortAtStep test hook — the moral equivalent of
+// kill -9 on the coordinator, minus the inconvenience).
+var ErrAborted = errors.New("dist: coordinator aborted after checkpoint")
+
+// Options configures a distributed run.
+type Options struct {
+	// Op is the factorization: OpCholesky or OpLUNoPiv.
+	Op string
+	// A is the matrix to factor in place (tile layout). Ignored when Resume
+	// finds a checkpoint.
+	A *tile.Matrix[float64]
+	// GridP×GridQ is the process grid for block-cyclic placement (default
+	// 1×1). Grid slots beyond the worker count just sit vacant.
+	GridP, GridQ int
+	// Strict pins each task to its output tile's block-cyclic home slot
+	// (owner computes), and workers cache only home tiles — the placement
+	// discipline under which measured traffic must equal the Count replay
+	// model. Off, any worker runs any ready task and caches everything.
+	Strict bool
+	// WriteBack enables erasure write-back residency: finalized tiles may
+	// be dropped from the store (the committing worker holds the only
+	// copy), at most one per tile row, and are reconstructed from XOR
+	// parity on demand or on worker death.
+	WriteBack bool
+	// MinWorkers is the degradation threshold: when fewer workers are live
+	// the coordinator executes ready tasks locally (min 1 — with zero live
+	// workers it always eventually makes progress itself).
+	MinWorkers int
+	// WaitWorkers delays all leasing until that many workers have joined —
+	// a start barrier for controlled experiments (do not combine with
+	// worker kills below MinWorkers).
+	WaitWorkers int
+	// Lease is how long a worker holds a task before it is reaped;
+	// DeadAfter is the heartbeat silence after which a worker is declared
+	// dead; LocalDelay is how long a coordinator that has never seen a
+	// worker waits before going local.
+	Lease, DeadAfter, LocalDelay time.Duration
+	// Poll is the idle re-poll interval handed to workers.
+	Poll time.Duration
+	// CkptDir enables checkpointing into that directory; CkptEvery is the
+	// window width in panel steps (default 1). AbortAtStep > 0 aborts the
+	// run (ErrAborted) once the snapshot covering steps < AbortAtStep is
+	// saved — the coordinator-death test hook. Resume loads the latest
+	// checkpoint from CkptDir instead of starting from Options.A.
+	CkptDir     string
+	CkptEvery   int
+	AbortAtStep int
+	Resume      bool
+	// Registry mirrors the run counters (nil disables mirroring).
+	Registry *metrics.Registry
+	// Logf, when non-nil, receives progress and fault events.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.GridP < 1 {
+		o.GridP = 1
+	}
+	if o.GridQ < 1 {
+		o.GridQ = 1
+	}
+	if o.Lease <= 0 {
+		o.Lease = 2 * time.Second
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 1500 * time.Millisecond
+	}
+	if o.LocalDelay <= 0 {
+		o.LocalDelay = 250 * time.Millisecond
+	}
+	if o.Poll <= 0 {
+		o.Poll = 5 * time.Millisecond
+	}
+	if o.CkptEvery < 1 {
+		o.CkptEvery = 1
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// lease is one outstanding task assignment.
+type lease struct {
+	task     int
+	worker   int
+	token    int64
+	deadline time.Time
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id       int
+	slot     int
+	lastBeat time.Time
+	evicted  bool
+	byed     bool
+}
+
+func (w *workerState) live() bool { return !w.evicted && !w.byed }
+
+// heapItem orders ready tasks by descending priority, then plan order (the
+// tiebreak keeps lease order deterministic given the same event sequence).
+type heapItem struct{ id, prio int }
+
+type taskHeap []heapItem
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(a, b int) bool {
+	if h[a].prio != h[b].prio {
+		return h[a].prio > h[b].prio
+	}
+	return h[a].id < h[b].id
+}
+func (h taskHeap) Swap(a, b int)        { h[a], h[b] = h[b], h[a] }
+func (h *taskHeap) Push(x any)          { *h = append(*h, x.(heapItem)) }
+func (h *taskHeap) Pop() any            { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h taskHeap) peek() heapItem       { return h[0] }
+func (h *taskHeap) popItem() heapItem   { return heap.Pop(h).(heapItem) }
+func (h *taskHeap) pushItem(i heapItem) { heap.Push(h, i) }
+
+// Coordinator runs one distributed factorization. Create with
+// NewCoordinator (which binds the listener, so workers can join
+// immediately), then call Run.
+type Coordinator struct {
+	opt Options
+	ln  net.Listener
+	srv *rpc.Server
+
+	mu         sync.Mutex
+	a          *tile.Matrix[float64]
+	st         *store
+	pl         *plan
+	fr         *sched.Frontier
+	heaps      []taskHeap // per grid slot when Strict, else heaps[0]
+	gated      []int      // ready tasks beyond the checkpoint window
+	window     int        // only tasks with Step < window may be leased
+	fromStep   int
+	leases     map[int]*lease
+	attempts   map[int]int
+	workers    map[int]*workerState
+	slots      []int // occupant worker id per grid slot, -1 vacant
+	nextWorker int
+	nextToken  int64
+	everJoined bool
+	// barrierMet latches once WaitWorkers workers were live simultaneously;
+	// until then neither leasing nor local fallback may start (the barrier
+	// exists to pin placement, e.g. for strict-mode byte accounting).
+	barrierMet bool
+	started    time.Time
+	done       bool
+	failErr    error
+
+	stats RunStats
+	m     *distMetrics
+	wake  chan struct{}
+}
+
+// NewCoordinator binds a listener on addr (e.g. "127.0.0.1:0"), loads or
+// plans the job, and starts serving registrations. Run drives it to
+// completion.
+func NewCoordinator(addr string, opt Options) (*Coordinator, error) {
+	opt.defaults()
+	c := &Coordinator{
+		opt:      opt,
+		leases:   map[int]*lease{},
+		attempts: map[int]int{},
+		workers:  map[int]*workerState{},
+		wake:     make(chan struct{}, 1),
+	}
+	c.m = newDistMetrics(opt.Registry)
+
+	a, fromStep, err := c.initialState()
+	if err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, errors.New("dist: no matrix (Options.A nil and no checkpoint to resume)")
+	}
+	if a.M != a.N {
+		return nil, fmt.Errorf("dist: need a square matrix, got %d×%d", a.M, a.N)
+	}
+	c.a = a
+	c.fromStep = fromStep
+	c.pl, err = makePlan(opt.Op, a.MT, a.NT, fromStep)
+	if err != nil {
+		return nil, err
+	}
+	c.st = newStore(a, opt.WriteBack, func() { c.addStat(&c.stats.TilesRebuilt, c.m.tilesRebuilt, 1) })
+
+	nslots := 1
+	if opt.Strict {
+		nslots = opt.GridP * opt.GridQ
+	}
+	c.heaps = make([]taskHeap, nslots)
+	c.slots = make([]int, opt.GridP*opt.GridQ)
+	for i := range c.slots {
+		c.slots[i] = -1
+	}
+	c.window = c.pl.steps
+	if opt.CkptDir != "" {
+		c.window = fromStep + opt.CkptEvery
+		if c.window > c.pl.steps {
+			c.window = c.pl.steps
+		}
+	}
+
+	c.fr = sched.NewFrontier(func(id int) { c.readyLocked(id) })
+	for i := range c.pl.tasks {
+		t := &c.pl.tasks[i]
+		r, w := accesses(opt.Op, t)
+		c.fr.Add(t.ID, coordHandles(r), coordHandles(w))
+	}
+	if c.fr.Done() {
+		// A resumed checkpoint can cover the whole factorization: the job is
+		// born complete and Run only gathers the result.
+		c.done = true
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	c.srv = rpc.NewServer()
+	if err := c.srv.RegisterName(coordService, &coordRPC{c}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go c.accept()
+	return c, nil
+}
+
+// initialState picks the starting matrix and panel step: the latest
+// checkpoint when resuming, Options.A otherwise.
+func (c *Coordinator) initialState() (*tile.Matrix[float64], int, error) {
+	if c.opt.Resume && c.opt.CkptDir != "" {
+		snap, path, err := ckpt.Latest(c.opt.CkptDir)
+		if err == nil {
+			want := ckptOp(c.opt.Op)
+			if snap.Op != want {
+				return nil, 0, fmt.Errorf("dist: checkpoint %s is %v, want %v", path, snap.Op, want)
+			}
+			c.opt.logf("dist: resuming from %s (step %d)", path, snap.Step)
+			return tile.FromColMajor(snap.M, snap.N, snap.Data, snap.M, snap.NB), snap.Step, nil
+		}
+		if !errors.Is(err, ckpt.ErrNoCheckpoint) {
+			return nil, 0, err
+		}
+	}
+	return c.opt.A, 0, nil
+}
+
+func ckptOp(op string) ckpt.Op {
+	if op == OpLUNoPiv {
+		return ckpt.OpLUNoPiv
+	}
+	return ckpt.OpCholesky
+}
+
+func coordHandles(cs []coord) []sched.Handle {
+	hs := make([]sched.Handle, len(cs))
+	for i, c := range cs {
+		hs[i] = c
+	}
+	return hs
+}
+
+// Addr returns the listener's address for workers to join.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Result returns the factored matrix (valid after Run returns nil).
+func (c *Coordinator) Result() *tile.Matrix[float64] { return c.a }
+
+// Stats returns the run's fault-and-traffic counters.
+func (c *Coordinator) Stats() StatsSnapshot { return c.stats.Snapshot() }
+
+func (c *Coordinator) addStat(a *atomic.Int64, m *metrics.Counter, d int64) {
+	a.Add(d)
+	m.Add(d)
+}
+
+func (c *Coordinator) accept() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.srv.ServeConn(conn)
+	}
+}
+
+func (c *Coordinator) signal() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// readyLocked routes a newly ready task to its heap, or parks it if its
+// step lies beyond the current checkpoint window.
+func (c *Coordinator) readyLocked(id int) {
+	t := &c.pl.tasks[id]
+	if t.Step >= c.window {
+		c.gated = append(c.gated, id)
+		return
+	}
+	c.pushReadyLocked(id)
+}
+
+func (c *Coordinator) pushReadyLocked(id int) {
+	t := &c.pl.tasks[id]
+	slot := 0
+	if c.opt.Strict {
+		slot = homeSlot(c.opt.Op, t, c.opt.GridP, c.opt.GridQ)
+	}
+	c.heaps[slot].pushItem(heapItem{id: id, prio: priority(c.opt.Op, t)})
+}
+
+// liveCountLocked counts registered, non-evicted, non-departed workers.
+func (c *Coordinator) liveCountLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.live() {
+			n++
+		}
+	}
+	return n
+}
+
+// pickTaskLocked selects the best ready task the asking worker may run:
+// its own slot's heap first, then (Strict) heaps of vacant slots — work
+// stealing confined to slots nobody owns, so measured traffic matches the
+// owner-computes model whenever the grid is fully populated.
+func (c *Coordinator) pickTaskLocked(w *workerState) (int, bool) {
+	if !c.opt.Strict {
+		if len(c.heaps[0]) == 0 {
+			return 0, false
+		}
+		return c.heaps[0].popItem().id, true
+	}
+	best, bestHeap := heapItem{prio: -1, id: -1}, -1
+	consider := func(s int) {
+		h := c.heaps[s]
+		if len(h) == 0 {
+			return
+		}
+		it := h.peek()
+		if bestHeap < 0 || it.prio > best.prio || (it.prio == best.prio && it.id < best.id) {
+			best, bestHeap = it, s
+		}
+	}
+	if w.slot >= 0 {
+		consider(w.slot)
+	}
+	if bestHeap < 0 {
+		for s := range c.heaps {
+			if c.slots[s] == -1 {
+				consider(s)
+			}
+		}
+	}
+	if bestHeap < 0 {
+		return 0, false
+	}
+	return c.heaps[bestHeap].popItem().id, true
+}
+
+// completeLocked retires a finished task (committed remotely or executed
+// locally) and advances the checkpoint window / completion state.
+func (c *Coordinator) completeLocked(id int) error {
+	c.fr.Complete(id)
+	c.addStat(&c.stats.TasksCompleted, c.m.tasksCompleted, 1)
+	if err := c.advanceWindowLocked(); err != nil {
+		return err
+	}
+	if c.fr.Done() && !c.done {
+		c.done = true
+		c.signal()
+	}
+	return nil
+}
+
+// stepsDoneBelow reports whether every task with Step < s has completed.
+func (c *Coordinator) stepsDoneBelowLocked(s int) bool {
+	for i := range c.pl.tasks {
+		t := &c.pl.tasks[i]
+		if t.Step < s && !c.fr.Completed(t.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceWindowLocked cuts a checkpoint each time every task below the
+// window boundary has completed, then widens the window and releases gated
+// tasks. With AbortAtStep set, the run aborts right after the covering
+// snapshot is saved — simulating coordinator death at a restartable point.
+func (c *Coordinator) advanceWindowLocked() error {
+	if c.opt.CkptDir == "" || c.done {
+		return nil
+	}
+	for c.window <= c.pl.steps && c.stepsDoneBelowLocked(c.window) {
+		if err := c.snapshotLocked(c.window); err != nil {
+			return err
+		}
+		if c.opt.AbortAtStep > 0 && c.window >= c.opt.AbortAtStep {
+			c.failErr = ErrAborted
+			c.done = true
+			c.signal()
+			return nil
+		}
+		if c.window == c.pl.steps {
+			break
+		}
+		c.window += c.opt.CkptEvery
+		if c.window > c.pl.steps {
+			c.window = c.pl.steps
+		}
+		kept := c.gated[:0]
+		for _, id := range c.gated {
+			if c.pl.tasks[id].Step < c.window {
+				c.pushReadyLocked(id)
+			} else {
+				kept = append(kept, id)
+			}
+		}
+		c.gated = kept
+	}
+	return nil
+}
+
+// snapshotLocked persists a consistent checkpoint: all tasks below step
+// have run, none at or above it have been leased (window gating), so the
+// store is exactly the state between panel steps.
+func (c *Coordinator) snapshotLocked(step int) error {
+	if err := c.st.materialize(); err != nil {
+		return err
+	}
+	_, err := ckpt.Save(c.opt.CkptDir, &ckpt.Checkpoint{
+		Op:   ckptOp(c.opt.Op),
+		Step: step,
+		M:    c.a.M, N: c.a.N, NB: c.a.NB,
+		Data: c.a.ToColMajor(),
+	})
+	if err != nil {
+		return err
+	}
+	c.addStat(&c.stats.CheckpointsSaved, c.m.ckptsSaved, 1)
+	c.opt.logf("dist: checkpoint at step %d", step)
+	return nil
+}
+
+// failLocked records a deterministic job failure and releases everyone.
+func (c *Coordinator) failLocked(err error) {
+	if c.failErr == nil {
+		c.failErr = err
+	}
+	c.done = true
+	c.signal()
+}
+
+// revokeLeaseLocked returns a leased task to the ready heap.
+func (c *Coordinator) revokeLeaseLocked(l *lease) {
+	delete(c.leases, l.task)
+	c.addStat(&c.stats.LeasesExpired, c.m.leasesExpired, 1)
+	c.pushReadyLocked(l.task)
+}
+
+// evictLocked declares a worker dead: frees its slot, revokes its leases,
+// and reconstructs any tile it held the only copy of.
+func (c *Coordinator) evictLocked(w *workerState, reason string) {
+	if !w.live() {
+		return
+	}
+	w.evicted = true
+	c.addStat(&c.stats.WorkersLost, c.m.workersLost, 1)
+	c.m.workersLive.Set(float64(c.liveCountLocked()))
+	if w.slot >= 0 {
+		c.slots[w.slot] = -1
+		w.slot = -1
+	}
+	for _, l := range c.leases {
+		if l.worker == w.id {
+			c.revokeLeaseLocked(l)
+		}
+	}
+	if _, err := c.st.dropWorker(w.id); err != nil {
+		c.failLocked(err)
+	}
+	c.opt.logf("dist: worker %d lost (%s)", w.id, reason)
+	c.signal()
+}
+
+// reapLocked enforces deadlines: leases past their deadline are revoked
+// (hung worker — it may still be heartbeating, its eventual commit will be
+// stale), and workers silent past DeadAfter are evicted wholesale.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for _, l := range c.leases {
+		if now.After(l.deadline) {
+			c.opt.logf("dist: lease on task %d (worker %d) expired", l.task, l.worker)
+			c.revokeLeaseLocked(l)
+		}
+	}
+	for _, w := range c.workers {
+		if w.live() && now.Sub(w.lastBeat) > c.opt.DeadAfter {
+			c.evictLocked(w, "heartbeat silence")
+		}
+	}
+}
+
+// localStepLocked is the bottom of the degradation ladder: when live
+// workers are below the minimum (or none ever joined and LocalDelay has
+// passed), the coordinator executes one ready task in-process. Returns
+// whether it did.
+func (c *Coordinator) localStepLocked(now time.Time) bool {
+	if c.done {
+		return false
+	}
+	threshold := c.opt.MinWorkers
+	if threshold < 1 {
+		threshold = 1
+	}
+	live := c.liveCountLocked()
+	if live >= threshold {
+		return false
+	}
+	if !c.everJoined && now.Sub(c.started) < c.opt.LocalDelay {
+		return false
+	}
+	if c.opt.WaitWorkers > 0 && !c.barrierMet {
+		// An explicit start barrier holds local fallback too: stealing tasks
+		// before the fleet assembles would scramble the pinned placement.
+		return false
+	}
+	// Pick the globally best ready task across all heaps.
+	bestSlot := -1
+	var best heapItem
+	for s := range c.heaps {
+		if len(c.heaps[s]) == 0 {
+			continue
+		}
+		it := c.heaps[s].peek()
+		if bestSlot < 0 || it.prio > best.prio || (it.prio == best.prio && it.id < best.id) {
+			best, bestSlot = it, s
+		}
+	}
+	if bestSlot < 0 {
+		return false
+	}
+	id := c.heaps[bestSlot].popItem().id
+	t := &c.pl.tasks[id]
+	r, w := accesses(c.opt.Op, t)
+	for _, cd := range append(append([]coord{}, r...), w...) {
+		if c.st.resident[cd[0]][cd[1]] >= 0 {
+			if err := c.st.reconstruct(cd); err != nil {
+				c.failLocked(err)
+				return false
+			}
+		}
+	}
+	if c.attempts[id] > 0 {
+		c.addStat(&c.stats.TasksReexecuted, c.m.tasksReexecuted, 1)
+	}
+	c.attempts[id]++
+	if err := applyKernel(c.opt.Op, t, c.a); err != nil {
+		c.failLocked(err)
+		return false
+	}
+	for _, cd := range w {
+		c.st.putLocal(cd, c.pl.finalWriter[cd] == id)
+	}
+	c.addStat(&c.stats.TasksLocal, c.m.tasksLocal, 1)
+	if err := c.completeLocked(id); err != nil {
+		c.failLocked(err)
+	}
+	return true
+}
+
+// Run drives the job to completion: serving worker RPCs (already started),
+// reaping dead workers and expired leases, degrading to local execution
+// when the fleet is too small, and gathering the final matrix. It returns
+// nil on success, ErrAborted for the checkpoint-abort hook, or the
+// deterministic kernel error that failed the job.
+func (c *Coordinator) Run() error {
+	c.mu.Lock()
+	c.started = time.Now()
+	c.mu.Unlock()
+
+	tick := c.opt.Lease / 4
+	if hb := c.opt.DeadAfter / 4; hb < tick {
+		tick = hb
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+
+	for {
+		select {
+		case <-time.After(tick):
+		case <-c.wake:
+		}
+		c.mu.Lock()
+		now := time.Now()
+		c.reapLocked(now)
+		for c.localStepLocked(now) {
+		}
+		done := c.done
+		c.mu.Unlock()
+		if done {
+			break
+		}
+	}
+
+	// Grace period: let workers observe Done on their next lease and say
+	// Bye, so clean runs end with clean exits on both sides.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		live := c.liveCountLocked()
+		c.mu.Unlock()
+		if live == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.ln.Close()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failErr == nil {
+		if err := c.st.materialize(); err != nil {
+			c.failErr = err
+		}
+	}
+	return c.failErr
+}
+
+// coordRPC is the net/rpc receiver; every method locks the coordinator.
+type coordRPC struct{ c *Coordinator }
+
+// Register admits a worker (new or returning after eviction), assigns a
+// grid slot if one is vacant, and hands back the job geometry plus the
+// scatter list for strict placement.
+func (r *coordRPC) Register(_ *RegisterArgs, reply *RegisterReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextWorker
+	c.nextWorker++
+	w := &workerState{id: id, slot: -1, lastBeat: time.Now()}
+	for s := range c.slots {
+		if c.slots[s] == -1 {
+			c.slots[s] = id
+			w.slot = s
+			break
+		}
+	}
+	c.workers[id] = w
+	c.everJoined = true
+	c.addStat(&c.stats.WorkersJoined, c.m.workersJoined, 1)
+	c.m.workersLive.Set(float64(c.liveCountLocked()))
+	*reply = RegisterReply{
+		Worker: id, Slot: w.slot,
+		M: c.a.M, N: c.a.N, NB: c.a.NB,
+		Op:   c.opt.Op,
+		Grid: c.opt.GridP * c.opt.GridQ, GridP: c.opt.GridP,
+		LeaseMS:     int(c.opt.Lease / time.Millisecond),
+		PollMS:      int(c.opt.Poll / time.Millisecond),
+		HeartbeatMS: int(c.opt.DeadAfter / (4 * time.Millisecond)),
+		CacheRemote: !c.opt.Strict,
+	}
+	if reply.HeartbeatMS < 1 {
+		reply.HeartbeatMS = 1
+	}
+	if c.opt.Strict && w.slot >= 0 {
+		for i := 0; i < c.a.MT; i++ {
+			for j := 0; j < c.a.NT; j++ {
+				if (i%c.opt.GridP)*c.opt.GridQ+j%c.opt.GridQ == w.slot {
+					reply.Scatter = append(reply.Scatter, [2]int{i, j})
+				}
+			}
+		}
+	}
+	c.opt.logf("dist: worker %d joined (slot %d)", id, w.slot)
+	return nil
+}
+
+// Lease hands one ready task to the worker, or tells it to poll, stop
+// (done), or re-register (evicted). Leasing doubles as a heartbeat.
+func (r *coordRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if args.RPCRetries > 0 {
+		c.addStat(&c.stats.RPCRetries, c.m.rpcRetries, args.RPCRetries)
+	}
+	w := c.workers[args.Worker]
+	if w == nil || !w.live() {
+		reply.Evicted = true
+		return nil
+	}
+	w.lastBeat = time.Now()
+	if c.done {
+		reply.Done = true
+		return nil
+	}
+	reply.PollMS = int(c.opt.Poll / time.Millisecond)
+	if reply.PollMS < 1 {
+		reply.PollMS = 1
+	}
+	if c.opt.WaitWorkers > 0 && !c.barrierMet {
+		if c.liveCountLocked() < c.opt.WaitWorkers {
+			return nil
+		}
+		c.barrierMet = true
+	}
+	id, ok := c.pickTaskLocked(w)
+	if !ok {
+		return nil
+	}
+	t := c.pl.tasks[id]
+	c.nextToken++
+	c.leases[id] = &lease{task: id, worker: w.id, token: c.nextToken, deadline: time.Now().Add(c.opt.Lease)}
+	if c.attempts[id] > 0 {
+		c.addStat(&c.stats.TasksReexecuted, c.m.tasksReexecuted, 1)
+	}
+	c.attempts[id]++
+	c.addStat(&c.stats.LeasesGranted, c.m.leasesGranted, 1)
+	rd, wr := accesses(c.opt.Op, &t)
+	reply.Task = &t
+	reply.Token = c.nextToken
+	reply.Vers = c.st.versions(append(append([]coord{}, rd...), wr...))
+	return nil
+}
+
+// Heartbeat keeps a worker live between leases (e.g. during a long kernel).
+func (r *coordRPC) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[args.Worker]
+	if w == nil || !w.live() {
+		reply.Evicted = true
+		return nil
+	}
+	w.lastBeat = time.Now()
+	return nil
+}
+
+// Get serves one tile (reconstructing a dropped resident tile first).
+func (r *coordRPC) Get(args *GetArgs, reply *GetReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if args.I < 0 || args.I >= c.a.MT || args.J < 0 || args.J >= c.a.NT {
+		return fmt.Errorf("dist: tile (%d,%d) out of range", args.I, args.J)
+	}
+	data, ver, err := c.st.get(coord{args.I, args.J}, args.Worker)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	reply.Ver = ver
+	n := int64(8 * len(data))
+	if args.Scatter {
+		c.addStat(&c.stats.BytesScattered, c.m.bytesScattered, n)
+	} else {
+		c.addStat(&c.stats.BytesFetched, c.m.bytesFetched, n)
+	}
+	return nil
+}
+
+// Commit atomically lands a task's outputs and marks it complete. The
+// lease token is the exactly-once gate: a reaped straggler's token no
+// longer matches and its (possibly stale-input) result is discarded; a
+// chaos-duplicated commit of a completed task is acknowledged idempotently.
+func (r *coordRPC) Commit(args *CommitArgs, reply *CommitReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[args.Worker]
+	if w == nil || !w.live() {
+		reply.Evicted = true
+		return nil
+	}
+	w.lastBeat = time.Now()
+	l := c.leases[args.Task]
+	if l == nil || l.token != args.Token || l.worker != args.Worker {
+		if c.fr.Completed(args.Task) {
+			// A commit of an already-completed task: either a retransmission
+			// of one that landed, or a reaped straggler whose re-leased twin
+			// finished first. Acknowledge it so the sender moves on, but ship
+			// no versions — this payload was NOT applied, and blessing the
+			// sender's cache with current version numbers would let a stale
+			// straggler's bytes masquerade as the store's.
+			c.addStat(&c.stats.CommitsDuplicate, c.m.commitsDuplicate, 1)
+			reply.Accepted = true
+			return nil
+		}
+		c.addStat(&c.stats.CommitsRejected, c.m.commitsRejected, 1)
+		c.opt.logf("dist: rejected stale commit of task %d from worker %d", args.Task, args.Worker)
+		return nil
+	}
+	delete(c.leases, args.Task)
+	if args.Err != "" {
+		c.failLocked(errors.New(args.Err))
+		reply.Accepted = true
+		return nil
+	}
+	for _, p := range args.Tiles {
+		final := c.pl.finalWriter[coord{p.I, p.J}] == args.Task
+		ver, err := c.st.put(coord{p.I, p.J}, p.Data, args.Worker, final)
+		if err != nil {
+			c.failLocked(err)
+			return err
+		}
+		reply.Vers = append(reply.Vers, ver)
+		c.addStat(&c.stats.BytesCommitted, c.m.bytesCommitted, int64(8*len(p.Data)))
+	}
+	reply.Accepted = true
+	if err := c.completeLocked(args.Task); err != nil {
+		c.failLocked(err)
+	}
+	return nil
+}
+
+// Bye deregisters a worker gracefully; tiles resident on it are
+// reconstructed into the store before its cache disappears.
+func (r *coordRPC) Bye(args *ByeArgs, _ *ByeReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[args.Worker]
+	if w == nil || !w.live() {
+		return nil
+	}
+	w.byed = true
+	if w.slot >= 0 {
+		c.slots[w.slot] = -1
+		w.slot = -1
+	}
+	for _, l := range c.leases {
+		if l.worker == w.id {
+			c.revokeLeaseLocked(l)
+		}
+	}
+	if _, err := c.st.dropWorker(w.id); err != nil {
+		c.failLocked(err)
+	}
+	c.m.workersLive.Set(float64(c.liveCountLocked()))
+	c.opt.logf("dist: worker %d left", w.id)
+	c.signal()
+	return nil
+}

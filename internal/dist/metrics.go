@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"sync/atomic"
+
+	"exadla/internal/metrics"
+)
+
+// RunStats is one distributed run's fault-and-traffic ledger. Fields are
+// atomics so RPC handlers, the reaper, and the run loop update them
+// without coordination; Snapshot copies them out for reports. Every field
+// is also mirrored into a metrics.Registry (when one is configured) under
+// "dist.*" names, alongside the scheduler's "sched.*" counters, so the
+// obs Prometheus endpoint exposes the distributed runtime for free.
+type RunStats struct {
+	WorkersJoined    atomic.Int64
+	WorkersLost      atomic.Int64
+	LeasesGranted    atomic.Int64
+	LeasesExpired    atomic.Int64
+	TasksCompleted   atomic.Int64
+	TasksReexecuted  atomic.Int64
+	TasksLocal       atomic.Int64
+	CommitsRejected  atomic.Int64
+	CommitsDuplicate atomic.Int64
+	RPCRetries       atomic.Int64
+	BytesFetched     atomic.Int64
+	BytesCommitted   atomic.Int64
+	BytesScattered   atomic.Int64
+	TilesRebuilt     atomic.Int64
+	CheckpointsSaved atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of RunStats for reporting.
+type StatsSnapshot struct {
+	WorkersJoined    int64 `json:"workers_joined"`
+	WorkersLost      int64 `json:"workers_lost"`
+	LeasesGranted    int64 `json:"leases_granted"`
+	LeasesExpired    int64 `json:"leases_expired"`
+	TasksCompleted   int64 `json:"tasks_completed"`
+	TasksReexecuted  int64 `json:"tasks_reexecuted"`
+	TasksLocal       int64 `json:"tasks_local"`
+	CommitsRejected  int64 `json:"commits_rejected"`
+	CommitsDuplicate int64 `json:"commits_duplicate"`
+	RPCRetries       int64 `json:"rpc_retries"`
+	BytesFetched     int64 `json:"bytes_fetched"`
+	BytesCommitted   int64 `json:"bytes_committed"`
+	BytesScattered   int64 `json:"bytes_scattered"`
+	TilesRebuilt     int64 `json:"tiles_reconstructed"`
+	CheckpointsSaved int64 `json:"checkpoints_written"`
+}
+
+// Snapshot copies the current counter values.
+func (s *RunStats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		WorkersJoined:    s.WorkersJoined.Load(),
+		WorkersLost:      s.WorkersLost.Load(),
+		LeasesGranted:    s.LeasesGranted.Load(),
+		LeasesExpired:    s.LeasesExpired.Load(),
+		TasksCompleted:   s.TasksCompleted.Load(),
+		TasksReexecuted:  s.TasksReexecuted.Load(),
+		TasksLocal:       s.TasksLocal.Load(),
+		CommitsRejected:  s.CommitsRejected.Load(),
+		CommitsDuplicate: s.CommitsDuplicate.Load(),
+		RPCRetries:       s.RPCRetries.Load(),
+		BytesFetched:     s.BytesFetched.Load(),
+		BytesCommitted:   s.BytesCommitted.Load(),
+		BytesScattered:   s.BytesScattered.Load(),
+		TilesRebuilt:     s.TilesRebuilt.Load(),
+		CheckpointsSaved: s.CheckpointsSaved.Load(),
+	}
+}
+
+// distMetrics is the registry mirror of RunStats plus the live-worker
+// gauge. All handles are nil-safe (a nil registry disables mirroring).
+type distMetrics struct {
+	workersLive      *metrics.Gauge
+	workersJoined    *metrics.Counter
+	workersLost      *metrics.Counter
+	leasesGranted    *metrics.Counter
+	leasesExpired    *metrics.Counter
+	tasksCompleted   *metrics.Counter
+	tasksReexecuted  *metrics.Counter
+	tasksLocal       *metrics.Counter
+	commitsRejected  *metrics.Counter
+	commitsDuplicate *metrics.Counter
+	rpcRetries       *metrics.Counter
+	bytesFetched     *metrics.Counter
+	bytesCommitted   *metrics.Counter
+	bytesScattered   *metrics.Counter
+	tilesRebuilt     *metrics.Counter
+	ckptsSaved       *metrics.Counter
+}
+
+func newDistMetrics(r *metrics.Registry) *distMetrics {
+	return &distMetrics{
+		workersLive:      r.Gauge("dist.workers_live"),
+		workersJoined:    r.Counter("dist.workers_joined"),
+		workersLost:      r.Counter("dist.workers_lost"),
+		leasesGranted:    r.Counter("dist.leases_granted"),
+		leasesExpired:    r.Counter("dist.leases_expired"),
+		tasksCompleted:   r.Counter("dist.tasks_completed"),
+		tasksReexecuted:  r.Counter("dist.tasks_reexecuted"),
+		tasksLocal:       r.Counter("dist.tasks_local"),
+		commitsRejected:  r.Counter("dist.commits_rejected"),
+		commitsDuplicate: r.Counter("dist.commits_duplicate"),
+		rpcRetries:       r.Counter("dist.rpc_retries"),
+		bytesFetched:     r.Counter("dist.bytes_fetched"),
+		bytesCommitted:   r.Counter("dist.bytes_committed"),
+		bytesScattered:   r.Counter("dist.bytes_scattered"),
+		tilesRebuilt:     r.Counter("dist.tiles_reconstructed"),
+		ckptsSaved:       r.Counter("dist.checkpoints_written"),
+	}
+}

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NetChaos is the wire-level fault injector, the network sibling of
+// sched.WithChaos (in-task transient errors) and WithHardChaos (worker
+// death). It sits inside the worker's RPC client and, per call, draws a
+// seeded fate: drop the request before it leaves (the coordinator never
+// sees it), drop the reply after the server executed (forcing a retry of a
+// call whose effects already happened — the at-least-once case that proves
+// handler idempotency), delay the call, or duplicate it. Probabilities are
+// independent; the seed makes every run's fault sequence reproducible, so
+// a chaos test that passes once passes always.
+//
+// The zero value injects nothing. NetChaos is pure configuration and
+// freely copyable; the RNG state lives in the chaosDice the RPC client
+// builds from it.
+type NetChaos struct {
+	// DropSend is the probability the request is never transmitted.
+	DropSend float64
+	// DropReply is the probability the reply is discarded after the server
+	// has fully executed the call.
+	DropReply float64
+	// Dup is the probability the call is transmitted twice back-to-back.
+	Dup float64
+	// Delay is the probability the call is delayed by MaxDelay.
+	Delay float64
+	// MaxDelay is the injected latency for delayed calls.
+	MaxDelay time.Duration
+	// Seed makes the fault sequence deterministic; 0 means seed 1.
+	Seed int64
+}
+
+// enabled reports whether any fault has a non-zero probability.
+func (c NetChaos) enabled() bool {
+	return c.DropSend > 0 || c.DropReply > 0 || c.Dup > 0 || c.Delay > 0
+}
+
+// chaosDice is the seeded per-client fault source.
+type chaosDice struct {
+	cfg NetChaos
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newChaosDice(cfg NetChaos) *chaosDice {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &chaosDice{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// fate is one call's drawn outcome.
+type fate struct {
+	dropSend  bool
+	dropReply bool
+	duplicate bool
+	delay     time.Duration
+}
+
+// draw rolls the per-call dice. Safe for concurrent use.
+func (d *chaosDice) draw() fate {
+	if d == nil || !d.cfg.enabled() {
+		return fate{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var f fate
+	if d.rng.Float64() < d.cfg.DropSend {
+		f.dropSend = true
+	}
+	if d.rng.Float64() < d.cfg.DropReply {
+		f.dropReply = true
+	}
+	if d.rng.Float64() < d.cfg.Dup {
+		f.duplicate = true
+	}
+	if d.rng.Float64() < d.cfg.Delay {
+		f.delay = d.cfg.MaxDelay
+	}
+	return f
+}

@@ -1,0 +1,287 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"reflect"
+	"sync"
+	"time"
+)
+
+// This file is the wire protocol of the distributed runtime: the net/rpc
+// message types exchanged between stateless workers and the coordinator,
+// and the retrying client the workers (and the chaos layer) speak through.
+//
+// The protocol is deliberately at-least-once on the client side and
+// exactly-once on the server side: every call may be retried (or
+// duplicated by chaos), so every server handler is idempotent — Commit is
+// keyed by (task, lease token) and a re-delivered commit of a completed
+// task is acknowledged without effect. That split is what makes worker
+// death, dropped replies, and duplicated packets all collapse into the
+// same safe outcome: the answer never changes, only the traffic bill does.
+
+// coordService is the registered net/rpc service name.
+const coordService = "Coord"
+
+// TaskSpec names one remotely executable tile task. Kind selects the
+// kernel; K/I/J are the panel step and tile coordinates it operates on
+// (unused coordinates are zero — see accesses()). Specs carry no closures:
+// a worker reconstructs the full operand list and kernel call from the
+// spec plus the job geometry, which is what makes tasks re-executable on
+// any process.
+type TaskSpec struct {
+	ID   int
+	Step int // panel step, for checkpoint barriers
+	Kind string
+	K    int
+	I    int
+	J    int
+}
+
+// RegisterArgs announces a new (or re-registering) worker.
+type RegisterArgs struct{}
+
+// RegisterReply hands the worker its identity and the job geometry.
+type RegisterReply struct {
+	Worker int // worker id, unique per registration
+	Slot   int // process-grid slot owned (block-cyclic placement), -1 if none free
+	M, N   int
+	NB     int
+	Op     string
+	Grid   int // total grid slots (P)
+	GridP  int // grid rows; columns are Grid/GridP
+	// LeaseMS and PollMS are the lease duration and the idle re-poll
+	// interval the coordinator wants this worker to use.
+	LeaseMS int
+	PollMS  int
+	// HeartbeatMS is the interval the worker must beat at to stay live.
+	HeartbeatMS int
+	// Scatter lists the tiles homed at Slot, for the initial prefetch under
+	// strict placement ({} otherwise). CacheRemote permits caching fetched
+	// remote tiles by version; strict placement disables it so measured
+	// task traffic matches the per-access replay cost model.
+	Scatter     [][2]int
+	CacheRemote bool
+}
+
+// LeaseArgs asks for one ready task. RPCRetries piggybacks the number of
+// client-side RPC retries the worker performed since its last report, so
+// the coordinator's metrics see wire-level flakiness it cannot observe
+// directly.
+type LeaseArgs struct {
+	Worker     int
+	RPCRetries int64
+}
+
+// LeaseReply grants a task (nil Task means "nothing ready; poll again in
+// PollMS"). Vers lists the current version of each tile the task touches,
+// in accesses() order (reads then writes), so worker caches stay coherent
+// under stolen writes. Done reports job completion; Evicted tells a worker
+// the coordinator declared it dead (it may re-register for a fresh id).
+type LeaseReply struct {
+	Task    *TaskSpec
+	Token   int64
+	Vers    []int
+	PollMS  int
+	Done    bool
+	Evicted bool
+}
+
+// HeartbeatArgs keeps a worker and its leases alive between Lease calls.
+type HeartbeatArgs struct{ Worker int }
+type HeartbeatReply struct{ Evicted bool }
+
+// GetArgs fetches one tile. Scatter marks the initial home-tile prefetch,
+// billed separately from task-driven traffic.
+type GetArgs struct {
+	Worker  int
+	I, J    int
+	Scatter bool
+}
+
+// GetReply carries the tile payload (column-major, ld = rows).
+type GetReply struct {
+	Data []float64
+	Ver  int
+}
+
+// TilePayload is one written tile shipped back in a commit.
+type TilePayload struct {
+	I, J int
+	Data []float64
+}
+
+// CommitArgs completes a leased task, shipping its outputs. Err, when
+// non-empty, reports a deterministic kernel failure (e.g. a non-SPD pivot)
+// instead of outputs; the coordinator fails the job. Token must match the
+// task's current lease or the commit is rejected (a reaped straggler).
+type CommitArgs struct {
+	Worker int
+	Task   int
+	Token  int64
+	Tiles  []TilePayload
+	Err    string
+}
+
+// CommitReply acknowledges a commit. Vers are the store versions assigned
+// to the shipped tiles, in Tiles order, so the committing worker can cache
+// its own outputs coherently. Accepted is false for stale-token commits:
+// the work was re-leased elsewhere and this result is discarded.
+type CommitReply struct {
+	Accepted bool
+	Vers     []int
+	Evicted  bool
+}
+
+// ByeArgs deregisters a worker gracefully (mid-run scale-down).
+type ByeArgs struct{ Worker int }
+type ByeReply struct{}
+
+// ErrEvicted is returned by worker RPC helpers when the coordinator has
+// declared this worker dead; the worker may re-register.
+var ErrEvicted = errors.New("dist: worker evicted by coordinator")
+
+// client is the worker-side RPC client: one TCP connection to the
+// coordinator with capped-backoff retry, automatic redial, and the seeded
+// network-chaos layer injected around every call. Safe for concurrent use
+// (the heartbeat goroutine shares it with the task loop).
+type client struct {
+	addr string
+	dice *chaosDice
+
+	mu      sync.Mutex
+	rpc     *rpc.Client
+	retries int64 // client-side retry count, drained by TakeRetries
+
+	// retry policy
+	maxAttempts int
+	backoff     time.Duration
+}
+
+const (
+	defaultRPCAttempts = 8
+	defaultRPCBackoff  = 5 * time.Millisecond
+	maxRPCBackoff      = 500 * time.Millisecond
+)
+
+// dial connects to the coordinator, retrying with capped backoff.
+func dial(addr string, chaos NetChaos) (*client, error) {
+	c := &client{addr: addr, dice: newChaosDice(chaos), maxAttempts: defaultRPCAttempts, backoff: defaultRPCBackoff}
+	if err := c.redial(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *client) redial() error {
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		conn, err := rpc.Dial("tcp", c.addr)
+		if err == nil {
+			c.mu.Lock()
+			c.rpc = conn
+			c.mu.Unlock()
+			return nil
+		}
+		lastErr = err
+		time.Sleep(delay)
+		if delay *= 2; delay > maxRPCBackoff {
+			delay = maxRPCBackoff
+		}
+	}
+	return fmt.Errorf("dist: dialing coordinator %s: %w", c.addr, lastErr)
+}
+
+func (c *client) conn() *rpc.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rpc
+}
+
+// call performs one RPC with chaos injection and capped-backoff retry.
+// Chaos may drop the request before it is sent (the server never sees it),
+// drop the reply after the server executed it (at-least-once delivery made
+// visible), delay it, or duplicate it; every variant either succeeds
+// eventually or surfaces the transport error after the retry budget.
+func (c *client) call(method string, args, reply any) error {
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			time.Sleep(delay)
+			if delay *= 2; delay > maxRPCBackoff {
+				delay = maxRPCBackoff
+			}
+		}
+		fate := c.dice.draw()
+		if fate.delay > 0 {
+			time.Sleep(fate.delay)
+		}
+		if fate.dropSend {
+			lastErr = errors.New("dist: chaos dropped request")
+			continue
+		}
+		// gob leaves absent (zero-valued) fields untouched in the reply, so
+		// a reused reply struct must be cleared before every decode or a
+		// retry could resurrect the previous attempt's fields.
+		zeroReply(reply)
+		err := c.conn().Call(coordService+"."+method, args, reply)
+		if err == nil && fate.duplicate {
+			// Deliver the call twice; the server must be idempotent. The
+			// second reply wins, like a retransmission beating the original.
+			zeroReply(reply)
+			err = c.conn().Call(coordService+"."+method, args, reply)
+		}
+		if err == nil && fate.dropReply {
+			lastErr = errors.New("dist: chaos dropped reply")
+			continue
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, rpc.ErrShutdown) || isNetError(err) {
+			if rerr := c.redial(); rerr != nil {
+				return rerr
+			}
+		}
+	}
+	return fmt.Errorf("dist: %s failed after %d attempts: %w", method, c.maxAttempts, lastErr)
+}
+
+// isNetError reports whether err looks like a broken transport (as opposed
+// to a server-side handler error, which net/rpc returns as a ServerError).
+func isNetError(err error) bool {
+	var se rpc.ServerError
+	return !errors.As(err, &se)
+}
+
+// zeroReply clears a reply struct in place before a decode.
+func zeroReply(reply any) {
+	if v := reflect.ValueOf(reply); v.Kind() == reflect.Pointer && !v.IsNil() {
+		v.Elem().SetZero()
+	}
+}
+
+// takeRetries drains the client-side retry counter for piggybacking on the
+// next Lease call.
+func (c *client) takeRetries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.retries
+	c.retries = 0
+	return n
+}
+
+func (c *client) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rpc != nil {
+		_ = c.rpc.Close()
+	}
+}

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"fmt"
+
+	"exadla/internal/ft"
+	"exadla/internal/tile"
+)
+
+// store is the coordinator's tile object store — the numpywren-style
+// disaggregated half of the runtime. It is the single source of truth for
+// tile data: every commit lands here before the task counts as done, so a
+// worker dying after commit loses nothing and a worker dying before
+// commit loses only a lease.
+//
+// On top of plain storage it keeps the ft.RowErasure XOR parity of every
+// *finalized* tile (one the factorization will never write again). That
+// enables write-back residency: with WriteBack on, a finalized tile's
+// bytes may be dropped from the store — only the committing worker holds
+// them — as long as at most one tile per tile row is dropped, because the
+// parity plus the in-store peers reconstructs a single missing tile
+// bit-exactly. When the worker holding a resident tile dies, the store
+// reconstructs instead of re-running the task chain that produced it:
+// recovery cost is one XOR pass, not a DAG suffix.
+//
+// The store is not internally locked; the coordinator serializes access
+// under its own mutex.
+type store struct {
+	a   *tile.Matrix[float64]
+	ers *ft.RowErasure
+	// ver[i][j] counts accepted writes of tile (i,j). The DAG serializes
+	// writers, so the version sequence — and hence the data each version
+	// names — is deterministic; workers use versions for cache coherence.
+	ver [][]int
+	// resident[i][j] is the worker holding the only copy of a dropped
+	// finalized tile, or -1 when the bytes are in the store.
+	resident [][]int
+	// residentInRow[i] counts dropped tiles in tile row i (kept ≤ 1).
+	residentInRow []int
+	writeBack     bool
+	// onReconstruct, when non-nil, is called once per rebuilt tile (the
+	// coordinator mirrors it into the dist.tiles_reconstructed counter).
+	onReconstruct func()
+}
+
+func newStore(a *tile.Matrix[float64], writeBack bool, onReconstruct func()) *store {
+	s := &store{
+		a:             a,
+		ers:           ft.NewRowErasure(a, nil),
+		ver:           make([][]int, a.MT),
+		resident:      make([][]int, a.MT),
+		residentInRow: make([]int, a.MT),
+		writeBack:     writeBack,
+		onReconstruct: onReconstruct,
+	}
+	for i := 0; i < a.MT; i++ {
+		s.ver[i] = make([]int, a.NT)
+		s.resident[i] = make([]int, a.NT)
+		for j := 0; j < a.NT; j++ {
+			s.resident[i][j] = -1
+		}
+	}
+	return s
+}
+
+// get returns a copy of tile c's data and its version, reconstructing a
+// dropped resident tile from parity first. requester is the worker asking
+// (so its own residency is not pointlessly reconstructed — it has the
+// bytes cached; anyone else's read needs them in-store).
+func (s *store) get(c coord, requester int) ([]float64, int, error) {
+	i, j := c[0], c[1]
+	if w := s.resident[i][j]; w >= 0 && w != requester {
+		if err := s.reconstruct(c); err != nil {
+			return nil, 0, err
+		}
+	}
+	t := s.a.Tile(i, j)
+	out := make([]float64, len(t))
+	copy(out, t)
+	return out, s.ver[i][j], nil
+}
+
+// put stores a committed tile payload, bumps its version, and — when the
+// committing task finalizes the tile — folds it into the row parity and
+// possibly drops the bytes (write-back residency at the committing
+// worker). Returns the new version.
+func (s *store) put(c coord, data []float64, worker int, finalized bool) (int, error) {
+	i, j := c[0], c[1]
+	t := s.a.Tile(i, j)
+	if len(data) != len(t) {
+		return 0, fmt.Errorf("dist: tile (%d,%d) payload has %d words, want %d", i, j, len(data), len(t))
+	}
+	copy(t, data)
+	s.ver[i][j]++
+	if s.resident[i][j] >= 0 {
+		// The bytes are back (an unexpected re-write of a dropped tile);
+		// clear residency rather than hold a stale claim.
+		s.clearResident(c)
+	}
+	if finalized {
+		s.ers.Commit(i, j)
+		if s.writeBack && s.residentInRow[i] == 0 && worker >= 0 {
+			// Drop the bytes; the worker keeps the only copy. One per row, so
+			// a single-tile reconstruction is always possible from peers.
+			s.a.SetTile(i, j, make([]float64, len(t)))
+			s.resident[i][j] = worker
+			s.residentInRow[i]++
+		}
+	}
+	return s.ver[i][j], nil
+}
+
+// putLocal records a coordinator-local in-place write of tile c (the
+// degradation ladder's fallback executes kernels directly on the store
+// matrix; any resident operand must be reconstructed before the kernel).
+func (s *store) putLocal(c coord, finalized bool) int {
+	s.ver[c[0]][c[1]]++
+	if finalized {
+		s.ers.Commit(c[0], c[1])
+	}
+	return s.ver[c[0]][c[1]]
+}
+
+// reconstruct rebuilds a dropped tile in-store from the row parity and
+// clears its residency.
+func (s *store) reconstruct(c coord) error {
+	i, j := c[0], c[1]
+	if err := s.ers.ReconstructTile(i, j); err != nil {
+		return err
+	}
+	s.clearResident(c)
+	if s.onReconstruct != nil {
+		s.onReconstruct()
+	}
+	return nil
+}
+
+func (s *store) clearResident(c coord) {
+	i, j := c[0], c[1]
+	if s.resident[i][j] >= 0 {
+		s.resident[i][j] = -1
+		s.residentInRow[i]--
+	}
+}
+
+// dropWorker reconstructs every tile resident on a dead or departed
+// worker — called before the worker's cache ceases to exist (eviction,
+// Bye). Returns how many tiles were rebuilt.
+func (s *store) dropWorker(worker int) (int, error) {
+	n := 0
+	for i := 0; i < s.a.MT; i++ {
+		for j := 0; j < s.a.NT; j++ {
+			if s.resident[i][j] == worker {
+				if err := s.reconstruct(coord{i, j}); err != nil {
+					return n, err
+				}
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// materialize reconstructs every dropped tile, leaving the full matrix
+// in-store — the final gather, and the precondition for a checkpoint
+// snapshot (which serializes the store's bytes).
+func (s *store) materialize() error {
+	for i := 0; i < s.a.MT; i++ {
+		for j := 0; j < s.a.NT; j++ {
+			if s.resident[i][j] >= 0 {
+				if err := s.reconstruct(coord{i, j}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// versions returns the current versions of the listed tiles.
+func (s *store) versions(cs []coord) []int {
+	out := make([]int, len(cs))
+	for k, c := range cs {
+		out[k] = s.ver[c[0]][c[1]]
+	}
+	return out
+}

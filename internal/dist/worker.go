@@ -1,0 +1,275 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"exadla/internal/tile"
+)
+
+// RunWorker is the stateless half of the runtime: a pull loop that holds
+// no durable state the job cannot lose. Everything it knows — its id, its
+// grid slot, its tile cache — is reconstructable by re-registering, which
+// is exactly what it does when the coordinator declares it dead. The fault
+// hooks (KillAfter, HangAfter, Chaos) are the process-level mirror of
+// sched.WithHardChaos: deterministic, seeded, and aimed at the protocol's
+// weakest moments (after a lease is granted, before a commit lands).
+
+// ErrKilled is returned by RunWorker when its KillAfter fault hook fired
+// in-process (ExitOnKill=false): the worker vanishes mid-lease without a
+// goodbye, leaving the coordinator to notice via heartbeat silence.
+var ErrKilled = errors.New("dist: worker killed by fault injection")
+
+// WorkerOptions configures one worker process (or goroutine, in tests).
+type WorkerOptions struct {
+	// Chaos injects seeded wire faults into every RPC this worker makes.
+	Chaos NetChaos
+	// KillAfter kills the worker upon being granted its Nth task (1-based):
+	// the lease is granted and lost, exercising deadline reaping. With
+	// ExitOnKill the whole process exits 137 (SIGKILL's exit code, for the
+	// multi-process tests); otherwise RunWorker stops heartbeating and
+	// returns ErrKilled (the in-process simulation).
+	KillAfter  int
+	ExitOnKill bool
+	// HangAfter hangs the worker for HangFor upon its Nth granted task,
+	// with heartbeats still flowing — the hung-but-alive case. The lease
+	// expires, the task is re-run elsewhere, and this worker's late commit
+	// must be rejected.
+	HangAfter int
+	HangFor   time.Duration
+	// Logf, when non-nil, receives progress and fault events.
+	Logf func(format string, args ...any)
+}
+
+func (o *WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// worker is one registration's state: identity, geometry, and tile cache.
+type worker struct {
+	cl   *client
+	opt  *WorkerOptions
+	id   int
+	slot int
+	op   string
+	a    *tile.Matrix[float64] // local tile cache
+	ver  map[coord]int         // cached version per tile (missing = none)
+	home map[coord]bool        // tiles scattered to this worker's slot
+	// cacheRemote caches fetched remote tiles by version; off under strict
+	// placement so every remote read is a measured fetch (the cost-model
+	// contract).
+	cacheRemote bool
+	pollMS      int
+	hbStop      chan struct{}
+	leased      int // tasks granted so far, drives KillAfter/HangAfter
+}
+
+// RunWorker joins the coordinator at addr and works until the job is done
+// (nil), the process is killed (ErrKilled / os.Exit), or the coordinator
+// becomes unreachable (error). It re-registers automatically after an
+// eviction, so a worker that was merely slow rejoins the fleet with a
+// fresh identity and cache.
+func RunWorker(addr string, opt WorkerOptions) error {
+	cl, err := dial(addr, opt.Chaos)
+	if err != nil {
+		return err
+	}
+	defer cl.close()
+	leased := 0
+	for {
+		w, err := register(cl, &opt)
+		if err != nil {
+			return err
+		}
+		w.leased = leased
+		err = w.loop()
+		leased = w.leased
+		w.stopHeartbeat()
+		if errors.Is(err, ErrEvicted) {
+			opt.logf("dist: worker %d evicted, re-registering", w.id)
+			continue
+		}
+		return err
+	}
+}
+
+// register announces the worker, builds its cache, and prefetches its home
+// tiles under strict placement.
+func register(cl *client, opt *WorkerOptions) (*worker, error) {
+	var rep RegisterReply
+	if err := cl.call("Register", &RegisterArgs{}, &rep); err != nil {
+		return nil, err
+	}
+	w := &worker{
+		cl: cl, opt: opt,
+		id: rep.Worker, slot: rep.Slot, op: rep.Op,
+		a:           tile.New[float64](rep.M, rep.N, rep.NB),
+		ver:         map[coord]int{},
+		home:        map[coord]bool{},
+		cacheRemote: rep.CacheRemote,
+		pollMS:      rep.PollMS,
+		hbStop:      make(chan struct{}),
+	}
+	for _, c := range rep.Scatter {
+		w.home[coord(c)] = true
+		if err := w.fetch(coord(c), true); err != nil {
+			return nil, err
+		}
+	}
+	opt.logf("dist: worker %d registered (slot %d, %d home tiles)", w.id, w.slot, len(rep.Scatter))
+	hb := time.Duration(rep.HeartbeatMS) * time.Millisecond
+	go w.heartbeat(hb)
+	return w, nil
+}
+
+func (w *worker) heartbeat(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.hbStop:
+			return
+		case <-t.C:
+			var rep HeartbeatReply
+			// Errors and evictions surface on the next Lease; the beat loop
+			// just keeps trying.
+			_ = w.cl.call("Heartbeat", &HeartbeatArgs{Worker: w.id}, &rep)
+		}
+	}
+}
+
+func (w *worker) stopHeartbeat() {
+	select {
+	case <-w.hbStop:
+	default:
+		close(w.hbStop)
+	}
+}
+
+// fetch pulls one tile into the cache.
+func (w *worker) fetch(c coord, scatter bool) error {
+	var rep GetReply
+	if err := w.cl.call("Get", &GetArgs{Worker: w.id, I: c[0], J: c[1], Scatter: scatter}, &rep); err != nil {
+		return err
+	}
+	t := w.a.Tile(c[0], c[1])
+	if len(rep.Data) != len(t) {
+		return fmt.Errorf("dist: tile (%d,%d) fetch returned %d words, want %d", c[0], c[1], len(rep.Data), len(t))
+	}
+	copy(t, rep.Data)
+	w.ver[c] = rep.Ver
+	return nil
+}
+
+// ensure makes every operand tile current in the cache before the kernel
+// runs. Home tiles are trusted at matching versions; remote tiles are
+// refetched per task unless the coordinator allowed remote caching.
+func (w *worker) ensure(ops []coord, vers []int) error {
+	for k, c := range ops {
+		have, cached := w.ver[c]
+		if cached && have == vers[k] && (w.home[c] || w.cacheRemote) {
+			continue
+		}
+		if err := w.fetch(c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loop is one registration's pull loop; it returns nil when the job is
+// done, ErrEvicted to re-register, or a fatal error.
+func (w *worker) loop() error {
+	for {
+		var rep LeaseReply
+		if err := w.cl.call("Lease", &LeaseArgs{Worker: w.id, RPCRetries: w.cl.takeRetries()}, &rep); err != nil {
+			return err
+		}
+		switch {
+		case rep.Evicted:
+			return ErrEvicted
+		case rep.Done:
+			var bye ByeReply
+			_ = w.cl.call("Bye", &ByeArgs{Worker: w.id}, &bye)
+			return nil
+		case rep.Task == nil:
+			ms := rep.PollMS
+			if ms < 1 {
+				ms = w.pollMS
+			}
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			continue
+		}
+		w.leased++
+		if w.opt.KillAfter > 0 && w.leased == w.opt.KillAfter {
+			if w.opt.ExitOnKill {
+				os.Exit(137)
+			}
+			w.opt.logf("dist: worker %d dying mid-lease (task %d)", w.id, rep.Task.ID)
+			w.stopHeartbeat()
+			return ErrKilled
+		}
+		if w.opt.HangAfter > 0 && w.leased == w.opt.HangAfter {
+			w.opt.logf("dist: worker %d hanging %v on task %d", w.id, w.opt.HangFor, rep.Task.ID)
+			time.Sleep(w.opt.HangFor)
+		}
+		if err := w.execute(rep.Task, rep.Token, rep.Vers); err != nil {
+			return err
+		}
+	}
+}
+
+// execute runs one leased task: fetch operands, apply the kernel on the
+// cache, commit the written tiles. A rejected commit (this worker was
+// reaped or the task re-ran elsewhere) invalidates the written cache
+// entries — the kernel may have computed on a stale snapshot — and the
+// loop simply pulls the next task.
+func (w *worker) execute(t *TaskSpec, token int64, vers []int) error {
+	reads, writes := accesses(w.op, t)
+	ops := append(append([]coord{}, reads...), writes...)
+	if len(vers) != len(ops) {
+		return fmt.Errorf("dist: lease for task %d carries %d versions for %d operands", t.ID, len(vers), len(ops))
+	}
+	if err := w.ensure(ops, vers); err != nil {
+		return err
+	}
+	args := &CommitArgs{Worker: w.id, Task: t.ID, Token: token}
+	if err := applyKernel(w.op, t, w.a); err != nil {
+		args.Err = err.Error()
+		for _, c := range writes {
+			delete(w.ver, c) // the failed kernel may have half-written them
+		}
+	} else {
+		for _, c := range writes {
+			// The kernel rewrote these cache tiles; until the commit is
+			// accepted with fresh store versions they match no known version
+			// (an acknowledged-but-unapplied stale commit must not leave them
+			// looking current).
+			delete(w.ver, c)
+			tl := w.a.Tile(c[0], c[1])
+			data := make([]float64, len(tl))
+			copy(data, tl)
+			args.Tiles = append(args.Tiles, TilePayload{I: c[0], J: c[1], Data: data})
+		}
+	}
+	var rep CommitReply
+	if err := w.cl.call("Commit", args, &rep); err != nil {
+		return err
+	}
+	if rep.Evicted {
+		return ErrEvicted
+	}
+	if !rep.Accepted {
+		return nil
+	}
+	for k, p := range args.Tiles {
+		if k < len(rep.Vers) {
+			w.ver[coord{p.I, p.J}] = rep.Vers[k]
+		}
+	}
+	return nil
+}
