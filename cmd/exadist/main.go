@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -26,8 +28,8 @@ import (
 
 	"exadla"
 	"exadla/internal/dist"
-	"exadla/internal/metrics"
 	"exadla/internal/obs"
+	"exadla/internal/trace"
 )
 
 func main() {
@@ -51,7 +53,10 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 1, "panel steps between checkpoints")
 	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -ckpt instead of starting fresh")
 	verify := flag.Bool("verify", false, "after the run, factor the same matrix single-process and compare bitwise")
-	obsAddr := flag.String("obs", "", "serve live observability (metrics with dist.* counters) on this host:port")
+	obsAddr := flag.String("obs", "", "serve live observability on this host:port (serve side: /metrics, /dist, /trace?scope=cluster; join side: /healthz, /trace, pprof)")
+	traceOut := flag.String("trace-out", "", "after the run, write the merged cluster trace (Chrome/Perfetto JSON) here")
+	eventsOut := flag.String("events-out", "", "after the run, write the merged cluster trace in the native events format (for exatrace -cluster) here")
+	logEvents := flag.Bool("log-events", false, "log structured cluster fault events (evictions, reaps, stale commits, wire chaos) to stderr")
 
 	// Join-side fault hooks.
 	killAfter := flag.Int("kill-after", 0, "exit(137) upon being granted the Nth task (simulated SIGKILL)")
@@ -86,6 +91,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
 		}
+		if *obsAddr != "" {
+			// A worker's obs server is minimal: /healthz + pprof, plus the
+			// worker-local span mirror on /trace (the merged cluster view
+			// lives on the coordinator).
+			tl := trace.NewLog()
+			opt.Trace = tl
+			srv, err := obs.Start(*obsAddr, obs.Options{Trace: tl})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "exadist:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "worker observability on http://%s/healthz\n", srv.Addr())
+		}
 		if err := dist.RunWorker(*join, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "exadist:", err)
 			os.Exit(1)
@@ -99,6 +118,7 @@ func main() {
 			lease: *lease, deadAfter: *deadAfter,
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 			verify: *verify, obsAddr: *obsAddr,
+			traceOut: *traceOut, eventsOut: *eventsOut, logEvents: *logEvents,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "exadist:", err)
 			os.Exit(1)
@@ -122,6 +142,8 @@ type serveConfig struct {
 	resume                  bool
 	verify                  bool
 	obsAddr                 string
+	traceOut, eventsOut     string
+	logEvents               bool
 }
 
 func runServe(addr string, cfg serveConfig) error {
@@ -135,16 +157,6 @@ func runServe(addr string, cfg serveConfig) error {
 		return fmt.Errorf("unknown -op %q (want cholesky or lunp)", cfg.op)
 	}
 
-	if cfg.obsAddr != "" {
-		metrics.Enable()
-		srv, err := obs.Start(cfg.obsAddr, obs.Options{Registry: metrics.Default()})
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Printf("observability on http://%s/metrics\n", cfg.obsAddr)
-	}
-
 	dcfg := exadla.DistConfig{
 		Op: distOp, TileSize: cfg.nb,
 		GridP: cfg.gridP, GridQ: cfg.gridQ,
@@ -153,6 +165,9 @@ func runServe(addr string, cfg serveConfig) error {
 		Lease: cfg.lease, DeadAfter: cfg.deadAfter,
 		CheckpointDir: cfg.ckptDir, CheckpointEvery: cfg.ckptEvery,
 		Metrics: cfg.obsAddr != "",
+	}
+	if cfg.logEvents {
+		dcfg.EventLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
 	var job *exadla.DistJob
@@ -172,6 +187,15 @@ func runServe(addr string, cfg serveConfig) error {
 		return err
 	}
 
+	if cfg.obsAddr != "" {
+		srv, err := job.ServeObs(cfg.obsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/metrics /dist /trace?scope=cluster\n", srv.Addr())
+	}
+
 	fmt.Printf("coordinator on %s: %s n=%d nb=%d (ctrl-c to abandon)\n", job.Addr(), cfg.op, cfg.n, cfg.nb)
 	t0 := time.Now()
 	got, err := job.Run()
@@ -188,6 +212,19 @@ func runServe(addr string, cfg serveConfig) error {
 	fmt.Printf("  traffic: %d B fetched, %d B committed, %d B scattered, %d RPC retries\n",
 		s.BytesFetched, s.BytesCommitted, s.BytesScattered, s.RPCRetries)
 	fmt.Printf("  recovery: %d tiles reconstructed, %d checkpoints\n", s.TilesRebuilt, s.CheckpointsSaved)
+
+	if cfg.traceOut != "" {
+		if err := writeFileWith(cfg.traceOut, job.WriteClusterTrace); err != nil {
+			return fmt.Errorf("write -trace-out: %w", err)
+		}
+		fmt.Printf("  merged cluster trace: %s (load at ui.perfetto.dev)\n", cfg.traceOut)
+	}
+	if cfg.eventsOut != "" {
+		if err := writeFileWith(cfg.eventsOut, job.WriteClusterEvents); err != nil {
+			return fmt.Errorf("write -events-out: %w", err)
+		}
+		fmt.Printf("  merged cluster events: %s (summarize with exatrace -cluster)\n", cfg.eventsOut)
+	}
 
 	if cfg.verify {
 		if a == nil {
@@ -212,6 +249,19 @@ func runServe(addr string, cfg serveConfig) error {
 		fmt.Println("verify: bitwise identical to the single-process factorization")
 	}
 	return nil
+}
+
+// writeFileWith creates path and streams write's output into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // localFactor computes the single-process reference factor.

@@ -2,11 +2,15 @@ package exadla
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"time"
 
 	"exadla/internal/dist"
 	"exadla/internal/metrics"
+	"exadla/internal/obs"
 	"exadla/internal/tile"
+	"exadla/internal/trace"
 )
 
 // This file is the public face of the multi-process distributed runtime
@@ -44,6 +48,17 @@ type DistChaos = dist.NetChaos
 // DistStats is a point-in-time snapshot of a distributed job's counters.
 type DistStats = dist.StatsSnapshot
 
+// DistStatus is the coordinator's live cluster snapshot: per-worker health
+// (liveness, heartbeat age, clock offset, spans shipped), the outstanding
+// lease table, the eviction log, and progress counters. Served as JSON on
+// the ServeObs /dist endpoint.
+type DistStatus = dist.ClusterStatus
+
+// DistEvent is one structured distributed-runtime fault event (worker
+// evicted, lease reaped, stale commit rejected, injected wire fault),
+// delivered to DistConfig.EventLog as it happens.
+type DistEvent = dist.Event
+
 // DistConfig tunes a distributed job. The zero value runs Cholesky with
 // the Context-independent defaults: tile size DefaultTileSize, a 1×1
 // logical grid, caching enabled, no checkpoints.
@@ -76,8 +91,13 @@ type DistConfig struct {
 	CheckpointDir   string
 	CheckpointEvery int
 	// Metrics publishes the job's counters to the process-global metrics
-	// registry (dist.* names), visible on the WithObservability endpoint.
+	// registry (dist.* names, including per-RPC dist.rpc.* latency and
+	// payload histograms), visible on the WithObservability endpoint.
 	Metrics bool
+	// EventLog, when non-nil, receives one structured log record per
+	// cluster fault event: worker evictions and lease reaps at Warn, stale
+	// commits and injected wire faults at Info.
+	EventLog *slog.Logger
 }
 
 func (cfg DistConfig) options(a *tile.Matrix[float64]) dist.Options {
@@ -101,6 +121,9 @@ func (cfg DistConfig) options(a *tile.Matrix[float64]) dist.Options {
 	if cfg.Metrics {
 		metrics.Enable()
 		opt.Registry = metrics.Default()
+	}
+	if cfg.EventLog != nil {
+		opt.Events = obs.DistLogger(cfg.EventLog)
 	}
 	return opt
 }
@@ -167,6 +190,65 @@ func (j *DistJob) Run() (*Matrix, error) {
 // expired, commits rejected, bytes moved, tiles reconstructed, …). Safe
 // to call concurrently with Run.
 func (j *DistJob) Stats() DistStats { return j.c.Stats() }
+
+// Status snapshots the live cluster state: every registered worker with
+// its heartbeat age, clock-offset estimate, and span-shipping progress,
+// the outstanding lease table, and the eviction log. Safe to call
+// concurrently with Run.
+func (j *DistJob) Status() DistStatus { return j.c.Status() }
+
+// WriteClusterTrace writes the merged multi-process trace as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev): one process
+// lane per OS process (the coordinator plus each worker), lease-lifecycle
+// slices with fetch/compute/commit sub-phases, flow arrows from a tile's
+// commit to its dependent fetches, and fault instants (evictions, lease
+// reaps, stale commits, injected wire faults). Worker timestamps are
+// aligned onto the coordinator's clock by each process's best RTT-midpoint
+// offset sample. Callable mid-run (a partial trace) or after Run.
+func (j *DistJob) WriteClusterTrace(w io.Writer) error {
+	return j.c.ClusterLog().WriteChromeCluster(w)
+}
+
+// WriteClusterEvents writes the merged multi-process trace in the native
+// events format, re-loadable by trace.ReadJSON and summarizable by the
+// exatrace -cluster command.
+func (j *DistJob) WriteClusterEvents(w io.Writer) error {
+	return j.c.ClusterLog().WriteJSON(w)
+}
+
+// ServeObs starts the observability HTTP server for this job on addr
+// (host:port; port 0 picks one — read it back from Server.Addr). On top of
+// the standard endpoints, /dist serves the live cluster status as JSON,
+// /trace?scope=cluster serves the merged multi-process trace (add
+// &format=events for the native form), and /healthz reports the live
+// fleet: workers currently alive, their heartbeat ages, and how many have
+// been evicted — not a static count. Close the returned server when done.
+func (j *DistJob) ServeObs(addr string) (*obs.Server, error) {
+	metrics.Enable()
+	return obs.Start(addr, obs.Options{
+		Registry: metrics.Default(),
+		Cluster:  func() *trace.Log { return j.c.ClusterLog() },
+		Dist:     func() any { return j.c.Status() },
+		Health: func() map[string]any {
+			st := j.c.Status()
+			beats := make(map[string]any, len(st.Workers))
+			for _, w := range st.Workers {
+				if w.Live {
+					beats[fmt.Sprintf("w%d", w.ID)] = w.LastBeatMS
+				}
+			}
+			return map[string]any{
+				"workers_live":       st.WorkersLive,
+				"workers_evicted":    len(st.Evictions),
+				"heartbeat_ages_ms":  beats,
+				"tasks_completed":    st.Completed,
+				"tasks_total":        st.Tasks,
+				"done":               st.Done,
+				"leases_outstanding": len(st.Leases),
+			}
+		},
+	})
+}
 
 // JoinDist runs one worker against the coordinator at addr until the job
 // completes (nil) or the coordinator becomes unreachable. The worker is

@@ -14,6 +14,7 @@ import (
 	"exadla/internal/metrics"
 	"exadla/internal/sched"
 	"exadla/internal/tile"
+	"exadla/internal/trace"
 )
 
 // The Coordinator is the stateful half of the disaggregated runtime: it
@@ -94,6 +95,12 @@ type Options struct {
 	Resume      bool
 	// Registry mirrors the run counters (nil disables mirroring).
 	Registry *metrics.Registry
+	// Events, when non-nil, receives structured fault events (evictions,
+	// lease reaps, stale commits, shipped wire-chaos observations) as they
+	// happen — the hook obs.DistLogger adapts onto slog. Called with the
+	// coordinator lock held: the hook must not call back into the
+	// coordinator.
+	Events func(Event)
 	// Logf, when non-nil, receives progress and fault events.
 	Logf func(format string, args ...any)
 }
@@ -199,6 +206,20 @@ type Coordinator struct {
 	done       bool
 	failErr    error
 
+	// Cluster-trace state: the coordinator's trace epoch, its own events
+	// (local execution spans, fault instants), the raw span shards shipped
+	// by workers (keyed by the shipping registration id), the cumulative
+	// span count absorbed per shipper (exactly-once absorption), and the
+	// best clock-offset/RTT sample per shipper.
+	epoch    time.Time
+	cevents  []trace.Event
+	shards   map[int][]WireSpan
+	absorbed map[int]int64
+	offs     map[int]int64
+	offRTTs  map[int]int64
+	evictLog []Eviction
+	taskDeps [][]int
+
 	stats RunStats
 	m     *distMetrics
 	wake  chan struct{}
@@ -215,6 +236,11 @@ func NewCoordinator(addr string, opt Options) (*Coordinator, error) {
 		attempts: map[int]int{},
 		workers:  map[int]*workerState{},
 		wake:     make(chan struct{}, 1),
+		epoch:    time.Now(),
+		shards:   map[int][]WireSpan{},
+		absorbed: map[int]int64{},
+		offs:     map[int]int64{},
+		offRTTs:  map[int]int64{},
 	}
 	c.m = newDistMetrics(opt.Registry)
 
@@ -234,6 +260,7 @@ func NewCoordinator(addr string, opt Options) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.taskDeps = buildTaskDeps(opt.Op, c.pl)
 	c.st = newStore(a, opt.WriteBack, func() { c.addStat(&c.stats.TilesRebuilt, c.m.tilesRebuilt, 1) })
 
 	nslots := 1
@@ -524,6 +551,8 @@ func (c *Coordinator) evictLocked(w *workerState, reason string) {
 	w.evicted = true
 	c.addStat(&c.stats.WorkersLost, c.m.workersLost, 1)
 	c.m.workersLive.Set(float64(c.liveCountLocked()))
+	c.faultLocked(trace.PhaseEvicted, w.id, -1, 0, reason)
+	c.evictLog = append(c.evictLog, Eviction{Worker: w.id, Reason: reason, AtMS: c.nowNS() / 1e6})
 	if w.slot >= 0 {
 		c.slots[w.slot] = -1
 		w.slot = -1
@@ -547,6 +576,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 	for _, l := range c.leases {
 		if now.After(l.deadline) {
 			c.opt.logf("dist: lease on task %d (worker %d) expired", l.task, l.worker)
+			c.faultLocked(trace.PhaseReaped, l.worker, l.task, c.attempts[l.task], "lease deadline passed")
 			c.revokeLeaseLocked(l)
 		}
 	}
@@ -611,10 +641,13 @@ func (c *Coordinator) localStepLocked(now time.Time) bool {
 		c.addStat(&c.stats.TasksReexecuted, c.m.tasksReexecuted, 1)
 	}
 	c.attempts[id]++
+	startNS := c.nowNS()
 	if err := applyKernel(c.opt.Op, t, c.a); err != nil {
+		c.localSpanLocked(id, t.Kind, c.attempts[id], startNS, err)
 		c.failLocked(err)
 		return false
 	}
+	c.localSpanLocked(id, t.Kind, c.attempts[id], startNS, nil)
 	for _, cd := range w {
 		c.st.putLocal(cd, c.pl.finalWriter[cd] == id)
 	}
@@ -695,6 +728,7 @@ type coordRPC struct{ c *Coordinator }
 // scatter list for strict placement.
 func (r *coordRPC) Register(_ *RegisterArgs, reply *RegisterReply) error {
 	c := r.c
+	defer c.m.timeRPC("register")()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.nextWorker
@@ -720,6 +754,7 @@ func (r *coordRPC) Register(_ *RegisterArgs, reply *RegisterReply) error {
 		PollMS:      int(c.opt.Poll / time.Millisecond),
 		HeartbeatMS: int(c.opt.DeadAfter / (4 * time.Millisecond)),
 		CacheRemote: !c.opt.Strict,
+		CoordNS:     c.nowNS(),
 	}
 	if reply.HeartbeatMS < 1 {
 		reply.HeartbeatMS = 1
@@ -741,10 +776,12 @@ func (r *coordRPC) Register(_ *RegisterArgs, reply *RegisterReply) error {
 // (done), or re-register (evicted). Leasing doubles as a heartbeat.
 func (r *coordRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
 	c := r.c
+	defer c.m.timeRPC("lease")()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if args.RPCRetries > 0 {
 		c.addStat(&c.stats.RPCRetries, c.m.rpcRetries, args.RPCRetries)
+		c.m.rpcRetriesHist.Observe(args.RPCRetries)
 	}
 	w := c.workers[args.Worker]
 	if w == nil || !w.live() {
@@ -781,15 +818,22 @@ func (r *coordRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
 	rd, wr := accesses(c.opt.Op, &t)
 	reply.Task = &t
 	reply.Token = c.nextToken
+	reply.Attempt = c.attempts[id]
 	reply.Vers = c.st.versions(append(append([]coord{}, rd...), wr...))
 	return nil
 }
 
-// Heartbeat keeps a worker live between leases (e.g. during a long kernel).
+// Heartbeat keeps a worker live between leases (e.g. during a long
+// kernel) and lands the trace-span batch piggybacked on the beat. Spans
+// are absorbed even from a worker already declared dead — its recorded
+// history is still true history.
 func (r *coordRPC) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
 	c := r.c
+	defer c.m.timeRPC("heartbeat")()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	reply.CoordNS = c.nowNS()
+	c.absorbLocked(args.Worker, args.Spans, args.SpanBase, args.OffsetNS, args.RTTNS, args.HasOffset)
 	w := c.workers[args.Worker]
 	if w == nil || !w.live() {
 		reply.Evicted = true
@@ -802,6 +846,7 @@ func (r *coordRPC) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
 // Get serves one tile (reconstructing a dropped resident tile first).
 func (r *coordRPC) Get(args *GetArgs, reply *GetReply) error {
 	c := r.c
+	defer c.m.timeRPC("get")()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if args.I < 0 || args.I >= c.a.MT || args.J < 0 || args.J >= c.a.NT {
@@ -814,6 +859,7 @@ func (r *coordRPC) Get(args *GetArgs, reply *GetReply) error {
 	reply.Data = data
 	reply.Ver = ver
 	n := int64(8 * len(data))
+	c.m.rpcGetBytes.Observe(n)
 	if args.Scatter {
 		c.addStat(&c.stats.BytesScattered, c.m.bytesScattered, n)
 	} else {
@@ -828,6 +874,7 @@ func (r *coordRPC) Get(args *GetArgs, reply *GetReply) error {
 // chaos-duplicated commit of a completed task is acknowledged idempotently.
 func (r *coordRPC) Commit(args *CommitArgs, reply *CommitReply) error {
 	c := r.c
+	defer c.m.timeRPC("commit")()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.workers[args.Worker]
@@ -850,6 +897,7 @@ func (r *coordRPC) Commit(args *CommitArgs, reply *CommitReply) error {
 			return nil
 		}
 		c.addStat(&c.stats.CommitsRejected, c.m.commitsRejected, 1)
+		c.faultLocked(trace.PhaseStale, args.Worker, args.Task, c.attempts[args.Task], "stale lease token")
 		c.opt.logf("dist: rejected stale commit of task %d from worker %d", args.Task, args.Worker)
 		return nil
 	}
@@ -868,6 +916,7 @@ func (r *coordRPC) Commit(args *CommitArgs, reply *CommitReply) error {
 		}
 		reply.Vers = append(reply.Vers, ver)
 		c.addStat(&c.stats.BytesCommitted, c.m.bytesCommitted, int64(8*len(p.Data)))
+		c.m.rpcCommitBytes.Observe(int64(8 * len(p.Data)))
 	}
 	reply.Accepted = true
 	if err := c.completeLocked(args.Task); err != nil {
@@ -880,8 +929,10 @@ func (r *coordRPC) Commit(args *CommitArgs, reply *CommitReply) error {
 // reconstructed into the store before its cache disappears.
 func (r *coordRPC) Bye(args *ByeArgs, _ *ByeReply) error {
 	c := r.c
+	defer c.m.timeRPC("bye")()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.absorbLocked(args.Worker, args.Spans, args.SpanBase, args.OffsetNS, args.RTTNS, args.HasOffset)
 	w := c.workers[args.Worker]
 	if w == nil || !w.live() {
 		return nil

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"sync/atomic"
+	"time"
 
 	"exadla/internal/metrics"
 )
@@ -89,6 +90,27 @@ type distMetrics struct {
 	bytesScattered   *metrics.Counter
 	tilesRebuilt     *metrics.Counter
 	ckptsSaved       *metrics.Counter
+
+	// Per-RPC telemetry: handler latency per method ("dist.rpc.<m>.ns"),
+	// payload sizes for the data-bearing methods, and the distribution of
+	// client-retry bursts reported on leases ("dist.rpc.retries").
+	rpcNS          map[string]*metrics.Histogram
+	rpcGetBytes    *metrics.Histogram
+	rpcCommitBytes *metrics.Histogram
+	rpcRetriesHist *metrics.Histogram
+}
+
+// rpcMethods are the coordinator's RPC handler names, each with a
+// "dist.rpc.<method>.ns" latency histogram.
+var rpcMethods = []string{"register", "lease", "heartbeat", "get", "commit", "bye"}
+
+// timeRPC starts a latency observation for one RPC handler; the returned
+// func records it (use with defer). Nil-safe all the way down: with no
+// registry the histogram handles are nil and Observe is a no-op.
+func (m *distMetrics) timeRPC(method string) func() {
+	h := m.rpcNS[method]
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Nanoseconds()) }
 }
 
 func newDistMetrics(r *metrics.Registry) *distMetrics {
@@ -109,5 +131,17 @@ func newDistMetrics(r *metrics.Registry) *distMetrics {
 		bytesScattered:   r.Counter("dist.bytes_scattered"),
 		tilesRebuilt:     r.Counter("dist.tiles_reconstructed"),
 		ckptsSaved:       r.Counter("dist.checkpoints_written"),
+		rpcNS:            rpcLatencyHists(r),
+		rpcGetBytes:      r.Histogram("dist.rpc.get.bytes"),
+		rpcCommitBytes:   r.Histogram("dist.rpc.commit.bytes"),
+		rpcRetriesHist:   r.Histogram("dist.rpc.retries"),
 	}
+}
+
+func rpcLatencyHists(r *metrics.Registry) map[string]*metrics.Histogram {
+	hs := make(map[string]*metrics.Histogram, len(rpcMethods))
+	for _, m := range rpcMethods {
+		hs[m] = r.Histogram("dist.rpc." + m + ".ns")
+	}
+	return hs
 }

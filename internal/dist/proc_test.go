@@ -8,16 +8,20 @@ package dist_test
 // bit for bit.
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"exadla/internal/dist"
+	"exadla/internal/trace"
 )
 
 const (
@@ -118,6 +122,84 @@ func TestDistMultiProcessSurvivesSIGKILL(t *testing.T) {
 		t.Error("no task was re-executed after process death")
 	}
 	t.Logf("multi-process stats: %+v", s)
+
+	// The merged cluster trace survives real process death: spans shipped
+	// before the SIGKILL are in (a killed process loses only its unshipped
+	// tail), the eviction is an instant on the timeline, and the export is
+	// loadable Chrome trace JSON with real worker process lanes.
+	l := c.ClusterLog()
+	checkLaneMonotone(t, l)
+	cs := l.AnalyzeCluster()
+	if cs.Faults[trace.PhaseEvicted] == 0 {
+		t.Errorf("merged trace has no eviction instant: %v", cs.Faults)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteChromeCluster(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chromeEvents []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &chromeEvents); err != nil {
+		t.Fatalf("cluster export is not loadable JSON: %v", err)
+	}
+	workerLanes := 0
+	for _, e := range chromeEvents {
+		if e["name"] == "process_name" &&
+			strings.HasPrefix(e["args"].(map[string]any)["name"].(string), "worker") {
+			workerLanes++
+		}
+	}
+	if workerLanes < 2 {
+		t.Errorf("worker process lanes = %d, want >= 2", workerLanes)
+	}
+}
+
+// TestDistMultiProcessClusterTrace pins the shipping protocol across real
+// process boundaries on a clean run: every completed task has exactly one
+// successful whole-attempt span in the merged trace (workers flush their
+// tails on Bye), and each real process's spans are monotone after its
+// RTT-midpoint clock offset re-bases them — raw UnixNano timestamps from
+// another process would land decades outside the run window.
+func TestDistMultiProcessClusterTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	const seed, n, nb = 33, 160, 16
+	a := spdTiled(seed, n, nb)
+	c, err := dist.NewCoordinator("127.0.0.1:0", fastOpts(dist.OpCholesky, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	w1 := spawnWorker(t, c.Addr(), 0)
+	w2 := spawnWorker(t, c.Addr(), 0)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Wait(); err != nil {
+		t.Errorf("worker 1: %v", err)
+	}
+	if err := w2.Wait(); err != nil {
+		t.Errorf("worker 2: %v", err)
+	}
+	wallNS := time.Since(start).Nanoseconds()
+
+	l := c.ClusterLog()
+	s := c.Stats()
+	if ok := okSpans(l); int64(len(ok)) != s.TasksCompleted {
+		t.Errorf("merged OK spans %d != tasks completed %d", len(ok), s.TasksCompleted)
+	}
+	checkLaneMonotone(t, l)
+	checkAligned(t, l, wallNS)
+
+	st := c.Status()
+	for _, w := range st.Workers {
+		if w.SpansShipped == 0 {
+			t.Errorf("worker %d shipped no spans", w.ID)
+		}
+		if w.ClockRTTNS <= 0 {
+			t.Errorf("worker %d has no clock-offset sample (rtt %d)", w.ID, w.ClockRTTNS)
+		}
+	}
 }
 
 func TestDistMultiProcessLUNoPiv(t *testing.T) {
@@ -137,7 +219,12 @@ func TestDistMultiProcessLUNoPiv(t *testing.T) {
 	want := c0.Result().ToColMajor()
 
 	a := spdTiled(seed, n, nb)
-	c, err := dist.NewCoordinator("127.0.0.1:0", killOpts(dist.OpLUNoPiv, a))
+	kopt := killOpts(dist.OpLUNoPiv, a)
+	// Start barrier: without it, a slow-to-exec victim process can join
+	// after the survivors drained the whole (small) DAG and exit clean
+	// without ever reaching its 2nd lease — no death, nothing to detect.
+	kopt.WaitWorkers = 3
+	c, err := dist.NewCoordinator("127.0.0.1:0", kopt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,27 @@ type TaskSpec struct {
 	J    int
 }
 
+// WireSpan is one trace event in transit from a worker to the coordinator:
+// a whole task attempt (Phase ""), a fetch/compute/commit sub-phase, or a
+// zero-duration fault instant (see trace.IsFault). Timestamps are the
+// recording process's local clock (UnixNano); the coordinator re-bases
+// them onto its own epoch with the RTT-midpoint offset shipped alongside.
+type WireSpan struct {
+	ID      int    // task id, -1 for scatter prefetch and chaos instants
+	Name    string // kernel kind, or "scatter"
+	Worker  int    // worker id at recording time (lane in the merged trace)
+	Attempt int
+	Phase   string
+	StartNS int64 // local clock, UnixNano
+	EndNS   int64
+	Bytes   int64 // payload moved, fetch/commit phases only
+	TileI   int
+	TileJ   int
+	HasTile bool
+	Outcome int // sched.Outcome, whole-attempt spans only
+	Err     string
+}
+
 // RegisterArgs announces a new (or re-registering) worker.
 type RegisterArgs struct{}
 
@@ -63,6 +84,9 @@ type RegisterReply struct {
 	// task traffic matches the per-access replay cost model.
 	Scatter     [][2]int
 	CacheRemote bool
+	// CoordNS is the coordinator's clock (nanoseconds since its trace
+	// epoch) when the handler ran, for RTT-midpoint offset estimation.
+	CoordNS int64
 }
 
 // LeaseArgs asks for one ready task. RPCRetries piggybacks the number of
@@ -86,11 +110,29 @@ type LeaseReply struct {
 	PollMS  int
 	Done    bool
 	Evicted bool
+	// Attempt is the 1-based execution attempt this lease grants, for span
+	// annotation.
+	Attempt int
 }
 
 // HeartbeatArgs keeps a worker and its leases alive between Lease calls.
-type HeartbeatArgs struct{ Worker int }
-type HeartbeatReply struct{ Evicted bool }
+// It doubles as the trace-shard shipping channel: Spans carries a batch of
+// locally recorded spans, SpanBase the cumulative index of the batch's
+// first span (so retransmissions and re-shipped unacked batches are
+// absorbed exactly once), and OffsetNS/RTTNS the worker's current best
+// (min-RTT) clock-offset sample.
+type HeartbeatArgs struct {
+	Worker    int
+	Spans     []WireSpan
+	SpanBase  int64
+	OffsetNS  int64
+	RTTNS     int64
+	HasOffset bool
+}
+type HeartbeatReply struct {
+	Evicted bool
+	CoordNS int64
+}
 
 // GetArgs fetches one tile. Scatter marks the initial home-tile prefetch,
 // billed separately from task-driven traffic.
@@ -134,8 +176,16 @@ type CommitReply struct {
 	Evicted  bool
 }
 
-// ByeArgs deregisters a worker gracefully (mid-run scale-down).
-type ByeArgs struct{ Worker int }
+// ByeArgs deregisters a worker gracefully (mid-run scale-down), flushing
+// any trace spans still unshipped (same fields as HeartbeatArgs).
+type ByeArgs struct {
+	Worker    int
+	Spans     []WireSpan
+	SpanBase  int64
+	OffsetNS  int64
+	RTTNS     int64
+	HasOffset bool
+}
 type ByeReply struct{}
 
 // ErrEvicted is returned by worker RPC helpers when the coordinator has
@@ -149,6 +199,11 @@ var ErrEvicted = errors.New("dist: worker evicted by coordinator")
 type client struct {
 	addr string
 	dice *chaosDice
+
+	// onChaos, when non-nil, observes every injected wire fault (kinds
+	// "drop_send", "drop_reply", "duplicate", "delay") for span recording.
+	// Set before the client is shared across goroutines.
+	onChaos func(kind string)
 
 	mu      sync.Mutex
 	rpc     *rpc.Client
@@ -220,9 +275,11 @@ func (c *client) call(method string, args, reply any) error {
 		}
 		fate := c.dice.draw()
 		if fate.delay > 0 {
+			c.chaos("delay")
 			time.Sleep(fate.delay)
 		}
 		if fate.dropSend {
+			c.chaos("drop_send")
 			lastErr = errors.New("dist: chaos dropped request")
 			continue
 		}
@@ -234,10 +291,12 @@ func (c *client) call(method string, args, reply any) error {
 		if err == nil && fate.duplicate {
 			// Deliver the call twice; the server must be idempotent. The
 			// second reply wins, like a retransmission beating the original.
+			c.chaos("duplicate")
 			zeroReply(reply)
 			err = c.conn().Call(coordService+"."+method, args, reply)
 		}
 		if err == nil && fate.dropReply {
+			c.chaos("drop_reply")
 			lastErr = errors.New("dist: chaos dropped reply")
 			continue
 		}
@@ -252,6 +311,12 @@ func (c *client) call(method string, args, reply any) error {
 		}
 	}
 	return fmt.Errorf("dist: %s failed after %d attempts: %w", method, c.maxAttempts, lastErr)
+}
+
+func (c *client) chaos(kind string) {
+	if c.onChaos != nil {
+		c.onChaos(kind)
+	}
 }
 
 // isNetError reports whether err looks like a broken transport (as opposed

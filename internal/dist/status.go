@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"sort"
+	"time"
+
+	"exadla/internal/sched"
+	"exadla/internal/trace"
+)
+
+// This file is the coordinator's cluster-observability surface: the merged
+// multi-process trace (worker span shards aligned onto the coordinator's
+// clock), the structured fault-event hook, and the live status snapshot
+// the obs server's /dist endpoint serves.
+
+// Event is one structured distributed-runtime fault event, delivered to
+// Options.Events as it happens. Kind is one of trace.PhaseEvicted,
+// trace.PhaseReaped, trace.PhaseStale, trace.PhaseChaos.
+type Event struct {
+	Kind    string
+	Worker  int // -1 when not worker-specific
+	Task    int // -1 when not task-specific
+	Attempt int // 0 when unknown
+	Detail  string
+}
+
+// Eviction is one entry of the coordinator's eviction log.
+type Eviction struct {
+	Worker int    `json:"worker"`
+	Reason string `json:"reason"`
+	AtMS   int64  `json:"at_ms"` // milliseconds since the coordinator epoch
+}
+
+// WorkerInfo is the live view of one registered worker.
+type WorkerInfo struct {
+	ID           int   `json:"id"`
+	Slot         int   `json:"slot"`
+	Live         bool  `json:"live"`
+	Evicted      bool  `json:"evicted"`
+	Departed     bool  `json:"departed"`
+	LastBeatMS   int64 `json:"last_beat_age_ms"`
+	ClockOffsetN int64 `json:"clock_offset_ns"`
+	ClockRTTNS   int64 `json:"clock_rtt_ns"`
+	SpansShipped int64 `json:"spans_shipped"`
+}
+
+// LeaseInfo is one outstanding lease in the live lease table.
+type LeaseInfo struct {
+	Task        int    `json:"task"`
+	Kind        string `json:"kind"`
+	Worker      int    `json:"worker"`
+	Attempt     int    `json:"attempt"`
+	ExpiresInMS int64  `json:"expires_in_ms"`
+}
+
+// ClusterStatus is the coordinator's live health/progress snapshot, served
+// by the obs server's /dist endpoint and folded into /healthz.
+type ClusterStatus struct {
+	Op          string        `json:"op"`
+	Tasks       int           `json:"tasks"`
+	Completed   int           `json:"tasks_completed"`
+	Done        bool          `json:"done"`
+	WorkersLive int           `json:"workers_live"`
+	UptimeMS    int64         `json:"uptime_ms"`
+	Workers     []WorkerInfo  `json:"workers"`
+	Leases      []LeaseInfo   `json:"leases"`
+	Evictions   []Eviction    `json:"evictions"`
+	Stats       StatsSnapshot `json:"stats"`
+}
+
+// nowNS is the coordinator's trace clock: nanoseconds since its epoch.
+func (c *Coordinator) nowNS() int64 { return time.Since(c.epoch).Nanoseconds() }
+
+// faultLocked records a fault instant on the affected worker's process
+// lane and fires the Events hook.
+func (c *Coordinator) faultLocked(kind string, worker, task, attempt int, detail string) {
+	now := c.nowNS()
+	c.cevents = append(c.cevents, trace.Event{
+		ID: task, Worker: worker, Attempt: attempt,
+		Start: now, End: now,
+		Proc: worker + 1, Phase: kind, Err: detail,
+	})
+	if c.opt.Events != nil {
+		c.opt.Events(Event{Kind: kind, Worker: worker, Task: task, Attempt: attempt, Detail: detail})
+	}
+}
+
+// absorbLocked lands one shipped span batch. base is the cumulative index
+// of the batch's first span; any prefix already absorbed from this shipper
+// is dropped, making retransmitted and re-shipped batches idempotent.
+func (c *Coordinator) absorbLocked(shipper int, spans []WireSpan, base, off, rtt int64, hasOff bool) {
+	if hasOff {
+		if r, seen := c.offRTTs[shipper]; !seen || rtt < r {
+			c.offRTTs[shipper] = rtt
+			c.offs[shipper] = off
+		}
+	}
+	if len(spans) == 0 {
+		return
+	}
+	end := base + int64(len(spans))
+	have := c.absorbed[shipper]
+	if end <= have {
+		return // full retransmission
+	}
+	if skip := have - base; skip > 0 {
+		spans = spans[skip:]
+	}
+	c.absorbed[shipper] = end
+	c.shards[shipper] = append(c.shards[shipper], spans...)
+	if c.opt.Events != nil {
+		for _, ws := range spans {
+			if ws.Phase == trace.PhaseChaos {
+				c.opt.Events(Event{Kind: trace.PhaseChaos, Worker: ws.Worker, Task: ws.ID, Detail: ws.Err})
+			}
+		}
+	}
+}
+
+// localSpanLocked records one coordinator-local task execution (the
+// degraded-mode path) on process lane 0.
+func (c *Coordinator) localSpanLocked(id int, name string, attempt int, startNS int64, err error) {
+	e := trace.Event{
+		ID: id, Name: name, Worker: 0, Attempt: attempt,
+		Start: startNS, End: c.nowNS(), Proc: 0,
+	}
+	if err != nil {
+		e.Outcome = sched.OutcomeFailed
+		e.Err = err.Error()
+	}
+	c.cevents = append(c.cevents, e)
+}
+
+// buildTaskDeps mirrors sched.Frontier's RAW/WAR/WAW derivation over the
+// plan, giving the merged trace its dependence edges (workers don't know
+// them). Index is task ID; IDs are dense plan order.
+func buildTaskDeps(op string, pl *plan) [][]int {
+	deps := make([][]int, len(pl.tasks))
+	type access struct {
+		lastWriter int
+		readers    []int
+	}
+	last := map[coord]*access{}
+	acc := func(cd coord) *access {
+		a := last[cd]
+		if a == nil {
+			a = &access{lastWriter: -1}
+			last[cd] = a
+		}
+		return a
+	}
+	for i := range pl.tasks {
+		t := &pl.tasks[i]
+		reads, writes := accesses(op, t)
+		set := map[int]bool{}
+		addDep := func(from int) {
+			if from >= 0 && from != t.ID {
+				set[from] = true
+			}
+		}
+		for _, cd := range reads {
+			a := acc(cd)
+			addDep(a.lastWriter)
+			if !coordIn(writes, cd) {
+				a.readers = append(a.readers, t.ID)
+			}
+		}
+		for _, cd := range writes {
+			a := acc(cd)
+			addDep(a.lastWriter)
+			for _, rd := range a.readers {
+				addDep(rd)
+			}
+			a.lastWriter = t.ID
+			a.readers = a.readers[:0]
+		}
+		if len(set) > 0 {
+			ds := make([]int, 0, len(set))
+			for d := range set {
+				ds = append(ds, d)
+			}
+			sort.Ints(ds)
+			deps[t.ID] = ds
+		}
+	}
+	return deps
+}
+
+func coordIn(cs []coord, cd coord) bool {
+	for _, c := range cs {
+		if c == cd {
+			return true
+		}
+	}
+	return false
+}
+
+// ClusterLog merges the coordinator's own events with every shipped worker
+// shard into one trace.Log on the coordinator's clock: each worker's
+// local timestamps are re-based by its best (min-RTT) offset sample, a
+// single constant per shipper, so per-worker ordering is exactly the
+// recording order. Whole-attempt events gain the plan's dependence edges,
+// making the merged log analyzable by AnalyzeDAG.
+func (c *Coordinator) ClusterLog() *trace.Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := trace.NewLog()
+	withDeps := func(e trace.Event) trace.Event {
+		if e.Phase == "" && e.ID >= 0 && e.ID < len(c.taskDeps) {
+			e.Deps = c.taskDeps[e.ID]
+		}
+		return e
+	}
+	for _, e := range c.cevents {
+		l.Add(withDeps(e))
+	}
+	for shipper, spans := range c.shards {
+		off := c.offs[shipper]
+		for _, ws := range spans {
+			l.Add(withDeps(wireToEvent(ws, off)))
+		}
+	}
+	return l
+}
+
+// Status snapshots the live cluster state.
+func (c *Coordinator) Status() ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := ClusterStatus{
+		Op:          c.opt.Op,
+		Tasks:       len(c.pl.tasks),
+		Completed:   int(c.stats.TasksCompleted.Load()),
+		Done:        c.done,
+		WorkersLive: c.liveCountLocked(),
+		UptimeMS:    c.nowNS() / 1e6,
+		Evictions:   append([]Eviction(nil), c.evictLog...),
+		Stats:       c.stats.Snapshot(),
+	}
+	for id, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerInfo{
+			ID: id, Slot: w.slot, Live: w.live(),
+			Evicted: w.evicted, Departed: w.byed,
+			LastBeatMS:   now.Sub(w.lastBeat).Milliseconds(),
+			ClockOffsetN: c.offs[id],
+			ClockRTTNS:   c.offRTTs[id],
+			SpansShipped: c.absorbed[id],
+		})
+	}
+	for _, l := range c.leases {
+		st.Leases = append(st.Leases, LeaseInfo{
+			Task: l.task, Kind: c.pl.tasks[l.task].Kind,
+			Worker: l.worker, Attempt: c.attempts[l.task],
+			ExpiresInMS: l.deadline.Sub(now).Milliseconds(),
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].Task < st.Leases[j].Task })
+	return st
+}

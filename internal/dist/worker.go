@@ -6,7 +6,9 @@ import (
 	"os"
 	"time"
 
+	"exadla/internal/sched"
 	"exadla/internal/tile"
+	"exadla/internal/trace"
 )
 
 // RunWorker is the stateless half of the runtime: a pull loop that holds
@@ -39,6 +41,10 @@ type WorkerOptions struct {
 	// must be rejected.
 	HangAfter int
 	HangFor   time.Duration
+	// Trace, when non-nil, receives a local mirror of every span this
+	// worker records (worker-local clock). Spans ship to the coordinator's
+	// merged cluster trace regardless.
+	Trace *trace.Log
 	// Logf, when non-nil, receives progress and fault events.
 	Logf func(format string, args ...any)
 }
@@ -66,6 +72,12 @@ type worker struct {
 	pollMS      int
 	hbStop      chan struct{}
 	leased      int // tasks granted so far, drives KillAfter/HangAfter
+	sh          *spanShipper
+	// cur is the task attempt being executed, annotating fetch spans.
+	cur struct {
+		id, attempt int
+		name        string
+	}
 }
 
 // RunWorker joins the coordinator at addr and works until the job is done
@@ -79,9 +91,11 @@ func RunWorker(addr string, opt WorkerOptions) error {
 		return err
 	}
 	defer cl.close()
+	sh := newSpanShipper(opt.Trace)
+	cl.onChaos = func(kind string) { sh.instant(trace.PhaseChaos, kind) }
 	leased := 0
 	for {
-		w, err := register(cl, &opt)
+		w, err := register(cl, sh, &opt)
 		if err != nil {
 			return err
 		}
@@ -99,11 +113,14 @@ func RunWorker(addr string, opt WorkerOptions) error {
 
 // register announces the worker, builds its cache, and prefetches its home
 // tiles under strict placement.
-func register(cl *client, opt *WorkerOptions) (*worker, error) {
+func register(cl *client, sh *spanShipper, opt *WorkerOptions) (*worker, error) {
 	var rep RegisterReply
+	t0 := time.Now().UnixNano()
 	if err := cl.call("Register", &RegisterArgs{}, &rep); err != nil {
 		return nil, err
 	}
+	sh.sample(rep.CoordNS, t0, time.Now().UnixNano())
+	sh.setWorker(rep.Worker)
 	w := &worker{
 		cl: cl, opt: opt,
 		id: rep.Worker, slot: rep.Slot, op: rep.Op,
@@ -113,7 +130,9 @@ func register(cl *client, opt *WorkerOptions) (*worker, error) {
 		cacheRemote: rep.CacheRemote,
 		pollMS:      rep.PollMS,
 		hbStop:      make(chan struct{}),
+		sh:          sh,
 	}
+	w.cur.id = -1
 	for _, c := range rep.Scatter {
 		w.home[coord(c)] = true
 		if err := w.fetch(coord(c), true); err != nil {
@@ -134,10 +153,17 @@ func (w *worker) heartbeat(every time.Duration) {
 		case <-w.hbStop:
 			return
 		case <-t.C:
+			spans, base, off, rtt, hasOff := w.sh.batch(shipBatch)
+			args := &HeartbeatArgs{Worker: w.id, Spans: spans, SpanBase: base,
+				OffsetNS: off, RTTNS: rtt, HasOffset: hasOff}
 			var rep HeartbeatReply
+			t0 := time.Now().UnixNano()
 			// Errors and evictions surface on the next Lease; the beat loop
-			// just keeps trying.
-			_ = w.cl.call("Heartbeat", &HeartbeatArgs{Worker: w.id}, &rep)
+			// just keeps trying (unacked spans re-ship next beat).
+			if err := w.cl.call("Heartbeat", args, &rep); err == nil {
+				w.sh.sample(rep.CoordNS, t0, time.Now().UnixNano())
+				w.sh.ack(len(spans))
+			}
 		}
 	}
 }
@@ -150,12 +176,23 @@ func (w *worker) stopHeartbeat() {
 	}
 }
 
-// fetch pulls one tile into the cache.
+// fetch pulls one tile into the cache, recording a fetch span attributed
+// to the current task attempt (or to the scatter prefetch, id -1).
 func (w *worker) fetch(c coord, scatter bool) error {
 	var rep GetReply
+	t0 := time.Now().UnixNano()
 	if err := w.cl.call("Get", &GetArgs{Worker: w.id, I: c[0], J: c[1], Scatter: scatter}, &rep); err != nil {
 		return err
 	}
+	ws := WireSpan{
+		ID: w.cur.id, Name: w.cur.name, Attempt: w.cur.attempt,
+		Phase: trace.PhaseFetch, StartNS: t0, EndNS: time.Now().UnixNano(),
+		Bytes: int64(8 * len(rep.Data)), TileI: c[0], TileJ: c[1], HasTile: true,
+	}
+	if scatter {
+		ws.ID, ws.Name, ws.Attempt = -1, "scatter", 1
+	}
+	w.sh.add(ws)
 	t := w.a.Tile(c[0], c[1])
 	if len(rep.Data) != len(t) {
 		return fmt.Errorf("dist: tile (%d,%d) fetch returned %d words, want %d", c[0], c[1], len(rep.Data), len(t))
@@ -193,8 +230,12 @@ func (w *worker) loop() error {
 		case rep.Evicted:
 			return ErrEvicted
 		case rep.Done:
+			spans, base, off, rtt, hasOff := w.sh.batch(0) // flush everything
 			var bye ByeReply
-			_ = w.cl.call("Bye", &ByeArgs{Worker: w.id}, &bye)
+			if err := w.cl.call("Bye", &ByeArgs{Worker: w.id, Spans: spans,
+				SpanBase: base, OffsetNS: off, RTTNS: rtt, HasOffset: hasOff}, &bye); err == nil {
+				w.sh.ack(len(spans))
+			}
 			return nil
 		case rep.Task == nil:
 			ms := rep.PollMS
@@ -217,7 +258,7 @@ func (w *worker) loop() error {
 			w.opt.logf("dist: worker %d hanging %v on task %d", w.id, w.opt.HangFor, rep.Task.ID)
 			time.Sleep(w.opt.HangFor)
 		}
-		if err := w.execute(rep.Task, rep.Token, rep.Vers); err != nil {
+		if err := w.execute(rep.Task, rep.Token, rep.Vers, rep.Attempt); err != nil {
 			return err
 		}
 	}
@@ -227,8 +268,16 @@ func (w *worker) loop() error {
 // cache, commit the written tiles. A rejected commit (this worker was
 // reaped or the task re-ran elsewhere) invalidates the written cache
 // entries — the kernel may have computed on a stale snapshot — and the
-// loop simply pulls the next task.
-func (w *worker) execute(t *TaskSpec, token int64, vers []int) error {
+// loop simply pulls the next task. Every leg is recorded as a span: the
+// whole attempt, each operand fetch (inside ensure), the kernel compute,
+// and one commit span per shipped tile sharing the commit RPC's interval.
+func (w *worker) execute(t *TaskSpec, token int64, vers []int, attempt int) error {
+	if attempt < 1 {
+		attempt = 1
+	}
+	w.cur.id, w.cur.attempt, w.cur.name = t.ID, attempt, t.Kind
+	defer func() { w.cur.id, w.cur.attempt, w.cur.name = -1, 0, "" }()
+	whole := WireSpan{ID: t.ID, Name: t.Kind, Attempt: attempt, StartNS: time.Now().UnixNano()}
 	reads, writes := accesses(w.op, t)
 	ops := append(append([]coord{}, reads...), writes...)
 	if len(vers) != len(ops) {
@@ -238,8 +287,12 @@ func (w *worker) execute(t *TaskSpec, token int64, vers []int) error {
 		return err
 	}
 	args := &CommitArgs{Worker: w.id, Task: t.ID, Token: token}
-	if err := applyKernel(w.op, t, w.a); err != nil {
-		args.Err = err.Error()
+	compStart := time.Now().UnixNano()
+	kerr := applyKernel(w.op, t, w.a)
+	w.sh.add(WireSpan{ID: t.ID, Name: t.Kind, Attempt: attempt,
+		Phase: trace.PhaseCompute, StartNS: compStart, EndNS: time.Now().UnixNano()})
+	if kerr != nil {
+		args.Err = kerr.Error()
 		for _, c := range writes {
 			delete(w.ver, c) // the failed kernel may have half-written them
 		}
@@ -256,9 +309,31 @@ func (w *worker) execute(t *TaskSpec, token int64, vers []int) error {
 			args.Tiles = append(args.Tiles, TilePayload{I: c[0], J: c[1], Data: data})
 		}
 	}
+	commitStart := time.Now().UnixNano()
 	var rep CommitReply
-	if err := w.cl.call("Commit", args, &rep); err != nil {
-		return err
+	rpcErr := w.cl.call("Commit", args, &rep)
+	commitEnd := time.Now().UnixNano()
+	for _, p := range args.Tiles {
+		w.sh.add(WireSpan{ID: t.ID, Name: t.Kind, Attempt: attempt,
+			Phase: trace.PhaseCommit, StartNS: commitStart, EndNS: commitEnd,
+			Bytes: int64(8 * len(p.Data)), TileI: p.I, TileJ: p.J, HasTile: true})
+	}
+	whole.EndNS = commitEnd
+	switch {
+	case rpcErr != nil:
+		whole.Outcome, whole.Err = int(sched.OutcomeFailed), rpcErr.Error()
+	case kerr != nil:
+		whole.Outcome, whole.Err = int(sched.OutcomeFailed), kerr.Error()
+	case rep.Evicted || !rep.Accepted:
+		// The result was discarded (reaped straggler / eviction): the task
+		// ran or will run again elsewhere, which is what Retried means.
+		whole.Outcome = int(sched.OutcomeRetried)
+	default:
+		whole.Outcome = int(sched.OutcomeOK)
+	}
+	w.sh.add(whole)
+	if rpcErr != nil {
+		return rpcErr
 	}
 	if rep.Evicted {
 		return ErrEvicted

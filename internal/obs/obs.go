@@ -28,6 +28,16 @@ type Options struct {
 	// Trace, when non-nil, enables /trace serving the live log as Chrome
 	// trace JSON.
 	Trace *trace.Log
+	// Cluster, when non-nil, enables /trace?scope=cluster: it is called per
+	// request and must return the merged multi-process trace (e.g. a dist
+	// coordinator's ClusterLog), served as Chrome trace JSON with one
+	// process lane per OS process, or as the native events format with
+	// &format=events.
+	Cluster func() *trace.Log
+	// Dist, when non-nil, enables /dist serving its return value as a JSON
+	// document — the live cluster status (workers, leases, evictions,
+	// counters) of a distributed coordinator.
+	Dist func() any
 	// Health, when non-nil, contributes extra fields to the /healthz body.
 	Health func() map[string]any
 }
@@ -44,6 +54,9 @@ type Server struct {
 //
 //	/metrics        Prometheus text format (?format=json for a JSON snapshot)
 //	/trace          Chrome trace-event JSON of the live trace log
+//	                (?scope=cluster for the merged multi-process trace,
+//	                &format=events for the native re-loadable form)
+//	/dist           JSON cluster status (workers, leases, evictions)
 //	/healthz        JSON liveness report
 //	/debug/pprof/   the standard net/http/pprof handlers
 func Start(addr string, opt Options) (*Server, error) {
@@ -69,6 +82,22 @@ func Start(addr string, opt Options) (*Server, error) {
 		_ = snap.WritePrometheus(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("scope") == "cluster" {
+			if opt.Cluster == nil {
+				http.Error(w, "cluster tracing not enabled", http.StatusNotFound)
+				return
+			}
+			l := opt.Cluster()
+			w.Header().Set("Content-Type", "application/json")
+			if r.URL.Query().Get("format") == "events" {
+				w.Header().Set("Content-Disposition", `attachment; filename="exadla-cluster-events.json"`)
+				_ = l.WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Disposition", `attachment; filename="exadla-cluster-trace.json"`)
+			_ = l.WriteChromeCluster(w)
+			return
+		}
 		if opt.Trace == nil {
 			http.Error(w, "tracing not enabled", http.StatusNotFound)
 			return
@@ -76,6 +105,14 @@ func Start(addr string, opt Options) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="exadla-trace.json"`)
 		_ = opt.Trace.WriteChrome(w)
+	})
+	mux.HandleFunc("/dist", func(w http.ResponseWriter, r *http.Request) {
+		if opt.Dist == nil {
+			http.Error(w, "no distributed job", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(opt.Dist())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		body := map[string]any{

@@ -86,6 +86,84 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+func TestServerClusterEndpoints(t *testing.T) {
+	clusterLog := func() *trace.Log {
+		l := trace.NewLog()
+		l.Add(trace.Event{ID: 0, Name: "potrf", Worker: 0, Attempt: 1, Proc: 1,
+			Start: 0, End: 1000, Outcome: sched.OutcomeOK})
+		l.Add(trace.Event{ID: 0, Worker: 0, Attempt: 1, Proc: 1,
+			Phase: trace.PhaseCompute, Start: 0, End: 1000})
+		return l
+	}
+	s, err := Start("127.0.0.1:0", Options{
+		Registry: metrics.New(),
+		Cluster:  clusterLog,
+		Dist: func() any {
+			return map[string]any{"workers_live": 3, "tasks_completed": 12}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	// Chrome form: a JSON array with a process_name lane for worker 0.
+	code, body := get(t, base+"/trace?scope=cluster")
+	var events []map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &events) != nil {
+		t.Fatalf("/trace?scope=cluster: code=%d body=%q", code, body)
+	}
+	lane := false
+	for _, e := range events {
+		if e["name"] == "process_name" {
+			lane = lane || e["args"].(map[string]any)["name"] == "worker 0"
+		}
+	}
+	if !lane {
+		t.Errorf("cluster trace has no worker 0 lane: %v", events)
+	}
+
+	// Native events form re-loads through trace.ReadJSON.
+	code, body = get(t, base+"/trace?scope=cluster&format=events")
+	if code != 200 {
+		t.Fatalf("/trace?scope=cluster&format=events: code=%d", code)
+	}
+	back, err := trace.ReadJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("native cluster trace does not re-load: %v", err)
+	}
+	if len(back.Events()) != 2 {
+		t.Errorf("native cluster trace has %d events, want 2", len(back.Events()))
+	}
+
+	code, body = get(t, base+"/dist")
+	var st map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &st) != nil {
+		t.Fatalf("/dist: code=%d body=%q", code, body)
+	}
+	if st["workers_live"].(float64) != 3 || st["tasks_completed"].(float64) != 12 {
+		t.Errorf("/dist body: %v", st)
+	}
+
+	// A plain /trace on a server with only a cluster source is 404; so are
+	// the cluster endpoints on a server without one.
+	if code, _ := get(t, base+"/trace"); code != http.StatusNotFound {
+		t.Errorf("/trace without a log: code=%d, want 404", code)
+	}
+	bare, err := Start("127.0.0.1:0", Options{Registry: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if code, _ := get(t, "http://"+bare.Addr()+"/trace?scope=cluster"); code != http.StatusNotFound {
+		t.Errorf("/trace?scope=cluster without a source: code=%d, want 404", code)
+	}
+	if code, _ := get(t, "http://"+bare.Addr()+"/dist"); code != http.StatusNotFound {
+		t.Errorf("/dist without a job: code=%d, want 404", code)
+	}
+}
+
 func TestServerWithoutTrace(t *testing.T) {
 	s, err := Start("127.0.0.1:0", Options{Registry: metrics.New()})
 	if err != nil {

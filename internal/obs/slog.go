@@ -5,7 +5,9 @@ import (
 	"errors"
 	"log/slog"
 
+	"exadla/internal/dist"
 	"exadla/internal/sched"
+	"exadla/internal/trace"
 )
 
 // FailureLogger adapts a structured logger into a scheduler failure
@@ -48,5 +50,46 @@ func FailureLogger(l *slog.Logger) func(sched.FailureEvent) {
 			slog.Bool("retrying", e.Retrying),
 			slog.Any("err", e.Err),
 		)
+	}
+}
+
+// DistLogger adapts a structured logger into a distributed-runtime fault
+// observer (dist.Options.Events / exadla.DistConfig.EventLog): each
+// cluster fault event becomes one log record. Fleet-level faults that cost
+// work (a worker evicted, a lease reaped for re-execution) log at Warn;
+// faults the protocol absorbs by design (a stale commit rejected, an
+// injected wire fault) log at Info. The hook is invoked under the
+// coordinator's lock, so the adapter only logs — it never calls back into
+// the coordinator.
+func DistLogger(l *slog.Logger) func(dist.Event) {
+	return func(e dist.Event) {
+		level := slog.LevelInfo
+		var msg string
+		switch e.Kind {
+		case trace.PhaseEvicted:
+			level, msg = slog.LevelWarn, "worker evicted"
+		case trace.PhaseReaped:
+			level, msg = slog.LevelWarn, "lease reaped, task will re-execute"
+		case trace.PhaseStale:
+			msg = "stale commit rejected"
+		case trace.PhaseChaos:
+			msg = "injected wire fault"
+		default:
+			msg = "dist event"
+		}
+		attrs := []any{
+			slog.String("kind", e.Kind),
+			slog.Int("worker", e.Worker),
+		}
+		if e.Task >= 0 {
+			attrs = append(attrs, slog.Int("task", e.Task))
+		}
+		if e.Attempt > 0 {
+			attrs = append(attrs, slog.Int("attempt", e.Attempt))
+		}
+		if e.Detail != "" {
+			attrs = append(attrs, slog.String("detail", e.Detail))
+		}
+		l.Log(context.Background(), level, msg, attrs...)
 	}
 }

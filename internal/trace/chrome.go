@@ -36,7 +36,13 @@ const chromePID = 1
 // depth and busy workers, and an extra "skipped" lane of instant events for
 // tasks poisoned by failures.
 func (l *Log) WriteChrome(w io.Writer) error {
-	events := l.Events()
+	all := l.Events()
+	events := all[:0:0]
+	for _, e := range all {
+		if e.Phase == "" {
+			events = append(events, e)
+		}
+	}
 
 	maxWorker, haveSkipped := 0, false
 	workers := map[int]bool{}

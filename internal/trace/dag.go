@@ -31,6 +31,18 @@ type DAGStats struct {
 	CritTasks int
 	// CritShare maps kernel name to its fraction of critical-path time.
 	CritShare map[string]float64
+	// FetchTime and CommitTime are the summed seconds of fetch and commit
+	// sub-phase spans (cluster traces only; zero for in-process traces).
+	FetchTime, CommitTime float64
+	// TCommInf is the communication-aware critical path: the longest chain
+	// weighted by fetch+compute+commit per task. TCommInf ≥ TInf, so the
+	// comm-limited speedup bound can only be tighter than the DAG-limited
+	// one. Equals TInf when the trace carries no sub-phase spans.
+	TCommInf float64
+	// BytesFetched is the live bytes moved by task-driven fetch spans
+	// (initial scatter prefetch, recorded under task ID -1, is excluded so
+	// the number is comparable to the per-task communication model).
+	BytesFetched int64
 }
 
 // Speedup returns the achieved speedup T₁/makespan (0 if unmeasurable).
@@ -50,6 +62,18 @@ func (s DAGStats) SpeedupBound(p int) float64 {
 	return math.Min(float64(p), s.T1/s.TInf)
 }
 
+// CommSpeedupBound returns the communication-limited speedup bound at p
+// workers: min(p, T₁/TComm∞). Because every chain is at least as long once
+// fetch and commit time is charged to its tasks, this is ≤ SpeedupBound —
+// the gap between the two is how much of the DAG headroom communication
+// eats.
+func (s DAGStats) CommSpeedupBound(p int) float64 {
+	if s.TCommInf <= 0 {
+		return s.SpeedupBound(p)
+	}
+	return math.Min(float64(p), s.T1/s.TCommInf)
+}
+
 // BrentBound returns Brent's greedy-schedule makespan upper bound at p
 // workers: T₁/p + T∞. Any work-conserving schedule finishes within it.
 func (s DAGStats) BrentBound(p int) float64 {
@@ -63,7 +87,30 @@ func (s DAGStats) BrentBound(p int) float64 {
 type dagNode struct {
 	name string
 	deps []int
-	dur  float64 // summed attempt durations, seconds
+	dur  float64 // summed whole-attempt durations, seconds
+	comp float64 // summed compute sub-phase durations, seconds
+	comm float64 // summed fetch+commit sub-phase durations, seconds
+	// phased is set once any sub-phase span is seen for this task; the
+	// whole-attempt span then stops being the weight source, because it
+	// already contains the sub-phases.
+	phased bool
+}
+
+// weight is the task's compute time: the compute sub-phases when the trace
+// records them, the whole-attempt duration otherwise.
+func (n *dagNode) weight() float64 {
+	if n.phased {
+		return n.comp
+	}
+	return n.dur
+}
+
+// commWeight additionally charges the task's fetch and commit time.
+func (n *dagNode) commWeight() float64 {
+	if n.phased {
+		return n.comp + n.comm
+	}
+	return n.dur
 }
 
 // AnalyzeDAG computes the work/span decomposition of the recorded trace.
@@ -78,11 +125,57 @@ func (l *Log) AnalyzeDAG() DAGStats {
 	st := DAGStats{CritShare: map[string]float64{}}
 
 	nodes := map[int]*dagNode{}
+	node := func(e Event) *dagNode {
+		n := nodes[e.ID]
+		if n == nil {
+			n = &dagNode{name: e.Name, deps: e.Deps}
+			nodes[e.ID] = n
+		}
+		return n
+	}
 	synthetic := -1 // legacy events get unique negative IDs
+	commitSeen := map[[2]int]bool{} // (id, attempt) whose commit interval is charged
 	var first, last int64
 	for _, e := range events {
 		if e.Attempt == 0 {
 			continue
+		}
+		d := float64(e.End-e.Start) / 1e9
+		switch e.Phase {
+		case PhaseFetch:
+			st.FetchTime += d
+			if e.ID >= 0 {
+				st.BytesFetched += e.Bytes
+				n := node(e)
+				n.comm += d
+				n.phased = true
+			}
+			continue
+		case PhaseCompute:
+			if e.ID >= 0 {
+				n := node(e)
+				n.comp += d
+				n.phased = true
+			}
+			continue
+		case PhaseCommit:
+			// Per-tile commit spans share one RPC interval; charge the
+			// interval once per attempt.
+			if e.ID >= 0 {
+				key := [2]int{e.ID, e.Attempt}
+				if !commitSeen[key] {
+					commitSeen[key] = true
+					st.CommitTime += d
+					n := node(e)
+					n.comm += d
+					n.phased = true
+				}
+			}
+			continue
+		default:
+			if e.Phase != "" {
+				continue // fault instants carry no duration
+			}
 		}
 		if st.Attempts == 0 {
 			first, last = e.Start, e.End
@@ -107,8 +200,12 @@ func (l *Log) AnalyzeDAG() DAGStats {
 		if n == nil {
 			n = &dagNode{name: e.Name, deps: e.Deps}
 			nodes[id] = n
+		} else if len(n.deps) == 0 {
+			// The node may have been created by a sub-phase span, which
+			// carries no dependence edges; the whole-attempt span does.
+			n.name, n.deps = e.Name, e.Deps
 		}
-		n.dur += float64(e.End-e.Start) / 1e9
+		n.dur += d
 	}
 	if st.Attempts == 0 {
 		return st
@@ -117,7 +214,7 @@ func (l *Log) AnalyzeDAG() DAGStats {
 	st.Makespan = float64(last-first) / 1e9
 	workers := map[int]bool{}
 	for _, e := range events {
-		if e.Attempt > 0 && e.Worker >= 0 {
+		if e.Attempt > 0 && e.Worker >= 0 && e.Phase == "" {
 			workers[e.Worker] = true
 		}
 	}
@@ -131,29 +228,38 @@ func (l *Log) AnalyzeDAG() DAGStats {
 	}
 	sort.Ints(ids)
 	finish := make(map[int]float64, len(nodes))
+	commFinish := make(map[int]float64, len(nodes))
 	pred := make(map[int]int, len(nodes))
-	critEnd, critFinish := 0, math.Inf(-1)
+	critEnd, critFinish, commCrit := 0, math.Inf(-1), math.Inf(-1)
 	for _, id := range ids {
 		n := nodes[id]
-		st.T1 += n.dur
-		start, p := 0.0, id // p == id means "no predecessor"
+		st.T1 += n.weight()
+		start, commStart, p := 0.0, 0.0, id // p == id means "no predecessor"
 		for _, d := range n.deps {
 			if f, ok := finish[d]; ok && f > start {
 				start, p = f, d
 			}
+			if f, ok := commFinish[d]; ok && f > commStart {
+				commStart = f
+			}
 		}
-		finish[id] = start + n.dur
+		finish[id] = start + n.weight()
+		commFinish[id] = commStart + n.commWeight()
 		pred[id] = p
 		if finish[id] > critFinish {
 			critEnd, critFinish = id, finish[id]
 		}
+		if commFinish[id] > commCrit {
+			commCrit = commFinish[id]
+		}
 	}
 	st.TInf = critFinish
+	st.TCommInf = commCrit
 
 	// Backtrack one critical path and attribute its time per kernel.
 	for id := critEnd; ; id = pred[id] {
 		st.CritPath = append(st.CritPath, id)
-		st.CritShare[nodes[id].name] += nodes[id].dur
+		st.CritShare[nodes[id].name] += nodes[id].weight()
 		if pred[id] == id {
 			break
 		}

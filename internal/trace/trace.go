@@ -40,6 +40,20 @@ type Event struct {
 	Outcome sched.Outcome
 	// Err is the attempt's failure message, if any.
 	Err string
+	// Proc is the process lane in a merged cluster trace: 0 for in-process
+	// (or coordinator) events, worker id + 1 for distributed worker events.
+	Proc int
+	// Phase refines a distributed task attempt into sub-spans (PhaseFetch,
+	// PhaseCompute, PhaseCommit) or marks a fault instant (PhaseEvicted,
+	// PhaseReaped, PhaseStale, PhaseChaos). Empty for whole-attempt spans —
+	// the only kind the single-process analyses (Analyze, Gantt, the task
+	// accounting of AnalyzeDAG) consume.
+	Phase string
+	// Bytes is the payload moved during a fetch/commit phase span.
+	Bytes int64
+	// Tile names the tile a fetch/commit phase span moved, when HasTile.
+	Tile    [2]int
+	HasTile bool
 }
 
 // QueueWait returns Start-Ready, or 0 when the ready time is unknown.
@@ -127,6 +141,17 @@ func (l *Log) TaskSpan(sp sched.Span) {
 	s.mu.Unlock()
 }
 
+// Add appends an arbitrary event — the entry point for merged cluster
+// traces and deserialized logs, which carry Proc/Phase/Bytes context the
+// sched tracer interfaces cannot express. Events land on the shard of
+// their process lane.
+func (l *Log) Add(e Event) {
+	s := l.shard(e.Proc)
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
 // Events returns a copy of the recorded events merged across worker shards
 // and sorted by start time (ID, then attempt, break ties).
 func (l *Log) Events() []Event {
@@ -188,7 +213,7 @@ func (l *Log) Analyze() Stats {
 	st := Stats{ByKernel: map[string]float64{}}
 	var first, last int64
 	for _, e := range events {
-		if e.Attempt == 0 {
+		if e.Attempt == 0 || e.Phase != "" {
 			continue
 		}
 		if st.Tasks == 0 {
@@ -210,7 +235,7 @@ func (l *Log) Analyze() Stats {
 	}
 	workers := map[int]bool{}
 	for _, e := range events {
-		if e.Attempt > 0 && e.Worker >= 0 {
+		if e.Attempt > 0 && e.Worker >= 0 && e.Phase == "" {
 			workers[e.Worker] = true
 		}
 	}
@@ -230,7 +255,7 @@ func (l *Log) Gantt(w io.Writer, width int) error {
 	all := l.Events()
 	events := all[:0:0]
 	for _, e := range all {
-		if e.Attempt > 0 && e.Worker >= 0 {
+		if e.Attempt > 0 && e.Worker >= 0 && e.Phase == "" {
 			events = append(events, e)
 		}
 	}
