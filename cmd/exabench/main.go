@@ -40,7 +40,7 @@ var experiments = []experiment{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
 	quick := flag.Bool("quick", false, "use reduced sizes for a fast pass")
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and dump a JSON snapshot per experiment")
 	faults := flag.Bool("faults", false, "run the fault-injection mode instead of the experiment suite")
@@ -99,7 +99,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: e1..e12, all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: e1..e13, all\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -13,7 +13,10 @@
 //	exadist -join 127.0.0.1:7000   # kill -9 this one; the job still finishes
 //
 // Fault hooks for the -join side (-kill-after, -hang-after, -drop, -dup,
-// -delay) make the chaos reproducible from the command line.
+// -delay, -corrupt, -partition-after/-partition-for, -slow) make the
+// chaos reproducible from the command line; -spec and -scrub on the
+// serve side arm the defenses (speculative twin leases, at-rest CRC
+// scrubbing).
 package main
 
 import (
@@ -49,6 +52,8 @@ func main() {
 	writeBack := flag.Bool("writeback", false, "write-back residency: drop finalized tiles to worker caches, keep XOR parity")
 	lease := flag.Duration("lease", 2*time.Second, "task lease duration")
 	deadAfter := flag.Duration("dead-after", 1500*time.Millisecond, "heartbeat silence before a worker is declared dead")
+	spec := flag.Bool("spec", false, "speculative execution: twin leases running long vs their kernel's duration history onto idle workers")
+	scrub := flag.Duration("scrub", 0, "background integrity scrub interval (0 disables); repairs at-rest tile rot from row parity")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory (arms snapshots; use -resume to restart)")
 	ckptEvery := flag.Int("ckpt-every", 1, "panel steps between checkpoints")
 	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -ckpt instead of starting fresh")
@@ -66,6 +71,11 @@ func main() {
 	dup := flag.Float64("dup", 0, "probability of duplicating an RPC")
 	delay := flag.Float64("delay", 0, "probability of delaying an RPC by -max-delay")
 	maxDelay := flag.Duration("max-delay", 5*time.Millisecond, "injected RPC latency")
+	corrupt := flag.Float64("corrupt", 0, "probability of flipping one payload bit in a tile in flight")
+	partAfter := flag.Duration("partition-after", 0, "silence every RPC starting this long after the worker connects")
+	partFor := flag.Duration("partition-for", 0, "partition window length; the worker rejoins when it closes")
+	slow := flag.Float64("slow", 0, "straggler factor: pad every kernel to this multiple of its measured duration")
+	rejoinWindow := flag.Duration("rejoin-window", 0, "keep re-registering after losing the coordinator for this long (default: derived from the partition window)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the wire-fault injector")
 	flag.Parse()
 
@@ -76,17 +86,22 @@ func main() {
 	case *join != "":
 		opt := dist.WorkerOptions{
 			Chaos: dist.NetChaos{
-				DropSend:  *drop,
-				DropReply: *drop,
-				Dup:       *dup,
-				Delay:     *delay,
-				MaxDelay:  *maxDelay,
-				Seed:      *chaosSeed,
+				DropSend:       *drop,
+				DropReply:      *drop,
+				Dup:            *dup,
+				Delay:          *delay,
+				MaxDelay:       *maxDelay,
+				Corrupt:        *corrupt,
+				PartitionAfter: *partAfter,
+				PartitionFor:   *partFor,
+				Seed:           *chaosSeed,
 			},
-			KillAfter:  *killAfter,
-			ExitOnKill: true,
-			HangAfter:  *hangAfter,
-			HangFor:    *hangFor,
+			KillAfter:    *killAfter,
+			ExitOnKill:   true,
+			HangAfter:    *hangAfter,
+			HangFor:      *hangFor,
+			SlowFactor:   *slow,
+			RejoinWindow: *rejoinWindow,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
@@ -116,6 +131,7 @@ func main() {
 			minWorkers: *minWorkers, waitWorkers: *waitWorkers,
 			gridP: *gridP, gridQ: *gridQ, strict: *strict, writeBack: *writeBack,
 			lease: *lease, deadAfter: *deadAfter,
+			speculate: *spec, scrubEvery: *scrub,
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 			verify: *verify, obsAddr: *obsAddr,
 			traceOut: *traceOut, eventsOut: *eventsOut, logEvents: *logEvents,
@@ -137,6 +153,8 @@ type serveConfig struct {
 	gridP, gridQ            int
 	strict, writeBack       bool
 	lease, deadAfter        time.Duration
+	speculate               bool
+	scrubEvery              time.Duration
 	ckptDir                 string
 	ckptEvery               int
 	resume                  bool
@@ -163,6 +181,7 @@ func runServe(addr string, cfg serveConfig) error {
 		Strict: cfg.strict, WriteBack: cfg.writeBack,
 		MinWorkers: cfg.minWorkers, WaitWorkers: cfg.waitWorkers,
 		Lease: cfg.lease, DeadAfter: cfg.deadAfter,
+		Speculate: cfg.speculate, ScrubEvery: cfg.scrubEvery,
 		CheckpointDir: cfg.ckptDir, CheckpointEvery: cfg.ckptEvery,
 		Metrics: cfg.obsAddr != "",
 	}
@@ -211,7 +230,16 @@ func runServe(addr string, cfg serveConfig) error {
 		s.TasksCompleted, s.TasksReexecuted, s.TasksLocal, s.CommitsRejected, s.CommitsDuplicate)
 	fmt.Printf("  traffic: %d B fetched, %d B committed, %d B scattered, %d RPC retries\n",
 		s.BytesFetched, s.BytesCommitted, s.BytesScattered, s.RPCRetries)
-	fmt.Printf("  recovery: %d tiles reconstructed, %d checkpoints\n", s.TilesRebuilt, s.CheckpointsSaved)
+	fmt.Printf("  recovery: %d tiles reconstructed, %d checkpoints, %d workers rejoined\n",
+		s.TilesRebuilt, s.CheckpointsSaved, s.WorkersRejoined)
+	if s.SpecLaunched > 0 {
+		fmt.Printf("  speculation: %d twins launched, %d won, %d wasted\n",
+			s.SpecLaunched, s.SpecWins, s.SpecWasted)
+	}
+	if s.CorruptInjected+s.CorruptCommits+s.CorruptGets+s.AtRestDetected > 0 || s.ScrubScanned > 0 {
+		fmt.Printf("  integrity: %d corruptions injected, %d caught at commit, %d caught at fetch; scrub scanned %d tiles, repaired %d/%d rotted\n",
+			s.CorruptInjected, s.CorruptCommits, s.CorruptGets, s.ScrubScanned, s.AtRestRepaired, s.AtRestDetected)
+	}
 
 	if cfg.traceOut != "" {
 		if err := writeFileWith(cfg.traceOut, job.WriteClusterTrace); err != nil {

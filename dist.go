@@ -42,7 +42,8 @@ const (
 
 // DistChaos configures the seeded wire-fault injector a joining worker
 // wraps around every RPC (drop requests, drop replies after execution,
-// duplicate, delay). The zero value injects nothing.
+// duplicate, delay, flip payload bits in flight, or silence everything
+// for a partition window). The zero value injects nothing.
 type DistChaos = dist.NetChaos
 
 // DistStats is a point-in-time snapshot of a distributed job's counters.
@@ -86,6 +87,16 @@ type DistConfig struct {
 	// Lease and DeadAfter override the task-lease duration and the
 	// heartbeat-silence eviction deadline.
 	Lease, DeadAfter time.Duration
+	// Speculate arms straggler mitigation: a lease running long against
+	// the learned duration distribution of its kernel kind is twinned onto
+	// an idle worker, and the first valid commit wins (the loser is
+	// absorbed as a duplicate, so the factor is still bitwise identical).
+	// Ignored under Strict placement.
+	Speculate bool
+	// ScrubEvery, when positive, arms the background integrity scrub: the
+	// coordinator re-verifies stored tiles against their at-rest CRCs at
+	// this interval, repairing detected rot from row parity.
+	ScrubEvery time.Duration
 	// CheckpointDir, when set, arms per-panel-window snapshots (every
 	// CheckpointEvery steps, minimum 1) from which ResumeDist restarts.
 	CheckpointDir   string
@@ -112,6 +123,8 @@ func (cfg DistConfig) options(a *tile.Matrix[float64]) dist.Options {
 		WaitWorkers: cfg.WaitWorkers,
 		Lease:       cfg.Lease,
 		DeadAfter:   cfg.DeadAfter,
+		Speculate:   cfg.Speculate,
+		ScrubEvery:  cfg.ScrubEvery,
 		CkptDir:     cfg.CheckpointDir,
 		CkptEvery:   cfg.CheckpointEvery,
 	}

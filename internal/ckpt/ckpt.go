@@ -332,9 +332,25 @@ func Decode(rd io.Reader) (*Checkpoint, error) {
 // fileName is the canonical checkpoint file name for a frontier step.
 func fileName(step int) string { return fmt.Sprintf("ckpt-%06d.ckpt", step) }
 
-// Save atomically writes the checkpoint into dir as ckpt-<step>.ckpt
-// (write to a temp file, fsync, rename), creating dir if needed, and
-// returns the final path. A reader never observes a torn file.
+// syncWriter is what Save needs from its temp file. The indirection below
+// lets tests wrap the file in a failure injector (short writes, a failing
+// fsync or close — the shapes a full disk takes) and assert that no torn
+// checkpoint ever becomes visible to Latest.
+type syncWriter interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// newSaveFile wraps the freshly created temp file; tests swap it.
+var newSaveFile = func(f *os.File) syncWriter { return f }
+
+// Save atomically writes the checkpoint into dir as ckpt-<step>.ckpt:
+// write to a temp file, fsync it, and only if every byte landed durably
+// rename it into place (then fsync the directory so the rename itself
+// survives a crash). Creates dir if needed and returns the final path. On
+// any failure the temp file is removed and the error returned — a reader
+// never observes a torn or truncated checkpoint, only the previous one.
 func Save(dir string, c *Checkpoint) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
@@ -344,20 +360,26 @@ func Save(dir string, c *Checkpoint) (string, error) {
 		return "", err
 	}
 	defer os.Remove(tmp.Name())
-	if err := Encode(tmp, c); err != nil {
-		tmp.Close()
+	w := newSaveFile(tmp)
+	if err := Encode(w, c); err != nil {
+		w.Close()
 		return "", err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+	if err := w.Sync(); err != nil {
+		w.Close()
 		return "", err
 	}
-	if err := tmp.Close(); err != nil {
+	if err := w.Close(); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, fileName(c.Step))
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return "", err
+	}
+	// Make the rename durable too; best-effort — the data itself is synced.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return path, nil
 }

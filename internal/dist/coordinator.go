@@ -4,13 +4,16 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"exadla/internal/ckpt"
+	"exadla/internal/ft"
 	"exadla/internal/metrics"
 	"exadla/internal/sched"
 	"exadla/internal/tile"
@@ -49,6 +52,10 @@ import (
 // kill -9 on the coordinator, minus the inconvenience).
 var ErrAborted = errors.New("dist: coordinator aborted after checkpoint")
 
+// scrubTilesPerPass bounds how many tiles one background scrub pass
+// re-verifies, keeping each pass short under the coordinator lock.
+const scrubTilesPerPass = 32
+
 // Options configures a distributed run.
 type Options struct {
 	// Op is the factorization: OpCholesky or OpLUNoPiv.
@@ -84,6 +91,22 @@ type Options struct {
 	Lease, DeadAfter, LocalDelay time.Duration
 	// Poll is the idle re-poll interval handed to workers.
 	Poll time.Duration
+	// Speculate enables twin leases for stragglers: when a running lease's
+	// age exceeds SpecFactor times the SpecQuantile of that kernel's
+	// observed lease durations (after SpecMinSamples commits of the kind),
+	// an otherwise-idle worker is handed a twin of the task. Whichever copy
+	// commits first wins through the lease-token gate; the loser's payload
+	// is acknowledged but discarded, so the result stays bitwise identical.
+	// Ignored under Strict (twins would break owner-computes placement).
+	Speculate      bool
+	SpecQuantile   float64 // default 0.95
+	SpecFactor     float64 // default 2.0
+	SpecMinSamples int     // default 5
+	// ScrubEvery enables the background at-rest scrub: each interval the
+	// coordinator re-verifies a batch of stored tiles against their CRCs,
+	// repairing detected rot from the row parity where possible. Zero
+	// disables scrubbing (the read path still verifies on every Get).
+	ScrubEvery time.Duration
 	// CkptDir enables checkpointing into that directory; CkptEvery is the
 	// window width in panel steps (default 1). AbortAtStep > 0 aborts the
 	// run (ErrAborted) once the snapshot covering steps < AbortAtStep is
@@ -127,6 +150,15 @@ func (o *Options) defaults() {
 	if o.CkptEvery < 1 {
 		o.CkptEvery = 1
 	}
+	if o.SpecQuantile <= 0 || o.SpecQuantile >= 1 {
+		o.SpecQuantile = 0.95
+	}
+	if o.SpecFactor <= 0 {
+		o.SpecFactor = 2.0
+	}
+	if o.SpecMinSamples < 1 {
+		o.SpecMinSamples = 5
+	}
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -141,6 +173,9 @@ type lease struct {
 	worker   int
 	token    int64
 	deadline time.Time
+	// granted is when the lease was handed out — the clock speculation
+	// compares against the kernel's historical duration distribution.
+	granted time.Time
 }
 
 // workerState is the coordinator's view of one registered worker.
@@ -194,6 +229,19 @@ type Coordinator struct {
 	leases     map[int]*lease
 	attempts   map[int]int
 	workers    map[int]*workerState
+	// Speculative execution: twins holds the second lease of each task
+	// running twice, specQ the straggler tasks waiting for an idle worker
+	// to twin them, and specPending marks queued tasks so the straggler
+	// scan enqueues each at most once per twin generation. specHist feeds
+	// per-kernel lease-duration histograms in specReg — a private,
+	// always-on registry, so speculation has its signal even when the user
+	// configured no Options.Registry.
+	twins       map[int]*lease
+	specQ       []int
+	specPending map[int]bool
+	specReg     *metrics.Registry
+	specHist    map[string]*metrics.Histogram
+	lastScrub   time.Time
 	slots      []int // occupant worker id per grid slot, -1 vacant
 	nextWorker int
 	nextToken  int64
@@ -208,11 +256,17 @@ type Coordinator struct {
 
 	// Cluster-trace state: the coordinator's trace epoch, its own events
 	// (local execution spans, fault instants), the raw span shards shipped
-	// by workers (keyed by the shipping registration id), the cumulative
-	// span count absorbed per shipper (exactly-once absorption), and the
-	// best clock-offset/RTT sample per shipper.
+	// by workers, the cumulative span count absorbed per shipper
+	// (exactly-once absorption), and the best clock-offset/RTT sample per
+	// shipper. All four maps are keyed by the shipper's lineage ROOT — the
+	// registration id of the process's first identity — because a span
+	// shipper (and its cumulative index and clock) lives for the worker
+	// process, across evictions and rejoins. Keying by root keeps
+	// absorption exactly-once even when a batch shipped under an old
+	// identity races a re-registration.
 	epoch    time.Time
 	cevents  []trace.Event
+	lineage  map[int]int
 	shards   map[int][]WireSpan
 	absorbed map[int]int64
 	offs     map[int]int64
@@ -231,16 +285,21 @@ type Coordinator struct {
 func NewCoordinator(addr string, opt Options) (*Coordinator, error) {
 	opt.defaults()
 	c := &Coordinator{
-		opt:      opt,
-		leases:   map[int]*lease{},
-		attempts: map[int]int{},
-		workers:  map[int]*workerState{},
-		wake:     make(chan struct{}, 1),
-		epoch:    time.Now(),
-		shards:   map[int][]WireSpan{},
-		absorbed: map[int]int64{},
-		offs:     map[int]int64{},
-		offRTTs:  map[int]int64{},
+		opt:         opt,
+		leases:      map[int]*lease{},
+		attempts:    map[int]int{},
+		workers:     map[int]*workerState{},
+		twins:       map[int]*lease{},
+		specPending: map[int]bool{},
+		specReg:     metrics.New(),
+		specHist:    map[string]*metrics.Histogram{},
+		wake:        make(chan struct{}, 1),
+		epoch:       time.Now(),
+		lineage:     map[int]int{},
+		shards:      map[int][]WireSpan{},
+		absorbed:    map[int]int64{},
+		offs:        map[int]int64{},
+		offRTTs:     map[int]int64{},
 	}
 	c.m = newDistMetrics(opt.Registry)
 
@@ -262,6 +321,17 @@ func NewCoordinator(addr string, opt Options) (*Coordinator, error) {
 	}
 	c.taskDeps = buildTaskDeps(opt.Op, c.pl)
 	c.st = newStore(a, opt.WriteBack, func() { c.addStat(&c.stats.TilesRebuilt, c.m.tilesRebuilt, 1) })
+	// Store callbacks run under c.mu (the coordinator serializes all store
+	// access), so recording fault instants here is safe.
+	c.st.onRotDetect = func(i, j int) {
+		c.addStat(&c.stats.AtRestDetected, c.m.atRestDetected, 1)
+		c.faultLocked(trace.PhaseCorrupt, -1, -1, 0, fmt.Sprintf("at-rest rot in tile (%d,%d)", i, j))
+		c.opt.logf("dist: at-rest rot detected in tile (%d,%d)", i, j)
+	}
+	c.st.onRotRepair = func(i, j int) {
+		c.addStat(&c.stats.AtRestRepaired, c.m.atRestRepaired, 1)
+		c.opt.logf("dist: tile (%d,%d) repaired from row parity", i, j)
+	}
 
 	nslots := 1
 	if opt.Strict {
@@ -353,6 +423,40 @@ func (c *Coordinator) Stats() StatsSnapshot { return c.stats.Snapshot() }
 func (c *Coordinator) addStat(a *atomic.Int64, m *metrics.Counter, d int64) {
 	a.Add(d)
 	m.Add(d)
+}
+
+// absorbCorruptsLocked lands a worker's piggybacked corruption ledger: how
+// many payload corruptions its chaos layer injected and how many corrupt
+// Get replies it detected and refetched.
+func (c *Coordinator) absorbCorruptsLocked(injected, detected int64) {
+	if injected > 0 {
+		c.addStat(&c.stats.CorruptInjected, c.m.corruptInjected, injected)
+	}
+	if detected > 0 {
+		c.addStat(&c.stats.CorruptGets, c.m.corruptGets, detected)
+	}
+}
+
+// CorruptStoredTile flips one bit of tile (i,j)'s in-store bytes without
+// touching its at-rest CRC — the rot-injection hook integrity tests use to
+// exercise the scrub and the verified read path. It fails if the tile's
+// bytes are not currently in the store (write-back residency).
+func (c *Coordinator) CorruptStoredTile(i, j, elem int, bit uint) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= c.a.MT || j < 0 || j >= c.a.NT {
+		return fmt.Errorf("dist: tile (%d,%d) out of range", i, j)
+	}
+	if w := c.st.resident[i][j]; w >= 0 {
+		return fmt.Errorf("dist: tile (%d,%d) bytes are resident on worker %d, not in-store", i, j, w)
+	}
+	t := c.st.a.Tile(i, j)
+	if len(t) == 0 {
+		return fmt.Errorf("dist: tile (%d,%d) is empty", i, j)
+	}
+	e := ((elem % len(t)) + len(t)) % len(t)
+	t[e] = math.Float64frombits(math.Float64bits(t[e]) ^ (1 << (bit % 64)))
+	return nil
 }
 
 func (c *Coordinator) accept() {
@@ -535,11 +639,31 @@ func (c *Coordinator) failLocked(err error) {
 	c.signal()
 }
 
-// revokeLeaseLocked returns a leased task to the ready heap.
+// revokeLeaseLocked releases a primary lease. If a speculative twin is
+// still running it is promoted to primary — the task stays in flight on
+// the healthy worker instead of being re-queued behind the whole frontier.
+// Otherwise the task returns to the ready heap.
 func (c *Coordinator) revokeLeaseLocked(l *lease) {
 	delete(c.leases, l.task)
 	c.addStat(&c.stats.LeasesExpired, c.m.leasesExpired, 1)
+	if tw := c.twins[l.task]; tw != nil {
+		c.leases[l.task] = tw
+		delete(c.twins, l.task)
+		c.opt.logf("dist: twin of task %d (worker %d) promoted to primary", l.task, tw.worker)
+		return
+	}
 	c.pushReadyLocked(l.task)
+}
+
+// dropTwinsLocked discards every twin lease held by worker w (its work is
+// speculative by definition — the primary still covers the task).
+func (c *Coordinator) dropTwinsLocked(w *workerState) {
+	for id, tw := range c.twins {
+		if tw.worker == w.id {
+			delete(c.twins, id)
+			c.addStat(&c.stats.LeasesExpired, c.m.leasesExpired, 1)
+		}
+	}
 }
 
 // evictLocked declares a worker dead: frees its slot, revokes its leases,
@@ -557,11 +681,16 @@ func (c *Coordinator) evictLocked(w *workerState, reason string) {
 		c.slots[w.slot] = -1
 		w.slot = -1
 	}
+	var lost []*lease
 	for _, l := range c.leases {
 		if l.worker == w.id {
-			c.revokeLeaseLocked(l)
+			lost = append(lost, l)
 		}
 	}
+	for _, l := range lost {
+		c.revokeLeaseLocked(l)
+	}
+	c.dropTwinsLocked(w)
 	if _, err := c.st.dropWorker(w.id); err != nil {
 		c.failLocked(err)
 	}
@@ -573,17 +702,119 @@ func (c *Coordinator) evictLocked(w *workerState, reason string) {
 // (hung worker — it may still be heartbeating, its eventual commit will be
 // stale), and workers silent past DeadAfter are evicted wholesale.
 func (c *Coordinator) reapLocked(now time.Time) {
+	// Collect first: revocation can promote a twin back into c.leases, and
+	// mutating a map mid-range may or may not surface the new entry.
+	var expired []*lease
 	for _, l := range c.leases {
 		if now.After(l.deadline) {
-			c.opt.logf("dist: lease on task %d (worker %d) expired", l.task, l.worker)
-			c.faultLocked(trace.PhaseReaped, l.worker, l.task, c.attempts[l.task], "lease deadline passed")
-			c.revokeLeaseLocked(l)
+			expired = append(expired, l)
+		}
+	}
+	for _, l := range expired {
+		c.opt.logf("dist: lease on task %d (worker %d) expired", l.task, l.worker)
+		c.faultLocked(trace.PhaseReaped, l.worker, l.task, c.attempts[l.task], "lease deadline passed")
+		c.revokeLeaseLocked(l)
+	}
+	for id, tw := range c.twins {
+		if now.After(tw.deadline) {
+			c.opt.logf("dist: twin lease on task %d (worker %d) expired", id, tw.worker)
+			c.faultLocked(trace.PhaseReaped, tw.worker, id, c.attempts[id], "twin lease deadline passed")
+			delete(c.twins, id)
+			c.addStat(&c.stats.LeasesExpired, c.m.leasesExpired, 1)
 		}
 	}
 	for _, w := range c.workers {
 		if w.live() && now.Sub(w.lastBeat) > c.opt.DeadAfter {
 			c.evictLocked(w, "heartbeat silence")
 		}
+	}
+}
+
+// speculateLocked scans outstanding leases for stragglers: a lease whose
+// age exceeds SpecFactor × the SpecQuantile of its kernel's committed
+// lease durations is queued for twinning by the next idle worker. Strict
+// mode opts out — a twin runs on a foreign slot, which would falsify the
+// owner-computes byte accounting.
+func (c *Coordinator) speculateLocked(now time.Time) {
+	if !c.opt.Speculate || c.opt.Strict || c.done || len(c.leases) == 0 {
+		return
+	}
+	var snap metrics.Snapshot
+	snapped := false
+	thr := map[string]time.Duration{}
+	var due []int
+	for id, l := range c.leases {
+		if c.specPending[id] || c.twins[id] != nil {
+			continue
+		}
+		kind := c.pl.tasks[id].Kind
+		d, ok := thr[kind]
+		if !ok {
+			if !snapped {
+				snap = c.specReg.Snapshot()
+				snapped = true
+			}
+			h := snap.Histograms["dist.lease."+kind+".ns"]
+			if h.Count < int64(c.opt.SpecMinSamples) {
+				// No per-kind signal yet; fall back to the all-kinds
+				// distribution so the first straggler of a kind is still
+				// twinnable once the run as a whole has history.
+				h = snap.Histograms["dist.lease.all.ns"]
+			}
+			if h.Count < int64(c.opt.SpecMinSamples) {
+				d = -1 // not enough signal to call anything slow
+			} else {
+				d = time.Duration(float64(h.Quantile(c.opt.SpecQuantile)) * c.opt.SpecFactor)
+				if d < time.Millisecond {
+					d = time.Millisecond
+				}
+			}
+			thr[kind] = d
+		}
+		if d > 0 && now.Sub(l.granted) >= d {
+			due = append(due, id)
+		}
+	}
+	sort.Ints(due) // map order is random; keep the queue deterministic-ish
+	for _, id := range due {
+		c.specPending[id] = true
+		c.specQ = append(c.specQ, id)
+	}
+}
+
+// pickSpecLocked pops the next twinnable straggler for worker w: the
+// primary lease must still be outstanding and held by someone else.
+func (c *Coordinator) pickSpecLocked(w *workerState) (int, bool) {
+	for len(c.specQ) > 0 {
+		id := c.specQ[0]
+		c.specQ = c.specQ[1:]
+		l := c.leases[id]
+		if l == nil || c.twins[id] != nil || c.fr.Completed(id) {
+			delete(c.specPending, id) // stale queue entry
+			continue
+		}
+		if l.worker == w.id {
+			// The asker holds the primary; requeue for a different worker.
+			c.specQ = append([]int{id}, c.specQ...)
+			return 0, false
+		}
+		delete(c.specPending, id)
+		return id, true
+	}
+	return 0, false
+}
+
+// leaseObserveLocked feeds an accepted commit's grant→commit duration into
+// the kernel's histogram (and the all-kinds fallback) — the distribution
+// speculation thresholds on.
+func (c *Coordinator) leaseObserveLocked(kind string, d time.Duration) {
+	for _, k := range [2]string{kind, "all"} {
+		h := c.specHist[k]
+		if h == nil {
+			h = c.specReg.Histogram("dist.lease." + k + ".ns")
+			c.specHist[k] = h
+		}
+		h.Observe(d.Nanoseconds())
 	}
 }
 
@@ -666,6 +897,7 @@ func (c *Coordinator) localStepLocked(now time.Time) bool {
 func (c *Coordinator) Run() error {
 	c.mu.Lock()
 	c.started = time.Now()
+	c.lastScrub = c.started
 	c.mu.Unlock()
 
 	tick := c.opt.Lease / 4
@@ -687,6 +919,11 @@ func (c *Coordinator) Run() error {
 		c.mu.Lock()
 		now := time.Now()
 		c.reapLocked(now)
+		c.speculateLocked(now)
+		if c.opt.ScrubEvery > 0 && !c.done && now.Sub(c.lastScrub) >= c.opt.ScrubEvery {
+			c.addStat(&c.stats.ScrubScanned, c.m.scrubScanned, int64(c.st.scrub(scrubTilesPerPass)))
+			c.lastScrub = now
+		}
 		for c.localStepLocked(now) {
 		}
 		done := c.done
@@ -726,13 +963,25 @@ type coordRPC struct{ c *Coordinator }
 // Register admits a worker (new or returning after eviction), assigns a
 // grid slot if one is vacant, and hands back the job geometry plus the
 // scatter list for strict placement.
-func (r *coordRPC) Register(_ *RegisterArgs, reply *RegisterReply) error {
+func (r *coordRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
 	c := r.c
 	defer c.m.timeRPC("register")()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.nextWorker
 	c.nextWorker++
+	if args.Rejoin {
+		// A flapping node coming back after eviction: its old identity (and
+		// anything leased to it) is gone; it re-enters as a fresh worker.
+		c.addStat(&c.stats.WorkersRejoined, c.m.workersRejoined, 1)
+		c.faultLocked(trace.PhaseRejoin, id, -1, 0, fmt.Sprintf("was worker %d", args.PrevWorker))
+		c.opt.logf("dist: worker %d rejoined (was worker %d)", id, args.PrevWorker)
+		// The returning process keeps its span shipper, whose cumulative
+		// indices (and clock) span identities: chain the new id to the old
+		// lineage so absorption stays exactly-once even when a batch shipped
+		// under the old id is still in flight.
+		c.lineage[id] = c.rootLocked(args.PrevWorker)
+	}
 	w := &workerState{id: id, slot: -1, lastBeat: time.Now()}
 	for s := range c.slots {
 		if c.slots[s] == -1 {
@@ -783,6 +1032,7 @@ func (r *coordRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
 		c.addStat(&c.stats.RPCRetries, c.m.rpcRetries, args.RPCRetries)
 		c.m.rpcRetriesHist.Observe(args.RPCRetries)
 	}
+	c.absorbCorruptsLocked(args.CorruptsInjected, args.CorruptsDetected)
 	w := c.workers[args.Worker]
 	if w == nil || !w.live() {
 		reply.Evicted = true
@@ -804,12 +1054,29 @@ func (r *coordRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
 		c.barrierMet = true
 	}
 	id, ok := c.pickTaskLocked(w)
+	spec := false
+	if !ok && c.opt.Speculate {
+		// No fresh work: offer this idle worker a twin of a straggling lease.
+		id, ok = c.pickSpecLocked(w)
+		spec = ok
+	}
 	if !ok {
 		return nil
 	}
 	t := c.pl.tasks[id]
+	now := time.Now()
 	c.nextToken++
-	c.leases[id] = &lease{task: id, worker: w.id, token: c.nextToken, deadline: time.Now().Add(c.opt.Lease)}
+	l := &lease{task: id, worker: w.id, token: c.nextToken, deadline: now.Add(c.opt.Lease), granted: now}
+	if spec {
+		c.twins[id] = l
+		c.addStat(&c.stats.SpecLaunched, c.m.specLaunched, 1)
+		prim := c.leases[id]
+		c.faultLocked(trace.PhaseSpecTwin, w.id, id, c.attempts[id]+1,
+			fmt.Sprintf("twin of worker %d", prim.worker))
+		c.opt.logf("dist: task %d straggling on worker %d; twin leased to worker %d", id, prim.worker, w.id)
+	} else {
+		c.leases[id] = l
+	}
 	if c.attempts[id] > 0 {
 		c.addStat(&c.stats.TasksReexecuted, c.m.tasksReexecuted, 1)
 	}
@@ -852,12 +1119,13 @@ func (r *coordRPC) Get(args *GetArgs, reply *GetReply) error {
 	if args.I < 0 || args.I >= c.a.MT || args.J < 0 || args.J >= c.a.NT {
 		return fmt.Errorf("dist: tile (%d,%d) out of range", args.I, args.J)
 	}
-	data, ver, err := c.st.get(coord{args.I, args.J}, args.Worker)
+	data, ver, crc, err := c.st.get(coord{args.I, args.J}, args.Worker)
 	if err != nil {
 		return err
 	}
 	reply.Data = data
 	reply.Ver = ver
+	reply.CRC = crc
 	n := int64(8 * len(data))
 	c.m.rpcGetBytes.Observe(n)
 	if args.Scatter {
@@ -884,16 +1152,26 @@ func (r *coordRPC) Commit(args *CommitArgs, reply *CommitReply) error {
 	}
 	w.lastBeat = time.Now()
 	l := c.leases[args.Task]
-	if l == nil || l.token != args.Token || l.worker != args.Worker {
+	tw := c.twins[args.Task]
+	var win *lease
+	switch {
+	case l != nil && l.token == args.Token && l.worker == args.Worker:
+		win = l
+	case tw != nil && tw.token == args.Token && tw.worker == args.Worker:
+		win = tw
+	}
+	if win == nil {
 		if c.fr.Completed(args.Task) {
-			// A commit of an already-completed task: either a retransmission
-			// of one that landed, or a reaped straggler whose re-leased twin
-			// finished first. Acknowledge it so the sender moves on, but ship
-			// no versions — this payload was NOT applied, and blessing the
+			// A commit of an already-completed task: a retransmission of one
+			// that landed, or the losing copy of a reaped/speculated pair.
+			// Acknowledge it so the sender moves on, flag it Duplicate so the
+			// sender does not record a completion of its own, and ship no
+			// versions — this payload was NOT applied, and blessing the
 			// sender's cache with current version numbers would let a stale
 			// straggler's bytes masquerade as the store's.
 			c.addStat(&c.stats.CommitsDuplicate, c.m.commitsDuplicate, 1)
 			reply.Accepted = true
+			reply.Duplicate = true
 			return nil
 		}
 		c.addStat(&c.stats.CommitsRejected, c.m.commitsRejected, 1)
@@ -901,15 +1179,42 @@ func (r *coordRPC) Commit(args *CommitArgs, reply *CommitReply) error {
 		c.opt.logf("dist: rejected stale commit of task %d from worker %d", args.Task, args.Worker)
 		return nil
 	}
+	// End-to-end integrity: verify every payload against the CRC the worker
+	// computed at the kernel's output before a single byte is applied. A
+	// mismatch means the wire lied in flight; the lease stays live so the
+	// worker can resend the same attempt's clean bytes.
+	if args.Err == "" {
+		for _, p := range args.Tiles {
+			if ft.CRC64(p.Data) != p.CRC {
+				c.addStat(&c.stats.CorruptCommits, c.m.corruptCommits, 1)
+				c.faultLocked(trace.PhaseCorrupt, args.Worker, args.Task, c.attempts[args.Task],
+					fmt.Sprintf("commit payload for tile (%d,%d) failed CRC", p.I, p.J))
+				c.opt.logf("dist: rejected corrupt commit payload for tile (%d,%d) from worker %d", p.I, p.J, args.Worker)
+				reply.BadPayload = true
+				return nil
+			}
+		}
+	}
 	delete(c.leases, args.Task)
+	if tw != nil {
+		delete(c.twins, args.Task)
+		if win == tw {
+			c.addStat(&c.stats.SpecWins, c.m.specWins, 1)
+			c.opt.logf("dist: twin of task %d (worker %d) won the race", args.Task, args.Worker)
+		} else {
+			c.addStat(&c.stats.SpecWasted, c.m.specWasted, 1)
+		}
+	}
+	delete(c.specPending, args.Task)
 	if args.Err != "" {
 		c.failLocked(errors.New(args.Err))
 		reply.Accepted = true
 		return nil
 	}
+	c.leaseObserveLocked(c.pl.tasks[args.Task].Kind, time.Since(win.granted))
 	for _, p := range args.Tiles {
 		final := c.pl.finalWriter[coord{p.I, p.J}] == args.Task
-		ver, err := c.st.put(coord{p.I, p.J}, p.Data, args.Worker, final)
+		ver, err := c.st.put(coord{p.I, p.J}, p.Data, p.CRC, args.Worker, final)
 		if err != nil {
 			c.failLocked(err)
 			return err
@@ -933,6 +1238,7 @@ func (r *coordRPC) Bye(args *ByeArgs, _ *ByeReply) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.absorbLocked(args.Worker, args.Spans, args.SpanBase, args.OffsetNS, args.RTTNS, args.HasOffset)
+	c.absorbCorruptsLocked(args.CorruptsInjected, args.CorruptsDetected)
 	w := c.workers[args.Worker]
 	if w == nil || !w.live() {
 		return nil
@@ -942,11 +1248,16 @@ func (r *coordRPC) Bye(args *ByeArgs, _ *ByeReply) error {
 		c.slots[w.slot] = -1
 		w.slot = -1
 	}
+	var lost []*lease
 	for _, l := range c.leases {
 		if l.worker == w.id {
-			c.revokeLeaseLocked(l)
+			lost = append(lost, l)
 		}
 	}
+	for _, l := range lost {
+		c.revokeLeaseLocked(l)
+	}
+	c.dropTwinsLocked(w)
 	if _, err := c.st.dropWorker(w.id); err != nil {
 		c.failLocked(err)
 	}

@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// The retry backoff is equal-jitter: every sleep lands in [d/2, d]. Two
+// clients with the same seed must produce the same schedule (chaos-run
+// reproducibility); different seeds must decorrelate (no thundering herd
+// when a fleet retries against the same coordinator).
+func TestJitterSourceBoundsAndDeterminism(t *testing.T) {
+	const d = 100 * time.Millisecond
+	a, b := newJitterSource(42), newJitterSource(42)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 2000; i++ {
+		ja, jb := a.jitter(d), b.jitter(d)
+		if ja != jb {
+			t.Fatalf("draw %d: same seed diverged: %v != %v", i, ja, jb)
+		}
+		if ja < d/2 || ja > d {
+			t.Fatalf("draw %d: jitter %v outside [%v, %v]", i, ja, d/2, d)
+		}
+		seen[ja] = true
+	}
+	if len(seen) < 500 {
+		t.Errorf("2000 draws produced only %d distinct delays: spread too narrow", len(seen))
+	}
+}
+
+func TestJitterSourceSeedsDecorrelate(t *testing.T) {
+	const d = 80 * time.Millisecond
+	a, c := newJitterSource(7), newJitterSource(8)
+	diff := 0
+	for i := 0; i < 200; i++ {
+		if a.jitter(d) != c.jitter(d) {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Errorf("adjacent seeds agree on %d of 200 draws: schedules are correlated", 200-diff)
+	}
+}
+
+func TestJitterSourceDegenerateDelays(t *testing.T) {
+	j := newJitterSource(1)
+	if got := j.jitter(0); got != 0 {
+		t.Errorf("jitter(0) = %v, want 0", got)
+	}
+	if got := j.jitter(-time.Second); got != 0 {
+		t.Errorf("jitter(-1s) = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		if got := j.jitter(1); got < 0 || got > 1 {
+			t.Fatalf("jitter(1ns) = %v out of range", got)
+		}
+	}
+}

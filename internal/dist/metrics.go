@@ -29,6 +29,27 @@ type RunStats struct {
 	BytesScattered   atomic.Int64
 	TilesRebuilt     atomic.Int64
 	CheckpointsSaved atomic.Int64
+
+	// Speculative execution: twin leases granted for slow-running tasks,
+	// how many twins won (committed first), and how many were wasted work
+	// (the primary finished first).
+	SpecLaunched atomic.Int64
+	SpecWins     atomic.Int64
+	SpecWasted   atomic.Int64
+
+	// End-to-end integrity: corrupt commit payloads the coordinator
+	// rejected, corrupt Get replies workers detected, total corruptions the
+	// chaos layer reports injecting, and the at-rest scrub's ledger.
+	CorruptCommits  atomic.Int64
+	CorruptGets     atomic.Int64
+	CorruptInjected atomic.Int64
+	ScrubScanned    atomic.Int64
+	AtRestDetected  atomic.Int64
+	AtRestRepaired  atomic.Int64
+
+	// Partition tolerance: workers that re-registered under a fresh
+	// identity after losing a previous one.
+	WorkersRejoined atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of RunStats for reporting.
@@ -48,6 +69,16 @@ type StatsSnapshot struct {
 	BytesScattered   int64 `json:"bytes_scattered"`
 	TilesRebuilt     int64 `json:"tiles_reconstructed"`
 	CheckpointsSaved int64 `json:"checkpoints_written"`
+	SpecLaunched     int64 `json:"spec_launched"`
+	SpecWins         int64 `json:"spec_wins"`
+	SpecWasted       int64 `json:"spec_wasted"`
+	CorruptCommits   int64 `json:"corrupt_commits_rejected"`
+	CorruptGets      int64 `json:"corrupt_gets_detected"`
+	CorruptInjected  int64 `json:"corrupts_injected"`
+	ScrubScanned     int64 `json:"scrub_tiles_scanned"`
+	AtRestDetected   int64 `json:"atrest_rot_detected"`
+	AtRestRepaired   int64 `json:"atrest_rot_repaired"`
+	WorkersRejoined  int64 `json:"workers_rejoined"`
 }
 
 // Snapshot copies the current counter values.
@@ -68,6 +99,16 @@ func (s *RunStats) Snapshot() StatsSnapshot {
 		BytesScattered:   s.BytesScattered.Load(),
 		TilesRebuilt:     s.TilesRebuilt.Load(),
 		CheckpointsSaved: s.CheckpointsSaved.Load(),
+		SpecLaunched:     s.SpecLaunched.Load(),
+		SpecWins:         s.SpecWins.Load(),
+		SpecWasted:       s.SpecWasted.Load(),
+		CorruptCommits:   s.CorruptCommits.Load(),
+		CorruptGets:      s.CorruptGets.Load(),
+		CorruptInjected:  s.CorruptInjected.Load(),
+		ScrubScanned:     s.ScrubScanned.Load(),
+		AtRestDetected:   s.AtRestDetected.Load(),
+		AtRestRepaired:   s.AtRestRepaired.Load(),
+		WorkersRejoined:  s.WorkersRejoined.Load(),
 	}
 }
 
@@ -90,6 +131,16 @@ type distMetrics struct {
 	bytesScattered   *metrics.Counter
 	tilesRebuilt     *metrics.Counter
 	ckptsSaved       *metrics.Counter
+	specLaunched     *metrics.Counter
+	specWins         *metrics.Counter
+	specWasted       *metrics.Counter
+	corruptCommits   *metrics.Counter
+	corruptGets      *metrics.Counter
+	corruptInjected  *metrics.Counter
+	scrubScanned     *metrics.Counter
+	atRestDetected   *metrics.Counter
+	atRestRepaired   *metrics.Counter
+	workersRejoined  *metrics.Counter
 
 	// Per-RPC telemetry: handler latency per method ("dist.rpc.<m>.ns"),
 	// payload sizes for the data-bearing methods, and the distribution of
@@ -131,6 +182,16 @@ func newDistMetrics(r *metrics.Registry) *distMetrics {
 		bytesScattered:   r.Counter("dist.bytes_scattered"),
 		tilesRebuilt:     r.Counter("dist.tiles_reconstructed"),
 		ckptsSaved:       r.Counter("dist.checkpoints_written"),
+		specLaunched:     r.Counter("dist.spec.launched"),
+		specWins:         r.Counter("dist.spec.wins"),
+		specWasted:       r.Counter("dist.spec.wasted"),
+		corruptCommits:   r.Counter("dist.integrity.commit_rejected"),
+		corruptGets:      r.Counter("dist.integrity.get_rejected"),
+		corruptInjected:  r.Counter("dist.integrity.wire_injected"),
+		scrubScanned:     r.Counter("dist.integrity.scrub_scanned"),
+		atRestDetected:   r.Counter("dist.integrity.atrest_detected"),
+		atRestRepaired:   r.Counter("dist.integrity.atrest_repaired"),
+		workersRejoined:  r.Counter("dist.rejoin.workers"),
 		rpcNS:            rpcLatencyHists(r),
 		rpcGetBytes:      r.Histogram("dist.rpc.get.bytes"),
 		rpcCommitBytes:   r.Histogram("dist.rpc.commit.bytes"),

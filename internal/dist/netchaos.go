@@ -12,9 +12,16 @@ import (
 // seeded fate: drop the request before it leaves (the coordinator never
 // sees it), drop the reply after the server executed (forcing a retry of a
 // call whose effects already happened — the at-least-once case that proves
-// handler idempotency), delay the call, or duplicate it. Probabilities are
-// independent; the seed makes every run's fault sequence reproducible, so
-// a chaos test that passes once passes always.
+// handler idempotency), delay the call, duplicate it, or flip a payload bit
+// (the lying-node case the CRC64 integrity layer exists to catch).
+// Probabilities are independent; the seed makes every run's fault sequence
+// reproducible, so a chaos test that passes once passes always.
+//
+// On top of the per-call dice there is one time-based fault: a partition
+// window. From PartitionAfter after the client dialed, for PartitionFor,
+// every call is dropped before transmission — heartbeats included — so the
+// coordinator sees total silence, evicts the worker, and the worker must
+// rejoin when the window closes (the flapping-node case).
 //
 // The zero value injects nothing. NetChaos is pure configuration and
 // freely copyable; the RNG state lives in the chaosDice the RPC client
@@ -31,20 +38,34 @@ type NetChaos struct {
 	Delay float64
 	// MaxDelay is the injected latency for delayed calls.
 	MaxDelay time.Duration
+	// Corrupt is the probability a data-bearing payload (a Get reply or a
+	// Commit body) has one random bit flipped in flight. The CRC travels
+	// untouched — corruption lies about the data, not about the check.
+	Corrupt float64
+	// PartitionAfter/PartitionFor define the partition window: starting
+	// PartitionAfter after the client connects, every call is silently
+	// dropped for PartitionFor. Zero PartitionFor disables the window.
+	PartitionAfter time.Duration
+	PartitionFor   time.Duration
 	// Seed makes the fault sequence deterministic; 0 means seed 1.
 	Seed int64
 }
 
 // enabled reports whether any fault has a non-zero probability.
 func (c NetChaos) enabled() bool {
-	return c.DropSend > 0 || c.DropReply > 0 || c.Dup > 0 || c.Delay > 0
+	return c.DropSend > 0 || c.DropReply > 0 || c.Dup > 0 || c.Delay > 0 ||
+		c.Corrupt > 0 || c.PartitionFor > 0
 }
 
 // chaosDice is the seeded per-client fault source.
 type chaosDice struct {
-	cfg NetChaos
-	mu  sync.Mutex
-	rng *rand.Rand
+	cfg   NetChaos
+	birth time.Time
+	mu    sync.Mutex
+	rng   *rand.Rand
+	// inPartition tracks the window state between draws so the start/end
+	// transitions are reported exactly once each.
+	inPartition bool
 }
 
 func newChaosDice(cfg NetChaos) *chaosDice {
@@ -52,7 +73,7 @@ func newChaosDice(cfg NetChaos) *chaosDice {
 	if seed == 0 {
 		seed = 1
 	}
-	return &chaosDice{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &chaosDice{cfg: cfg, birth: time.Now(), rng: rand.New(rand.NewSource(seed))}
 }
 
 // fate is one call's drawn outcome.
@@ -61,6 +82,16 @@ type fate struct {
 	dropReply bool
 	duplicate bool
 	delay     time.Duration
+	// corrupt flips one payload bit; corruptElem/corruptBit are the raw
+	// random draws the injector reduces onto the payload's actual length.
+	corrupt     bool
+	corruptElem uint64
+	corruptBit  uint
+	// partitioned silences this call entirely; partitionStart/End flag the
+	// window transitions (each reported once) for span recording.
+	partitioned    bool
+	partitionStart bool
+	partitionEnd   bool
 }
 
 // draw rolls the per-call dice. Safe for concurrent use.
@@ -71,6 +102,21 @@ func (d *chaosDice) draw() fate {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var f fate
+	if d.cfg.PartitionFor > 0 {
+		since := time.Since(d.birth)
+		in := since >= d.cfg.PartitionAfter && since < d.cfg.PartitionAfter+d.cfg.PartitionFor
+		if in && !d.inPartition {
+			f.partitionStart = true
+		}
+		if !in && d.inPartition {
+			f.partitionEnd = true
+		}
+		d.inPartition = in
+		if in {
+			f.partitioned = true
+			f.dropSend = true
+		}
+	}
 	if d.rng.Float64() < d.cfg.DropSend {
 		f.dropSend = true
 	}
@@ -82,6 +128,11 @@ func (d *chaosDice) draw() fate {
 	}
 	if d.rng.Float64() < d.cfg.Delay {
 		f.delay = d.cfg.MaxDelay
+	}
+	if d.cfg.Corrupt > 0 && d.rng.Float64() < d.cfg.Corrupt {
+		f.corrupt = true
+		f.corruptElem = d.rng.Uint64()
+		f.corruptBit = uint(d.rng.Intn(64))
 	}
 	return f
 }

@@ -3,6 +3,8 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/rpc"
 	"reflect"
 	"sync"
@@ -60,8 +62,16 @@ type WireSpan struct {
 	Err     string
 }
 
-// RegisterArgs announces a new (or re-registering) worker.
-type RegisterArgs struct{}
+// RegisterArgs announces a new (or re-registering) worker. A worker that
+// lost a previous identity — evicted while hung, or silenced by a network
+// partition until its heartbeats lapsed — sets Rejoin and PrevWorker so the
+// coordinator can account the rebirth (dist.rejoin.*) and stamp a rejoin
+// instant on the cluster timeline. The fresh identity starts with an empty
+// cache: rejoin discards all local state rather than trusting any of it.
+type RegisterArgs struct {
+	Rejoin     bool
+	PrevWorker int
+}
 
 // RegisterReply hands the worker its identity and the job geometry.
 type RegisterReply struct {
@@ -92,10 +102,15 @@ type RegisterReply struct {
 // LeaseArgs asks for one ready task. RPCRetries piggybacks the number of
 // client-side RPC retries the worker performed since its last report, so
 // the coordinator's metrics see wire-level flakiness it cannot observe
-// directly.
+// directly. CorruptsInjected and CorruptsDetected piggyback the chaos
+// layer's payload-corruption count and the worker's CRC-mismatch detections
+// on fetched tiles, closing the injected-vs-detected cross-check the
+// integrity tests assert.
 type LeaseArgs struct {
-	Worker     int
-	RPCRetries int64
+	Worker           int
+	RPCRetries       int64
+	CorruptsInjected int64
+	CorruptsDetected int64
 }
 
 // LeaseReply grants a task (nil Task means "nothing ready; poll again in
@@ -142,16 +157,23 @@ type GetArgs struct {
 	Scatter bool
 }
 
-// GetReply carries the tile payload (column-major, ld = rows).
+// GetReply carries the tile payload (column-major, ld = rows) and its
+// CRC64, verified against the bytes before serving (at-rest rot is repaired
+// from parity first) and re-verified by the fetching worker on arrival.
 type GetReply struct {
 	Data []float64
 	Ver  int
+	CRC  uint64
 }
 
-// TilePayload is one written tile shipped back in a commit.
+// TilePayload is one written tile shipped back in a commit. CRC is the
+// CRC64 of Data computed by the worker that ran the kernel; the coordinator
+// verifies it before the store accepts the bytes and keeps it as the tile's
+// at-rest checksum.
 type TilePayload struct {
 	I, J int
 	Data []float64
+	CRC  uint64
 }
 
 // CommitArgs completes a leased task, shipping its outputs. Err, when
@@ -169,22 +191,33 @@ type CommitArgs struct {
 // CommitReply acknowledges a commit. Vers are the store versions assigned
 // to the shipped tiles, in Tiles order, so the committing worker can cache
 // its own outputs coherently. Accepted is false for stale-token commits:
-// the work was re-leased elsewhere and this result is discarded.
+// the work was re-leased elsewhere and this result is discarded. Duplicate
+// marks an accepted-but-unapplied commit (the task already completed — a
+// retransmission, or the losing half of a speculative twin pair); the
+// sender records the attempt as retried, not successful, so exactly one OK
+// span exists per completed task. BadPayload reports a CRC64 mismatch on a
+// shipped tile: the lease is still live and the worker must resend.
 type CommitReply struct {
-	Accepted bool
-	Vers     []int
-	Evicted  bool
+	Accepted   bool
+	Vers       []int
+	Evicted    bool
+	Duplicate  bool
+	BadPayload bool
 }
 
 // ByeArgs deregisters a worker gracefully (mid-run scale-down), flushing
-// any trace spans still unshipped (same fields as HeartbeatArgs).
+// any trace spans still unshipped (same fields as HeartbeatArgs) and the
+// final corruption counters (same fields as LeaseArgs), so a clean run
+// reports every injected and detected corruption.
 type ByeArgs struct {
-	Worker    int
-	Spans     []WireSpan
-	SpanBase  int64
-	OffsetNS  int64
-	RTTNS     int64
-	HasOffset bool
+	Worker           int
+	Spans            []WireSpan
+	SpanBase         int64
+	OffsetNS         int64
+	RTTNS            int64
+	HasOffset        bool
+	CorruptsInjected int64
+	CorruptsDetected int64
 }
 type ByeReply struct{}
 
@@ -192,26 +225,62 @@ type ByeReply struct{}
 // declared this worker dead; the worker may re-register.
 var ErrEvicted = errors.New("dist: worker evicted by coordinator")
 
+// jitterSource decorrelates retry schedules across workers: each delay in
+// the capped exponential ladder is re-drawn uniformly from [d/2, d] (equal
+// jitter). This is the thundering-herd defense — after a coordinator stall
+// every worker's retry clock would otherwise tick in lockstep (same base,
+// same doubling), landing the whole fleet's retries in the same instant;
+// the half-window spread breaks the synchrony while keeping the expected
+// delay at 3/4 of the deterministic schedule. A non-zero seed makes the
+// sequence reproducible for tests; the schedule itself (doubling, cap)
+// stays at the call sites, so concurrent calls sharing the source only
+// share randomness, never each other's position in the ladder.
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterSource(seed int64) *jitterSource {
+	if seed == 0 {
+		seed = rand.Int63() | 1
+	}
+	return &jitterSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// jitter maps one scheduled delay onto [d/2, d].
+func (j *jitterSource) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return d/2 + time.Duration(j.rng.Int63n(int64(d/2)+1))
+}
+
 // client is the worker-side RPC client: one TCP connection to the
-// coordinator with capped-backoff retry, automatic redial, and the seeded
-// network-chaos layer injected around every call. Safe for concurrent use
-// (the heartbeat goroutine shares it with the task loop).
+// coordinator with jittered capped-backoff retry, automatic redial, and the
+// seeded network-chaos layer injected around every call. Safe for
+// concurrent use (the heartbeat goroutine shares it with the task loop).
 type client struct {
 	addr string
 	dice *chaosDice
 
 	// onChaos, when non-nil, observes every injected wire fault (kinds
-	// "drop_send", "drop_reply", "duplicate", "delay") for span recording.
-	// Set before the client is shared across goroutines.
+	// "drop_send", "drop_reply", "duplicate", "delay", "corrupt_get",
+	// "corrupt_commit", "partition_start", "partition_end") for span
+	// recording. Set before the client is shared across goroutines.
 	onChaos func(kind string)
 
-	mu      sync.Mutex
-	rpc     *rpc.Client
-	retries int64 // client-side retry count, drained by TakeRetries
+	mu       sync.Mutex
+	rpc      *rpc.Client
+	retries  int64 // client-side retry count, drained by takeRetries
+	corrupts int64 // payload corruptions injected, drained by takeCorrupts
+	detected int64 // fetch-side CRC mismatches caught, drained alongside
 
 	// retry policy
 	maxAttempts int
 	backoff     time.Duration
+	jit         *jitterSource
 }
 
 const (
@@ -220,9 +289,20 @@ const (
 	maxRPCBackoff      = 500 * time.Millisecond
 )
 
-// dial connects to the coordinator, retrying with capped backoff.
+// dial connects to the coordinator, retrying with capped backoff. The
+// retry jitter inherits the chaos seed (when set) so chaos runs stay fully
+// reproducible; an unseeded client jitters from a random source, which is
+// the point — unrelated workers must not share a retry clock.
 func dial(addr string, chaos NetChaos) (*client, error) {
-	c := &client{addr: addr, dice: newChaosDice(chaos), maxAttempts: defaultRPCAttempts, backoff: defaultRPCBackoff}
+	jitterSeed := int64(0)
+	if chaos.Seed != 0 {
+		jitterSeed = chaos.Seed ^ 0x6a09e667f3bcc908 // decorrelate from the fate stream
+	}
+	c := &client{
+		addr: addr, dice: newChaosDice(chaos),
+		maxAttempts: defaultRPCAttempts, backoff: defaultRPCBackoff,
+		jit: newJitterSource(jitterSeed),
+	}
 	if err := c.redial(); err != nil {
 		return nil, err
 	}
@@ -241,7 +321,7 @@ func (c *client) redial() error {
 			return nil
 		}
 		lastErr = err
-		time.Sleep(delay)
+		time.Sleep(c.jit.jitter(delay))
 		if delay *= 2; delay > maxRPCBackoff {
 			delay = maxRPCBackoff
 		}
@@ -255,11 +335,13 @@ func (c *client) conn() *rpc.Client {
 	return c.rpc
 }
 
-// call performs one RPC with chaos injection and capped-backoff retry.
-// Chaos may drop the request before it is sent (the server never sees it),
-// drop the reply after the server executed it (at-least-once delivery made
-// visible), delay it, or duplicate it; every variant either succeeds
-// eventually or surfaces the transport error after the retry budget.
+// call performs one RPC with chaos injection and jittered capped-backoff
+// retry. Chaos may drop the request before it is sent (the server never
+// sees it), drop the reply after the server executed it (at-least-once
+// delivery made visible), delay it, duplicate it, flip a payload bit, or
+// silence it entirely inside a partition window; every variant either
+// succeeds eventually or surfaces the transport error after the retry
+// budget.
 func (c *client) call(method string, args, reply any) error {
 	var lastErr error
 	delay := c.backoff
@@ -268,12 +350,22 @@ func (c *client) call(method string, args, reply any) error {
 			c.mu.Lock()
 			c.retries++
 			c.mu.Unlock()
-			time.Sleep(delay)
+			time.Sleep(c.jit.jitter(delay))
 			if delay *= 2; delay > maxRPCBackoff {
 				delay = maxRPCBackoff
 			}
 		}
 		fate := c.dice.draw()
+		if fate.partitionStart {
+			c.chaos("partition_start")
+		}
+		if fate.partitionEnd {
+			c.chaos("partition_end")
+		}
+		if fate.partitioned {
+			lastErr = errPartitioned
+			continue
+		}
 		if fate.delay > 0 {
 			c.chaos("delay")
 			time.Sleep(fate.delay)
@@ -283,17 +375,28 @@ func (c *client) call(method string, args, reply any) error {
 			lastErr = errors.New("dist: chaos dropped request")
 			continue
 		}
+		sendArgs := args
+		if fate.corrupt && method == "Commit" {
+			// Corrupt a deep copy, never the caller's buffer: the retry after
+			// the coordinator's CRC rejection must resend the clean original,
+			// or the corruption would be permanent instead of transient.
+			if mutated, ok := corruptCommitArgs(args, fate); ok {
+				sendArgs = mutated
+				c.countCorrupt()
+				c.chaos("corrupt_commit")
+			}
+		}
 		// gob leaves absent (zero-valued) fields untouched in the reply, so
 		// a reused reply struct must be cleared before every decode or a
 		// retry could resurrect the previous attempt's fields.
 		zeroReply(reply)
-		err := c.conn().Call(coordService+"."+method, args, reply)
+		err := c.conn().Call(coordService+"."+method, sendArgs, reply)
 		if err == nil && fate.duplicate {
 			// Deliver the call twice; the server must be idempotent. The
 			// second reply wins, like a retransmission beating the original.
 			c.chaos("duplicate")
 			zeroReply(reply)
-			err = c.conn().Call(coordService+"."+method, args, reply)
+			err = c.conn().Call(coordService+"."+method, sendArgs, reply)
 		}
 		if err == nil && fate.dropReply {
 			c.chaos("drop_reply")
@@ -301,6 +404,15 @@ func (c *client) call(method string, args, reply any) error {
 			continue
 		}
 		if err == nil {
+			if fate.corrupt && method == "Get" {
+				// The delivered reply is what gets corrupted — a dropped one
+				// would make the injection unobservable (and uncounted).
+				if gr, ok := reply.(*GetReply); ok && len(gr.Data) > 0 {
+					flipPayloadBit(gr.Data, fate)
+					c.countCorrupt()
+					c.chaos("corrupt_get")
+				}
+			}
 			return nil
 		}
 		lastErr = err
@@ -311,6 +423,52 @@ func (c *client) call(method string, args, reply any) error {
 		}
 	}
 	return fmt.Errorf("dist: %s failed after %d attempts: %w", method, c.maxAttempts, lastErr)
+}
+
+// errPartitioned marks calls silenced by the chaos partition window, so the
+// worker's rejoin logic can tell an injected partition from a dead
+// coordinator.
+var errPartitioned = errors.New("dist: chaos partition silenced call")
+
+// corruptCommitArgs deep-copies a CommitArgs and flips one data bit in one
+// shipped tile (false when the commit carries no payload). The CRC field is
+// copied untouched: corruption lies about the bytes, the checksum is how
+// the receiver finds out.
+func corruptCommitArgs(args any, f fate) (*CommitArgs, bool) {
+	ca, ok := args.(*CommitArgs)
+	if !ok || len(ca.Tiles) == 0 {
+		return nil, false
+	}
+	cp := *ca
+	cp.Tiles = append([]TilePayload(nil), ca.Tiles...)
+	k := int(f.corruptElem % uint64(len(cp.Tiles)))
+	if len(cp.Tiles[k].Data) == 0 {
+		return nil, false
+	}
+	data := append([]float64(nil), cp.Tiles[k].Data...)
+	flipPayloadBit(data, f)
+	cp.Tiles[k].Data = data
+	return &cp, true
+}
+
+// flipPayloadBit flips one bit of one element, chosen by the fate's raw
+// random draws reduced onto the payload length.
+func flipPayloadBit(data []float64, f fate) {
+	i := int((f.corruptElem >> 8) % uint64(len(data)))
+	data[i] = math.Float64frombits(math.Float64bits(data[i]) ^ (1 << f.corruptBit))
+}
+
+func (c *client) countCorrupt() {
+	c.mu.Lock()
+	c.corrupts++
+	c.mu.Unlock()
+}
+
+// countDetected records a fetch-side CRC mismatch (called by the worker).
+func (c *client) countDetected() {
+	c.mu.Lock()
+	c.detected++
+	c.mu.Unlock()
 }
 
 func (c *client) chaos(kind string) {
@@ -341,6 +499,16 @@ func (c *client) takeRetries() int64 {
 	n := c.retries
 	c.retries = 0
 	return n
+}
+
+// takeCorrupts drains the injected/detected corruption counters for
+// piggybacking on the next Lease or Bye call.
+func (c *client) takeCorrupts() (injected, detected int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	injected, detected = c.corrupts, c.detected
+	c.corrupts, c.detected = 0, 0
+	return injected, detected
 }
 
 func (c *client) close() {

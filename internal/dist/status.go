@@ -15,7 +15,9 @@ import (
 
 // Event is one structured distributed-runtime fault event, delivered to
 // Options.Events as it happens. Kind is one of trace.PhaseEvicted,
-// trace.PhaseReaped, trace.PhaseStale, trace.PhaseChaos.
+// trace.PhaseReaped, trace.PhaseStale, trace.PhaseChaos,
+// trace.PhaseSpecTwin, trace.PhaseCorrupt, trace.PhasePartition,
+// trace.PhaseRejoin.
 type Event struct {
 	Kind    string
 	Worker  int // -1 when not worker-specific
@@ -85,10 +87,27 @@ func (c *Coordinator) faultLocked(kind string, worker, task, attempt int, detail
 	}
 }
 
+// rootLocked resolves a registration id to its lineage root: the first
+// identity the same worker process registered under. Trace absorption
+// state is keyed by root because the span shipper lives for the process,
+// not the registration.
+func (c *Coordinator) rootLocked(id int) int {
+	for {
+		p, ok := c.lineage[id]
+		if !ok || p == id {
+			return id
+		}
+		id = p
+	}
+}
+
 // absorbLocked lands one shipped span batch. base is the cumulative index
-// of the batch's first span; any prefix already absorbed from this shipper
-// is dropped, making retransmitted and re-shipped batches idempotent.
+// of the batch's first span; any prefix already absorbed from this
+// shipper's lineage is dropped, making retransmitted and re-shipped
+// batches idempotent — including a batch absorbed under a previous
+// identity whose acknowledgement was lost before the worker rejoined.
 func (c *Coordinator) absorbLocked(shipper int, spans []WireSpan, base, off, rtt int64, hasOff bool) {
+	shipper = c.rootLocked(shipper)
 	if hasOff {
 		if r, seen := c.offRTTs[shipper]; !seen || rtt < r {
 			c.offRTTs[shipper] = rtt
@@ -110,8 +129,8 @@ func (c *Coordinator) absorbLocked(shipper int, spans []WireSpan, base, off, rtt
 	c.shards[shipper] = append(c.shards[shipper], spans...)
 	if c.opt.Events != nil {
 		for _, ws := range spans {
-			if ws.Phase == trace.PhaseChaos {
-				c.opt.Events(Event{Kind: trace.PhaseChaos, Worker: ws.Worker, Task: ws.ID, Detail: ws.Err})
+			if trace.IsFault(ws.Phase) {
+				c.opt.Events(Event{Kind: ws.Phase, Worker: ws.Worker, Task: ws.ID, Detail: ws.Err})
 			}
 		}
 	}
@@ -239,13 +258,14 @@ func (c *Coordinator) Status() ClusterStatus {
 		Stats:       c.stats.Snapshot(),
 	}
 	for id, w := range c.workers {
+		root := c.rootLocked(id)
 		st.Workers = append(st.Workers, WorkerInfo{
 			ID: id, Slot: w.slot, Live: w.live(),
 			Evicted: w.evicted, Departed: w.byed,
 			LastBeatMS:   now.Sub(w.lastBeat).Milliseconds(),
-			ClockOffsetN: c.offs[id],
-			ClockRTTNS:   c.offRTTs[id],
-			SpansShipped: c.absorbed[id],
+			ClockOffsetN: c.offs[root],
+			ClockRTTNS:   c.offRTTs[root],
+			SpansShipped: c.absorbed[root],
 		})
 	}
 	for _, l := range c.leases {

@@ -23,6 +23,15 @@ import (
 // reconstructs instead of re-running the task chain that produced it:
 // recovery cost is one XOR pass, not a DAG suffix.
 //
+// Every tile also carries an at-rest CRC64 (see ft.CRC64): set from the
+// worker's end-to-end payload checksum on commit, recomputed after local
+// kernels and reconstructions, verified before any byte is served, and
+// re-verified by the background scrub. A mismatch is at-rest rot; a rotted
+// *finalized* tile is repaired from the row parity (the same machinery as
+// residency), while rot the parity cannot cover — an unfinalized tile, or
+// a second fault in a row that already dropped a tile — fails the read
+// loudly rather than letting silent corruption into the factor.
+//
 // The store is not internally locked; the coordinator serializes access
 // under its own mutex.
 type store struct {
@@ -32,15 +41,25 @@ type store struct {
 	// writers, so the version sequence — and hence the data each version
 	// names — is deterministic; workers use versions for cache coherence.
 	ver [][]int
+	// crc[i][j] is the at-rest CRC64 of tile (i,j)'s current bytes.
+	crc [][]uint64
+	// dirty[i][j] latches a detected-but-not-yet-repaired rot, so one rotted
+	// tile is counted once across repeated scrub passes.
+	dirty [][]bool
 	// resident[i][j] is the worker holding the only copy of a dropped
 	// finalized tile, or -1 when the bytes are in the store.
 	resident [][]int
 	// residentInRow[i] counts dropped tiles in tile row i (kept ≤ 1).
 	residentInRow []int
 	writeBack     bool
+	// scrubCur is the scrub's round-robin cursor (tile index, row-major).
+	scrubCur int
 	// onReconstruct, when non-nil, is called once per rebuilt tile (the
 	// coordinator mirrors it into the dist.tiles_reconstructed counter).
 	onReconstruct func()
+	// onRotDetect/onRotRepair observe at-rest integrity events (nil-safe).
+	onRotDetect func(i, j int)
+	onRotRepair func(i, j int)
 }
 
 func newStore(a *tile.Matrix[float64], writeBack bool, onReconstruct func()) *store {
@@ -48,6 +67,8 @@ func newStore(a *tile.Matrix[float64], writeBack bool, onReconstruct func()) *st
 		a:             a,
 		ers:           ft.NewRowErasure(a, nil),
 		ver:           make([][]int, a.MT),
+		crc:           make([][]uint64, a.MT),
+		dirty:         make([][]bool, a.MT),
 		resident:      make([][]int, a.MT),
 		residentInRow: make([]int, a.MT),
 		writeBack:     writeBack,
@@ -55,36 +76,107 @@ func newStore(a *tile.Matrix[float64], writeBack bool, onReconstruct func()) *st
 	}
 	for i := 0; i < a.MT; i++ {
 		s.ver[i] = make([]int, a.NT)
+		s.crc[i] = make([]uint64, a.NT)
+		s.dirty[i] = make([]bool, a.NT)
 		s.resident[i] = make([]int, a.NT)
 		for j := 0; j < a.NT; j++ {
 			s.resident[i][j] = -1
+			s.crc[i][j] = ft.CRC64(a.Tile(i, j))
 		}
 	}
 	return s
 }
 
-// get returns a copy of tile c's data and its version, reconstructing a
-// dropped resident tile from parity first. requester is the worker asking
-// (so its own residency is not pointlessly reconstructed — it has the
-// bytes cached; anyone else's read needs them in-store).
-func (s *store) get(c coord, requester int) ([]float64, int, error) {
+// get returns a copy of tile c's data, its version, and its at-rest CRC,
+// reconstructing a dropped resident tile from parity first and repairing
+// detected rot where the parity allows. requester is the worker asking (so
+// its own residency is not pointlessly reconstructed — it has the bytes
+// cached; anyone else's read needs them in-store).
+func (s *store) get(c coord, requester int) ([]float64, int, uint64, error) {
 	i, j := c[0], c[1]
 	if w := s.resident[i][j]; w >= 0 && w != requester {
 		if err := s.reconstruct(c); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
+		}
+	}
+	if s.resident[i][j] < 0 {
+		if err := s.verifyLocked(c); err != nil {
+			return nil, 0, 0, err
 		}
 	}
 	t := s.a.Tile(i, j)
 	out := make([]float64, len(t))
 	copy(out, t)
-	return out, s.ver[i][j], nil
+	return out, s.ver[i][j], s.crc[i][j], nil
 }
 
-// put stores a committed tile payload, bumps its version, and — when the
+// verifyLocked checks tile c's bytes against its at-rest CRC and repairs a
+// mismatch from the row parity when possible. An unrepairable mismatch —
+// no parity coverage (unfinalized tile) or a second fault in the row — is
+// an error: the caller must not serve or snapshot rotted bytes.
+func (s *store) verifyLocked(c coord) error {
+	i, j := c[0], c[1]
+	if ft.CRC64(s.a.Tile(i, j)) == s.crc[i][j] {
+		s.dirty[i][j] = false
+		return nil
+	}
+	if !s.dirty[i][j] {
+		s.dirty[i][j] = true
+		if s.onRotDetect != nil {
+			s.onRotDetect(i, j)
+		}
+	}
+	if !s.ers.Committed(i, j) {
+		return fmt.Errorf("dist: tile (%d,%d) failed its at-rest CRC and has no parity coverage", i, j)
+	}
+	if s.residentInRow[i] > 0 {
+		return fmt.Errorf("dist: tile (%d,%d) failed its at-rest CRC but row %d has a dropped peer (double fault)", i, j, i)
+	}
+	if err := s.ers.ReconstructTile(i, j); err != nil {
+		return err
+	}
+	if got := ft.CRC64(s.a.Tile(i, j)); got != s.crc[i][j] {
+		return fmt.Errorf("dist: tile (%d,%d) reconstruction does not match its committed CRC (peer rot?)", i, j)
+	}
+	s.dirty[i][j] = false
+	if s.onRotRepair != nil {
+		s.onRotRepair(i, j)
+	}
+	if s.onReconstruct != nil {
+		s.onReconstruct()
+	}
+	return nil
+}
+
+// scrub verifies up to max non-resident tiles from the round-robin cursor,
+// repairing what the parity covers. Unrepairable rot is left latched (the
+// read path fails loudly when the tile is actually needed); scrub itself
+// never fails the job. Returns how many tiles it scanned.
+func (s *store) scrub(max int) int {
+	total := s.a.MT * s.a.NT
+	if max > total {
+		max = total
+	}
+	scanned := 0
+	for k := 0; k < max; k++ {
+		idx := (s.scrubCur + k) % total
+		i, j := idx/s.a.NT, idx%s.a.NT
+		if s.resident[i][j] >= 0 {
+			continue // no bytes in-store to check
+		}
+		_ = s.verifyLocked(coord{i, j})
+		scanned++
+	}
+	s.scrubCur = (s.scrubCur + max) % total
+	return scanned
+}
+
+// put stores a committed tile payload (whose CRC the coordinator has
+// already verified end-to-end), bumps its version, and — when the
 // committing task finalizes the tile — folds it into the row parity and
 // possibly drops the bytes (write-back residency at the committing
 // worker). Returns the new version.
-func (s *store) put(c coord, data []float64, worker int, finalized bool) (int, error) {
+func (s *store) put(c coord, data []float64, crc uint64, worker int, finalized bool) (int, error) {
 	i, j := c[0], c[1]
 	t := s.a.Tile(i, j)
 	if len(data) != len(t) {
@@ -92,6 +184,8 @@ func (s *store) put(c coord, data []float64, worker int, finalized bool) (int, e
 	}
 	copy(t, data)
 	s.ver[i][j]++
+	s.crc[i][j] = crc
+	s.dirty[i][j] = false
 	if s.resident[i][j] >= 0 {
 		// The bytes are back (an unexpected re-write of a dropped tile);
 		// clear residency rather than hold a stale claim.
@@ -113,8 +207,12 @@ func (s *store) put(c coord, data []float64, worker int, finalized bool) (int, e
 // putLocal records a coordinator-local in-place write of tile c (the
 // degradation ladder's fallback executes kernels directly on the store
 // matrix; any resident operand must be reconstructed before the kernel).
+// The at-rest CRC is recomputed from the freshly written bytes — local
+// writes have no wire hop, so the chain starts here.
 func (s *store) putLocal(c coord, finalized bool) int {
 	s.ver[c[0]][c[1]]++
+	s.crc[c[0]][c[1]] = ft.CRC64(s.a.Tile(c[0], c[1]))
+	s.dirty[c[0]][c[1]] = false
 	if finalized {
 		s.ers.Commit(c[0], c[1])
 	}
@@ -122,11 +220,16 @@ func (s *store) putLocal(c coord, finalized bool) int {
 }
 
 // reconstruct rebuilds a dropped tile in-store from the row parity and
-// clears its residency.
+// clears its residency. The rebuilt bytes are checked against the tile's
+// committed CRC — a mismatch means a peer rotted while this tile's bytes
+// were dropped, which single parity cannot untangle.
 func (s *store) reconstruct(c coord) error {
 	i, j := c[0], c[1]
 	if err := s.ers.ReconstructTile(i, j); err != nil {
 		return err
+	}
+	if got := ft.CRC64(s.a.Tile(i, j)); got != s.crc[i][j] {
+		return fmt.Errorf("dist: tile (%d,%d) reconstruction does not match its committed CRC (peer rot?)", i, j)
 	}
 	s.clearResident(c)
 	if s.onReconstruct != nil {

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"exadla/internal/ft"
 	"exadla/internal/sched"
 	"exadla/internal/tile"
 	"exadla/internal/trace"
@@ -41,6 +43,17 @@ type WorkerOptions struct {
 	// must be rejected.
 	HangAfter int
 	HangFor   time.Duration
+	// SlowFactor > 1 makes this worker a straggler: every task attempt is
+	// padded to SlowFactor times its measured duration (a 10× worker spends
+	// 10× the wall-clock per task — fetch, decode, and compute alike, as a
+	// throttled CPU would). The speculation experiments' knob.
+	SlowFactor float64
+	// RejoinWindow bounds how long a worker that lost the coordinator (every
+	// call failing — e.g. a partition silencing its traffic) keeps retrying
+	// to re-register before giving up. Zero disables retrying, except that a
+	// configured partition window (Chaos.PartitionFor) implies a window long
+	// enough to outlive the partition — a flapping node exists to come back.
+	RejoinWindow time.Duration
 	// Trace, when non-nil, receives a local mirror of every span this
 	// worker records (worker-local clock). Spans ship to the coordinator's
 	// merged cluster trace regardless.
@@ -85,26 +98,59 @@ type worker struct {
 // becomes unreachable (error). It re-registers automatically after an
 // eviction, so a worker that was merely slow rejoins the fleet with a
 // fresh identity and cache.
+// rejoinRetryEvery paces re-registration attempts inside the rejoin window.
+const rejoinRetryEvery = 50 * time.Millisecond
+
 func RunWorker(addr string, opt WorkerOptions) error {
+	window := opt.RejoinWindow
+	if window <= 0 && opt.Chaos.PartitionFor > 0 {
+		window = opt.Chaos.PartitionAfter + 2*opt.Chaos.PartitionFor + 5*time.Second
+	}
+	rejoinUntil := time.Now().Add(window)
 	cl, err := dial(addr, opt.Chaos)
 	if err != nil {
 		return err
 	}
 	defer cl.close()
 	sh := newSpanShipper(opt.Trace)
-	cl.onChaos = func(kind string) { sh.instant(trace.PhaseChaos, kind) }
+	cl.onChaos = func(kind string) {
+		switch {
+		case strings.HasPrefix(kind, "partition"):
+			sh.instant(trace.PhasePartition, kind)
+		case strings.HasPrefix(kind, "corrupt"):
+			sh.instant(trace.PhaseCorrupt, kind)
+		default:
+			sh.instant(trace.PhaseChaos, kind)
+		}
+	}
 	leased := 0
+	prev := -1 // previous identity, announced on rejoin
 	for {
-		w, err := register(cl, sh, &opt)
+		w, err := register(cl, sh, &opt, prev)
 		if err != nil {
+			if window > 0 && time.Now().Before(rejoinUntil) {
+				opt.logf("dist: register failed (%v), retrying within rejoin window", err)
+				time.Sleep(rejoinRetryEvery)
+				continue
+			}
 			return err
 		}
+		prev = w.id
 		w.leased = leased
 		err = w.loop()
 		leased = w.leased
 		w.stopHeartbeat()
-		if errors.Is(err, ErrEvicted) {
+		switch {
+		case errors.Is(err, ErrEvicted):
 			opt.logf("dist: worker %d evicted, re-registering", w.id)
+			continue
+		case err != nil && !errors.Is(err, ErrKilled) &&
+			window > 0 && time.Now().Before(rejoinUntil):
+			// Transport failure — e.g. a partition silencing every call until
+			// retries ran dry. The flapping-node path: keep trying to rejoin
+			// under a fresh identity until the window closes.
+			opt.logf("dist: worker %d lost the coordinator (%v), rejoining", w.id, err)
+			time.Sleep(rejoinRetryEvery)
 			continue
 		}
 		return err
@@ -113,10 +159,10 @@ func RunWorker(addr string, opt WorkerOptions) error {
 
 // register announces the worker, builds its cache, and prefetches its home
 // tiles under strict placement.
-func register(cl *client, sh *spanShipper, opt *WorkerOptions) (*worker, error) {
+func register(cl *client, sh *spanShipper, opt *WorkerOptions, prev int) (*worker, error) {
 	var rep RegisterReply
 	t0 := time.Now().UnixNano()
-	if err := cl.call("Register", &RegisterArgs{}, &rep); err != nil {
+	if err := cl.call("Register", &RegisterArgs{Rejoin: prev >= 0, PrevWorker: prev}, &rep); err != nil {
 		return nil, err
 	}
 	sh.sample(rep.CoordNS, t0, time.Now().UnixNano())
@@ -177,29 +223,40 @@ func (w *worker) stopHeartbeat() {
 }
 
 // fetch pulls one tile into the cache, recording a fetch span attributed
-// to the current task attempt (or to the scatter prefetch, id -1).
+// to the current task attempt (or to the scatter prefetch, id -1). The
+// payload is verified against the CRC the store keeps at rest; a mismatch
+// means the wire corrupted it in flight, and the fetch simply re-asks — the
+// corrupt bytes never reach the cache, let alone a kernel.
 func (w *worker) fetch(c coord, scatter bool) error {
-	var rep GetReply
-	t0 := time.Now().UnixNano()
-	if err := w.cl.call("Get", &GetArgs{Worker: w.id, I: c[0], J: c[1], Scatter: scatter}, &rep); err != nil {
-		return err
+	for {
+		var rep GetReply
+		t0 := time.Now().UnixNano()
+		if err := w.cl.call("Get", &GetArgs{Worker: w.id, I: c[0], J: c[1], Scatter: scatter}, &rep); err != nil {
+			return err
+		}
+		ws := WireSpan{
+			ID: w.cur.id, Name: w.cur.name, Attempt: w.cur.attempt,
+			Phase: trace.PhaseFetch, StartNS: t0, EndNS: time.Now().UnixNano(),
+			Bytes: int64(8 * len(rep.Data)), TileI: c[0], TileJ: c[1], HasTile: true,
+		}
+		if scatter {
+			ws.ID, ws.Name, ws.Attempt = -1, "scatter", 1
+		}
+		w.sh.add(ws)
+		t := w.a.Tile(c[0], c[1])
+		if len(rep.Data) != len(t) {
+			return fmt.Errorf("dist: tile (%d,%d) fetch returned %d words, want %d", c[0], c[1], len(rep.Data), len(t))
+		}
+		if ft.CRC64(rep.Data) != rep.CRC {
+			w.cl.countDetected()
+			w.sh.instant(trace.PhaseCorrupt, fmt.Sprintf("get (%d,%d) failed CRC, refetching", c[0], c[1]))
+			w.opt.logf("dist: worker %d refetching tile (%d,%d): payload failed CRC", w.id, c[0], c[1])
+			continue
+		}
+		copy(t, rep.Data)
+		w.ver[c] = rep.Ver
+		return nil
 	}
-	ws := WireSpan{
-		ID: w.cur.id, Name: w.cur.name, Attempt: w.cur.attempt,
-		Phase: trace.PhaseFetch, StartNS: t0, EndNS: time.Now().UnixNano(),
-		Bytes: int64(8 * len(rep.Data)), TileI: c[0], TileJ: c[1], HasTile: true,
-	}
-	if scatter {
-		ws.ID, ws.Name, ws.Attempt = -1, "scatter", 1
-	}
-	w.sh.add(ws)
-	t := w.a.Tile(c[0], c[1])
-	if len(rep.Data) != len(t) {
-		return fmt.Errorf("dist: tile (%d,%d) fetch returned %d words, want %d", c[0], c[1], len(rep.Data), len(t))
-	}
-	copy(t, rep.Data)
-	w.ver[c] = rep.Ver
-	return nil
 }
 
 // ensure makes every operand tile current in the cache before the kernel
@@ -222,8 +279,10 @@ func (w *worker) ensure(ops []coord, vers []int) error {
 // done, ErrEvicted to re-register, or a fatal error.
 func (w *worker) loop() error {
 	for {
+		ci, cd := w.cl.takeCorrupts()
 		var rep LeaseReply
-		if err := w.cl.call("Lease", &LeaseArgs{Worker: w.id, RPCRetries: w.cl.takeRetries()}, &rep); err != nil {
+		if err := w.cl.call("Lease", &LeaseArgs{Worker: w.id, RPCRetries: w.cl.takeRetries(),
+			CorruptsInjected: ci, CorruptsDetected: cd}, &rep); err != nil {
 			return err
 		}
 		switch {
@@ -231,9 +290,11 @@ func (w *worker) loop() error {
 			return ErrEvicted
 		case rep.Done:
 			spans, base, off, rtt, hasOff := w.sh.batch(0) // flush everything
+			bci, bcd := w.cl.takeCorrupts()
 			var bye ByeReply
 			if err := w.cl.call("Bye", &ByeArgs{Worker: w.id, Spans: spans,
-				SpanBase: base, OffsetNS: off, RTTNS: rtt, HasOffset: hasOff}, &bye); err == nil {
+				SpanBase: base, OffsetNS: off, RTTNS: rtt, HasOffset: hasOff,
+				CorruptsInjected: bci, CorruptsDetected: bcd}, &bye); err == nil {
 				w.sh.ack(len(spans))
 			}
 			return nil
@@ -289,6 +350,12 @@ func (w *worker) execute(t *TaskSpec, token int64, vers []int, attempt int) erro
 	args := &CommitArgs{Worker: w.id, Task: t.ID, Token: token}
 	compStart := time.Now().UnixNano()
 	kerr := applyKernel(w.op, t, w.a)
+	if kerr == nil && w.opt.SlowFactor > 1 {
+		// Straggler injection: pad the whole attempt so far (fetch, decode,
+		// compute) to SlowFactor× its measured duration — a throttled CPU
+		// slows serialization every bit as much as it slows kernels.
+		time.Sleep(time.Duration(float64(time.Now().UnixNano()-whole.StartNS) * (w.opt.SlowFactor - 1)))
+	}
 	w.sh.add(WireSpan{ID: t.ID, Name: t.Kind, Attempt: attempt,
 		Phase: trace.PhaseCompute, StartNS: compStart, EndNS: time.Now().UnixNano()})
 	if kerr != nil {
@@ -306,12 +373,20 @@ func (w *worker) execute(t *TaskSpec, token int64, vers []int, attempt int) erro
 			tl := w.a.Tile(c[0], c[1])
 			data := make([]float64, len(tl))
 			copy(data, tl)
-			args.Tiles = append(args.Tiles, TilePayload{I: c[0], J: c[1], Data: data})
+			args.Tiles = append(args.Tiles, TilePayload{I: c[0], J: c[1], Data: data, CRC: ft.CRC64(data)})
 		}
 	}
 	commitStart := time.Now().UnixNano()
 	var rep CommitReply
 	rpcErr := w.cl.call("Commit", args, &rep)
+	for rpcErr == nil && rep.BadPayload {
+		// The coordinator rejected the payload as corrupt-in-flight. The
+		// lease is still ours and the cached bytes are fine — resend them.
+		w.sh.instant(trace.PhaseCorrupt, fmt.Sprintf("commit of task %d failed CRC at coordinator, resending", t.ID))
+		w.opt.logf("dist: worker %d resending commit of task %d after CRC reject", w.id, t.ID)
+		rep = CommitReply{}
+		rpcErr = w.cl.call("Commit", args, &rep)
+	}
 	commitEnd := time.Now().UnixNano()
 	for _, p := range args.Tiles {
 		w.sh.add(WireSpan{ID: t.ID, Name: t.Kind, Attempt: attempt,
@@ -324,9 +399,10 @@ func (w *worker) execute(t *TaskSpec, token int64, vers []int, attempt int) erro
 		whole.Outcome, whole.Err = int(sched.OutcomeFailed), rpcErr.Error()
 	case kerr != nil:
 		whole.Outcome, whole.Err = int(sched.OutcomeFailed), kerr.Error()
-	case rep.Evicted || !rep.Accepted:
-		// The result was discarded (reaped straggler / eviction): the task
-		// ran or will run again elsewhere, which is what Retried means.
+	case rep.Evicted || !rep.Accepted || rep.Duplicate:
+		// The result was discarded (reaped straggler / eviction / losing twin
+		// of a speculative race): the task ran or runs again elsewhere, which
+		// is what Retried means. Exactly one attempt per task records OK.
 		whole.Outcome = int(sched.OutcomeRetried)
 	default:
 		whole.Outcome = int(sched.OutcomeOK)
@@ -338,7 +414,8 @@ func (w *worker) execute(t *TaskSpec, token int64, vers []int, attempt int) erro
 	if rep.Evicted {
 		return ErrEvicted
 	}
-	if !rep.Accepted {
+	if !rep.Accepted || rep.Duplicate {
+		// Not applied: the written cache entries stay invalidated.
 		return nil
 	}
 	for k, p := range args.Tiles {

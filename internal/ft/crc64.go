@@ -1,0 +1,30 @@
+package ft
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"math"
+)
+
+// Tile integrity checksums. A tile's CRC64 (ECMA polynomial) is computed
+// over the IEEE-754 bit patterns of its elements in storage order, so it is
+// exactly as bitwise as the determinism contract: two tiles agree on their
+// CRC iff they agree bit for bit. The checksum travels end to end — computed
+// by the committing worker, verified by the coordinator before the store
+// accepts the bytes, kept alongside the tile at rest (where a background
+// scrub re-verifies it), and served back with every Get for the fetching
+// worker to check. A flipped bit anywhere on that path is detected at the
+// next hop rather than silently factored into the result.
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// CRC64 checksums a float64 slice by its bit patterns.
+func CRC64(data []float64) uint64 {
+	var buf [8]byte
+	crc := crc64.New(crcTable)
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		crc.Write(buf[:])
+	}
+	return crc.Sum64()
+}

@@ -1,0 +1,43 @@
+package ft
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCRC64BitSensitivity(t *testing.T) {
+	data := make([]float64, 256)
+	for i := range data {
+		data[i] = float64(i) * 0.7813
+	}
+	base := CRC64(data)
+	if base != CRC64(data) {
+		t.Fatal("CRC64 is not deterministic")
+	}
+	// Any single flipped bit, in any element, changes the checksum.
+	for _, elem := range []int{0, 1, 100, 255} {
+		for _, bit := range []uint{0, 1, 31, 52, 63} {
+			mut := append([]float64(nil), data...)
+			mut[elem] = math.Float64frombits(math.Float64bits(mut[elem]) ^ (1 << bit))
+			if CRC64(mut) == base {
+				t.Errorf("flip of element %d bit %d not detected", elem, bit)
+			}
+		}
+	}
+}
+
+func TestCRC64DistinguishesBitPatterns(t *testing.T) {
+	// The checksum is over bit patterns, not values: 0.0 and -0.0 compare
+	// equal as floats but must checksum differently, and NaNs (never equal
+	// to themselves) must checksum stably.
+	if CRC64([]float64{0.0}) == CRC64([]float64{math.Copysign(0, -1)}) {
+		t.Error("+0 and -0 collide")
+	}
+	nan := []float64{math.NaN()}
+	if CRC64(nan) != CRC64(nan) {
+		t.Error("NaN checksum is unstable")
+	}
+	if CRC64(nil) != CRC64([]float64{}) {
+		t.Error("empty slices disagree")
+	}
+}

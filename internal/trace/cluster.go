@@ -20,13 +20,27 @@ const (
 	PhaseReaped  = "lease_reaped"
 	PhaseStale   = "stale_commit"
 	PhaseChaos   = "net_chaos"
+
+	// PhaseSpecTwin marks the grant of a speculative twin lease: the same
+	// task, handed to a second worker because the first ran long.
+	PhaseSpecTwin = "spec_twin"
+	// PhaseCorrupt marks a payload whose CRC64 failed verification — on the
+	// wire (a Get reply or Commit body) or at rest in the store.
+	PhaseCorrupt = "payload_corrupt"
+	// PhasePartition marks a worker entering or leaving an injected network
+	// partition window (recorded worker-side; ships once the partition heals).
+	PhasePartition = "partition"
+	// PhaseRejoin marks a previously evicted or partitioned worker
+	// re-registering under a fresh identity.
+	PhaseRejoin = "worker_rejoin"
 )
 
 // IsFault reports whether phase is a fault-instant label rather than a
 // lease-lifecycle sub-phase.
 func IsFault(phase string) bool {
 	switch phase {
-	case PhaseEvicted, PhaseReaped, PhaseStale, PhaseChaos:
+	case PhaseEvicted, PhaseReaped, PhaseStale, PhaseChaos,
+		PhaseSpecTwin, PhaseCorrupt, PhasePartition, PhaseRejoin:
 		return true
 	}
 	return false
