@@ -31,6 +31,11 @@ type diffEntry struct {
 }
 
 func runBenchDiff(basePath, newPath string, tol float64, missing string) error {
+	// Dispatch on the baseline's benchmark kind: the same -benchdiff flag
+	// gates both the strong-scaling report and the solve-service report.
+	if kind, err := peekBenchmark(basePath); err == nil && kind == "solve-service" {
+		return runServeBenchDiff(basePath, newPath, tol)
+	}
 	base, err := loadScaleReport(basePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -163,6 +168,80 @@ func parseWaivers(missing string) (map[opKey]bool, error) {
 		waived[k] = true
 	}
 	return waived, nil
+}
+
+// peekBenchmark reads only the benchmark kind from a report file.
+func peekBenchmark(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", err
+	}
+	return probe.Benchmark, nil
+}
+
+func loadServeReport(path string) (*serveBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r serveBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Benchmark != "solve-service" {
+		return nil, fmt.Errorf("%s: benchmark is %q, want solve-service", path, r.Benchmark)
+	}
+	return &r, nil
+}
+
+// runServeBenchDiff gates the solve-service report. As with the scaling
+// gate, only relative metrics are compared — the warm-cache speedup, the
+// batched-flood speedup, and the mixed-load cache hit rate — because
+// absolute throughput and latency shift with the host while same-run ratios
+// cancel it out.
+func runServeBenchDiff(basePath, newPath string, tol float64) error {
+	base, err := loadServeReport(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := loadServeReport(newPath)
+	if err != nil {
+		return fmt.Errorf("new report: %w", err)
+	}
+	if err := cur.validate(); err != nil {
+		return fmt.Errorf("benchdiff: new report %s: %w", newPath, err)
+	}
+	entries := []diffEntry{
+		{"serve/warm_cache_speedup", base.Warm.Speedup, cur.Warm.Speedup,
+			cur.Warm.Speedup < base.Warm.Speedup*(1-tol)},
+		{"serve/batched_flood_speedup", base.Flood.Speedup, cur.Flood.Speedup,
+			cur.Flood.Speedup < base.Flood.Speedup*(1-tol)},
+		{"serve/mixed_cache_hit_rate", base.Mixed.CacheHitRate, cur.Mixed.CacheHitRate,
+			cur.Mixed.CacheHitRate < base.Mixed.CacheHitRate*(1-tol)},
+	}
+	tbl := newTable("metric", "baseline", "new", "change %", "status")
+	regressions := 0
+	for _, e := range entries {
+		status := "ok"
+		if e.regress {
+			status = "REGRESSION"
+			regressions++
+		}
+		tbl.add(e.key, e.old, e.new, 100*(e.new/e.old-1), status)
+	}
+	tbl.print()
+	if regressions > 0 {
+		return fmt.Errorf("benchdiff: %d of %d serve metrics regressed beyond %.0f%% tolerance",
+			regressions, len(entries), 100*tol)
+	}
+	fmt.Printf("\nbenchdiff: %d serve metrics within %.0f%% of baseline\n", len(entries), 100*tol)
+	return nil
 }
 
 func loadScaleReport(path string) (*scaleBenchReport, error) {

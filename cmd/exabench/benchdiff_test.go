@@ -81,3 +81,82 @@ func TestBenchDiffRejectsMalformedWaiver(t *testing.T) {
 		t.Fatalf("well-formed waiver with spaces rejected: %v", err)
 	}
 }
+
+// The single -benchdiff flag also gates the solve-service report; dispatch
+// happens on the baseline file's benchmark kind, so the gate must pick the
+// serve comparison for a "solve-service" baseline and fail on ratio
+// regressions there with the same tolerance rule.
+
+func sampleServeReport() serveBenchReport {
+	return serveBenchReport{
+		Benchmark: "solve-service",
+		HostCPUs:  8,
+		Mixed: serveMixedResult{
+			DurationS: 3, Offered: 1000, Done: 900, Failed: 0, Shed: 100,
+			ThroughputJobsS: 300, P50Ms: 2, P99Ms: 20, P999Ms: 40,
+			ShedRate: 0.1, CacheHits: 50, CacheMisses: 10, CacheHitRate: 0.83,
+			BatchFlushes: 4, BatchJobs: 800,
+		},
+		Warm:  serveWarmResult{N: 768, NB: 64, ColdMs: 120, WarmMs: 10, Speedup: 12},
+		Flood: serveFloodResult{Count: 10000, N: 8, BatchedSeconds: 1, PerJobSeconds: 3, Speedup: 3, Flushes: 40, MeanBatchSize: 250},
+	}
+}
+
+func writeServeReport(t *testing.T, dir, name string, r serveBenchReport) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchDiffDispatchesOnServeBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", sampleServeReport())
+
+	same := writeServeReport(t, dir, "new.json", sampleServeReport())
+	if err := runBenchDiff(base, same, 0.10, ""); err != nil {
+		t.Fatalf("identical serve reports failed the gate: %v", err)
+	}
+
+	// The warm-cache speedup collapsing must trip the serve gate even when
+	// it stays above validate()'s absolute floor.
+	worse := sampleServeReport()
+	worse.Warm.Speedup = 10.2
+	cur := writeServeReport(t, dir, "worse.json", worse)
+	err := runBenchDiff(base, cur, 0.10, "")
+	if err == nil {
+		t.Fatal("15% warm-speedup regression passed a 10% gate")
+	}
+	if !strings.Contains(err.Error(), "serve metrics regressed") {
+		t.Fatalf("regression error came from the wrong gate: %v", err)
+	}
+}
+
+func TestBenchDiffRejectsMixedReportKinds(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", sampleServeReport())
+	cur := writeReport(t, dir, "new.json", twoOpReport())
+	err := runBenchDiff(base, cur, 0.10, "")
+	if err == nil || !strings.Contains(err.Error(), "want solve-service") {
+		t.Fatalf("scale report accepted against a serve baseline: %v", err)
+	}
+}
+
+func TestBenchDiffServeRejectsInvalidNewReport(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", sampleServeReport())
+	broken := sampleServeReport()
+	broken.Mixed.Shed = 0 // admission control untested → validate() must fail the gate
+	broken.Mixed.Done = broken.Mixed.Offered
+	cur := writeServeReport(t, dir, "new.json", broken)
+	err := runBenchDiff(base, cur, 0.10, "")
+	if err == nil || !strings.Contains(err.Error(), "shed nothing") {
+		t.Fatalf("invalid serve report passed the gate: %v", err)
+	}
+}

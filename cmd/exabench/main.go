@@ -8,7 +8,9 @@
 //	exabench -exp all         # the full suite
 //	exabench -exp e1 -quick   # smaller sizes for a fast sanity pass
 //	exabench -json            # benchmarks → BENCH_gemm.json, BENCH_chol.json, BENCH_scale.json
-//	exabench -benchdiff BASE  # diff BENCH_scale.json against a baseline, fail on regression
+//	exabench -serve           # solve-service load benchmark → BENCH_serve.json
+//	exabench -benchdiff BASE  # diff a report against a baseline, fail on regression
+//	                          # (dispatches on the baseline's benchmark kind)
 package main
 
 import (
@@ -45,6 +47,8 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and dump a JSON snapshot per experiment")
 	faults := flag.Bool("faults", false, "run the fault-injection mode instead of the experiment suite")
 	jsonBench := flag.Bool("json", false, "run the kernel benchmark suite and write BENCH_gemm.json / BENCH_chol.json / BENCH_scale.json")
+	serveBench := flag.Bool("serve", false, "run the solve-service load benchmark and write BENCH_serve.json")
+	serveAddr := flag.String("serve-addr", "", "pin the -serve load-phase server to this host:port so its /metrics can be watched live (default: ephemeral)")
 	benchDiff := flag.String("benchdiff", "", "compare the scaling report named by -benchnew against this baseline JSON and exit non-zero on regressions")
 	benchNew := flag.String("benchnew", "BENCH_scale.json", "scaling report compared against the -benchdiff baseline")
 	benchTol := flag.Float64("benchtol", 0.10, "relative tolerance for -benchdiff speedup regressions")
@@ -75,6 +79,14 @@ func main() {
 	if *jsonBench {
 		fmt.Printf("\n=== kernel benchmarks (JSON artifacts) ===\n\n")
 		if err := runBenchJSON(*quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveBench {
+		fmt.Printf("\n=== solve service: open-loop load, factor cache, batched fast path ===\n\n")
+		if err := runServeBench(*quick, *serveAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,458 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"exadla"
+	"exadla/internal/matgen"
+)
+
+// The -serve mode benchmarks the solve service end to end and writes
+// BENCH_serve.json. Three phases:
+//
+//  1. An open-loop mixed load over real HTTP: Poisson arrivals of many
+//     small solves, a band of medium solves against a few shared operators
+//     (cache traffic), and occasional huge factorizations, plus one burst
+//     that drives the queue past its admission budget so load shedding is
+//     exercised, not just configured. Records throughput, p50/p99/p999
+//     latency, shed rate, and cache hit rate.
+//  2. Warm-vs-cold: the same operator solved cold (factorize + solve) and
+//     then repeatedly against the cached factor. The ratio is the cache's
+//     core claim: a warm solve skips the O(n³) factorization.
+//  3. A flood of tiny solves through the batched fast path vs the same
+//     flood with batching disabled — the fused-submission speedup.
+//
+// Like the scaling report, only RELATIVE metrics (speedups, rates) are
+// gated by -benchdiff; absolute latencies shift with the host.
+
+type serveMixedResult struct {
+	DurationS       float64 `json:"duration_s"`
+	Offered         int64   `json:"offered"`
+	Done            int64   `json:"done"`
+	Failed          int64   `json:"failed"`
+	Shed            int64   `json:"shed"`
+	ThroughputJobsS float64 `json:"throughput_jobs_s"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	P999Ms          float64 `json:"p999_ms"`
+	ShedRate        float64 `json:"shed_rate"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	BatchFlushes    int64   `json:"batch_flushes"`
+	BatchJobs       int64   `json:"batch_jobs"`
+}
+
+type serveWarmResult struct {
+	N       int     `json:"n"`
+	NB      int     `json:"nb"`
+	ColdMs  float64 `json:"cold_ms"`
+	WarmMs  float64 `json:"warm_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+type serveFloodResult struct {
+	Count          int     `json:"count"`
+	N              int     `json:"n"`
+	BatchedSeconds float64 `json:"batched_seconds"`
+	PerJobSeconds  float64 `json:"per_job_seconds"`
+	Speedup        float64 `json:"speedup"`
+	Flushes        int64   `json:"flushes"`
+	MeanBatchSize  float64 `json:"mean_batch_size"`
+}
+
+type serveBenchReport struct {
+	Benchmark string           `json:"benchmark"`
+	HostCPUs  int              `json:"host_cpus"`
+	Quick     bool             `json:"quick"`
+	Mixed     serveMixedResult `json:"mixed"`
+	Warm      serveWarmResult  `json:"warm"`
+	Flood     serveFloodResult `json:"flood"`
+}
+
+// validate machine-checks the report against the service's load-bearing
+// claims before it is written: the factorization cache must make repeated
+// solves at least 10× faster, the batched fast path must beat per-job
+// submission at least 2×, shedding must have been exercised, and the
+// percentile ladder must be ordered.
+func (r *serveBenchReport) validate() error {
+	// The full-mode floors are the acceptance criteria (n=768 warm solves,
+	// a 10k-job flood); quick mode measures smaller configurations on
+	// noisier CI hosts, so its floors are sanity bounds, with the ratio
+	// regression caught by -benchdiff against the committed full report.
+	warmFloor, floodFloor := 10.0, 2.0
+	if r.Quick {
+		warmFloor, floodFloor = 5.0, 1.3
+	}
+	if r.Warm.Speedup < warmFloor {
+		return fmt.Errorf("warm solve is only %.1f× faster than cold, want ≥%.0f×", r.Warm.Speedup, warmFloor)
+	}
+	if r.Flood.Speedup < floodFloor {
+		return fmt.Errorf("batched flood is only %.2f× faster than per-job, want ≥%.1f×", r.Flood.Speedup, floodFloor)
+	}
+	if r.Mixed.Shed == 0 {
+		return fmt.Errorf("the overload burst shed nothing; admission control untested")
+	}
+	if r.Mixed.P50Ms <= 0 || r.Mixed.P50Ms > r.Mixed.P99Ms || r.Mixed.P99Ms > r.Mixed.P999Ms {
+		return fmt.Errorf("percentiles out of order: p50=%.3f p99=%.3f p999=%.3f",
+			r.Mixed.P50Ms, r.Mixed.P99Ms, r.Mixed.P999Ms)
+	}
+	if r.Mixed.CacheHits == 0 {
+		return fmt.Errorf("mixed load produced no cache hits; repeated-operator traffic broken")
+	}
+	if r.Mixed.Done+r.Mixed.Failed+r.Mixed.Shed != r.Mixed.Offered {
+		return fmt.Errorf("job accounting leaks: done+failed+shed=%d, offered=%d",
+			r.Mixed.Done+r.Mixed.Failed+r.Mixed.Shed, r.Mixed.Offered)
+	}
+	return nil
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e6
+}
+
+func runServeBench(quick bool, addr string) error {
+	report := &serveBenchReport{
+		Benchmark: "solve-service",
+		HostCPUs:  runtime.NumCPU(),
+		Quick:     quick,
+	}
+	mixed, err := serveMixedPhase(quick, addr)
+	if err != nil {
+		return err
+	}
+	report.Mixed = *mixed
+	report.Warm = serveWarmPhase(quick)
+	report.Flood = serveFloodPhase(quick)
+	if err := report.validate(); err != nil {
+		return fmt.Errorf("serve bench report failed validation: %w", err)
+	}
+	return writeBenchFile("BENCH_serve.json", report)
+}
+
+// serveMixedPhase drives the server over real HTTP with open-loop Poisson
+// arrivals: the arrival process never waits for completions, so queueing
+// delay shows up in the latency tail instead of throttling the offered
+// load the way a closed loop would.
+func serveMixedPhase(quick bool, addr string) (*serveMixedResult, error) {
+	// addr pins the load-phase server so CI can curl /metrics mid-run;
+	// empty picks an ephemeral port.
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	s, err := exadla.Serve(exadla.ServeConfig{
+		Addr:        addr,
+		MaxQueue:    64,
+		SmallCutoff: 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 512}}
+
+	rng := rand.New(rand.NewSource(42))
+	dur := pick(quick, 3*time.Second, 8*time.Second)
+	rate := float64(pick(quick, 250, 400)) // arrivals per second
+
+	// Traffic shapes, pre-generated so the arrival loop only serializes.
+	small := make([][]byte, 32)
+	for i := range small {
+		n := []int{8, 12, 16}[i%3]
+		small[i] = serveJobJSON(exadla.ServeSolveSPD, n, matgen.DiagDomSPD[float64](rng, n),
+			matgen.Dense[float64](rng, n, 1))
+	}
+	const mediums = 4
+	medium := make([][]byte, mediums) // few shared operators → cache hits
+	for i := range medium {
+		n := 96
+		medium[i] = serveJobJSON(exadla.ServeSolveSPD, n, matgen.DiagDomSPD[float64](rng, n),
+			matgen.Dense[float64](rng, n, 1))
+	}
+	hugeN := pick(quick, 256, 512)
+	huge := serveJobJSON(exadla.ServeFactorSPD, hugeN, matgen.DiagDomSPD[float64](rng, hugeN), nil)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		offered   int64
+		done      int64
+		failed    int64
+		shed      int64
+		wg        sync.WaitGroup
+	)
+	// Burst submissions count toward the shed/done accounting but not the
+	// latency sample: the percentiles describe steady-state service quality,
+	// and the burst exists to prove overload is shed, not queued forever.
+	fire := func(body []byte, tenant string, sampleLatency bool) {
+		wg.Add(1)
+		offered++
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			req, _ := http.NewRequest("POST", base+"/jobs?wait=1", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Tenant", tenant)
+			resp, err := client.Do(req)
+			if err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				return
+			}
+			var st exadla.ServeStatus
+			decErr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests:
+				shed++
+			case decErr != nil || st.State != "done":
+				failed++
+			default:
+				done++
+				if sampleLatency {
+					latencies = append(latencies, time.Since(start))
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	burstAt := dur / 2
+	burstFired := false
+	for elapsed := time.Duration(0); elapsed < dur; elapsed = time.Since(start) {
+		if !burstFired && elapsed > burstAt {
+			// A single synchronized burst several times MaxQueue, aimed at
+			// the lane path (medium solves drain orders of magnitude slower
+			// than the batcher eats tiny ones): admission control must
+			// shed, not queue without bound.
+			burstFired = true
+			for i := 0; i < 6*64; i++ {
+				fire(medium[i%mediums], fmt.Sprintf("burst-%d", i%8), false)
+			}
+		}
+		switch u := rng.Float64(); {
+		case u < 0.02:
+			fire(huge, "science", true)
+		case u < 0.12:
+			fire(medium[rng.Intn(mediums)], "analytics", true)
+		default:
+			fire(small[rng.Intn(len(small))], fmt.Sprintf("edge-%d", rng.Intn(4)), true)
+		}
+		time.Sleep(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	snap := s.Metrics()
+	hits, misses := snap.Counters["serve.cache.hits"], snap.Counters["serve.cache.misses"]
+	res := &serveMixedResult{
+		DurationS:       wall.Seconds(),
+		Offered:         offered,
+		Done:            done,
+		Failed:          failed,
+		Shed:            shed,
+		ThroughputJobsS: float64(done) / wall.Seconds(),
+		P50Ms:           quantileMs(latencies, 0.50),
+		P99Ms:           quantileMs(latencies, 0.99),
+		P999Ms:          quantileMs(latencies, 0.999),
+		ShedRate:        float64(shed) / float64(offered),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheHitRate:    float64(hits) / math.Max(1, float64(hits+misses)),
+		BatchFlushes:    snap.Counters["serve.batch.flushes"],
+		BatchJobs:       snap.Counters["serve.batch.jobs"],
+	}
+	tbl := newTable("metric", "value")
+	tbl.add("offered jobs", offered)
+	tbl.add("throughput (jobs/s)", res.ThroughputJobsS)
+	tbl.add("p50 latency (ms)", res.P50Ms)
+	tbl.add("p99 latency (ms)", res.P99Ms)
+	tbl.add("p99.9 latency (ms)", res.P999Ms)
+	tbl.add("shed rate", res.ShedRate)
+	tbl.add("cache hit rate", res.CacheHitRate)
+	tbl.add("batched jobs", res.BatchJobs)
+	tbl.print()
+	return res, nil
+}
+
+func serveJobJSON(op exadla.ServeOp, n int, a, b []float64) []byte {
+	spec := exadla.ServeJob{Op: op, N: n, A: a, B: b}
+	if b != nil {
+		spec.NRHS = 1
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// serveWarmPhase measures the factorization cache's latency win on one
+// repeated operator, in-process so HTTP overhead does not blur the ratio.
+// The cold number uploads and factors the matrix; the warm numbers are the
+// cached workflow the fingerprint exists for — submit only the new
+// right-hand side against the resident factor.
+func serveWarmPhase(quick bool) serveWarmResult {
+	n := pick(quick, 512, 768)
+	s, err := exadla.Serve(exadla.ServeConfig{Lanes: 1, SmallCutoff: -1})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(7))
+
+	solveOnce := func(spec exadla.ServeJob) (time.Duration, exadla.ServeStatus) {
+		start := time.Now()
+		id, err := s.Submit("warm-bench", spec)
+		if err != nil {
+			panic(err)
+		}
+		st, _ := s.WaitJob(id)
+		if st.State != "done" {
+			panic(fmt.Sprintf("warm bench job failed: %s", st.Error))
+		}
+		return time.Since(start), st
+	}
+
+	// Three distinct operators give three cold samples (each first solve is
+	// a miss); the best is the cold number.
+	cold := time.Duration(math.MaxInt64)
+	var fp string
+	var b []float64
+	for i := 0; i < 3; i++ {
+		a := matgen.DiagDomSPD[float64](rng, n)
+		b = matgen.Dense[float64](rng, n, 1)
+		d, st := solveOnce(exadla.ServeJob{
+			Op: exadla.ServeSolveSPD, N: n, NRHS: 1,
+			A: a, B: append([]float64(nil), b...),
+		})
+		if d < cold {
+			cold = d
+		}
+		fp = st.Fingerprint
+	}
+	// Warm samples reference the last operator's cached factor by
+	// fingerprint: no matrix upload, no factorization — just the O(n²)
+	// triangular solves.
+	warm := time.Duration(math.MaxInt64)
+	for i := 0; i < 7; i++ {
+		d, st := solveOnce(exadla.ServeJob{
+			Op: exadla.ServeSolveSPD, N: n, NRHS: 1,
+			Fingerprint: fp, B: append([]float64(nil), b...),
+		})
+		if st.Cache != "hit" {
+			panic("warm solve missed the cache")
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+	res := serveWarmResult{
+		N: n, NB: 64,
+		ColdMs:  float64(cold) / 1e6,
+		WarmMs:  float64(warm) / 1e6,
+		Speedup: float64(cold) / float64(warm),
+	}
+	tbl := newTable("phase", "latency ms", "speedup")
+	tbl.add(fmt.Sprintf("cold solve n=%d", n), res.ColdMs, 1.0)
+	tbl.add(fmt.Sprintf("warm solve n=%d", n), res.WarmMs, res.Speedup)
+	tbl.print()
+	return res
+}
+
+// serveFloodPhase pushes the same flood of tiny solves through a server
+// with the batched fast path on, then through one with it disabled (every
+// job its own DAG on a lane runtime), and compares wall time.
+func serveFloodPhase(quick bool) serveFloodResult {
+	count := pick(quick, 2000, 10000)
+	n := 8
+	rng := rand.New(rand.NewSource(11))
+	as := make([][]float64, count)
+	bs := make([][]float64, count)
+	for i := range as {
+		as[i] = matgen.DiagDomSPD[float64](rng, n)
+		bs[i] = matgen.Dense[float64](rng, n, 1)
+	}
+
+	run := func(cutoff int) (float64, int64, float64) {
+		s, err := exadla.Serve(exadla.ServeConfig{
+			SmallCutoff: cutoff,
+			MaxQueue:    count + 16,
+			BatchMax:    256,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer s.Close()
+		ids := make([]string, count)
+		start := time.Now()
+		for i := range as {
+			ids[i], err = s.Submit(fmt.Sprintf("flood-%d", i%4), exadla.ServeJob{
+				Op: exadla.ServeSolveSPD, N: n, NRHS: 1,
+				A: append([]float64(nil), as[i]...), B: append([]float64(nil), bs[i]...),
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		for _, id := range ids {
+			if st, _ := s.WaitJob(id); st.State != "done" {
+				panic(fmt.Sprintf("flood job %s: %s %s", id, st.State, st.Error))
+			}
+		}
+		secs := time.Since(start).Seconds()
+		snap := s.Metrics()
+		flushes := snap.Counters["serve.batch.flushes"]
+		mean := 0.0
+		if flushes > 0 {
+			mean = float64(snap.Counters["serve.batch.jobs"]) / float64(flushes)
+		}
+		return secs, flushes, mean
+	}
+
+	// Best-of-3 per path: one quick-mode flood is only tens of
+	// milliseconds of wall time, so a single sample is mostly scheduler
+	// warmup and OS noise; the min is the honest capacity of each path.
+	batched, flushes, mean := run(16)
+	perJob, _, _ := run(-1)
+	for i := 0; i < 2; i++ {
+		if b2, f2, m2 := run(16); b2 < batched {
+			batched, flushes, mean = b2, f2, m2
+		}
+		if p2, _, _ := run(-1); p2 < perJob {
+			perJob = p2
+		}
+	}
+	res := serveFloodResult{
+		Count: count, N: n,
+		BatchedSeconds: batched,
+		PerJobSeconds:  perJob,
+		Speedup:        perJob / batched,
+		Flushes:        flushes,
+		MeanBatchSize:  mean,
+	}
+	tbl := newTable("path", "seconds", "jobs/s", "speedup")
+	tbl.add("per-job DAGs", perJob, float64(count)/perJob, 1.0)
+	tbl.add("batched fast path", batched, float64(count)/batched, res.Speedup)
+	tbl.print()
+	fmt.Printf("\n%d jobs fused into %d flushes (mean batch %.0f)\n", count, flushes, mean)
+	return res
+}

@@ -8,6 +8,8 @@
 package batch
 
 import (
+	"fmt"
+
 	"exadla/internal/blas"
 	"exadla/internal/lapack"
 	"exadla/internal/sched"
@@ -29,17 +31,25 @@ type Options struct {
 }
 
 func (o Options) chunk(count, n int) int {
+	return o.chunkFor(count, n*n*n)
+}
+
+// chunkFor picks the chunk size from the actual per-problem work estimate
+// (an element-operation count such as n³ for a square factorization or
+// m·n·k for a GEMM). Using the true volume matters for rectangular shapes:
+// a 256×8×8 GEMM is 16k element-ops, not the 16M a max(m,n,k)³ estimate
+// would claim, and chunks ~1000× too small drown in task overhead.
+func (o Options) chunkFor(count, work int) int {
 	if o.ChunkSize > 0 {
 		return o.ChunkSize
 	}
 	// Aim for tasks of roughly 64³ flops worth of work, but keep at least
 	// ~64 chunks when the batch is large so the DAG still exposes
 	// parallelism to a multi-worker pool.
-	per := n * n * n
-	if per < 1 {
-		per = 1
+	if work < 1 {
+		work = 1
 	}
-	c := (64 * 64 * 64) / per
+	c := (64 * 64 * 64) / work
 	if maxC := (count + 63) / 64; c > maxC {
 		c = maxC
 	}
@@ -50,6 +60,20 @@ func (o Options) chunk(count, n int) int {
 		c = count
 	}
 	return c
+}
+
+// runProblem executes one problem's kernel with panic capture, so a
+// panicking kernel (an undersized slice, a bug tripped by one pathological
+// input) fails only its own batch entry instead of reaching the scheduler's
+// panic path and poisoning the whole chunk — in a batch of 10k, one broken
+// problem must not take down the other 9 999.
+func runProblem(i int, errs []error, f func() error) {
+	defer func() {
+		if p := recover(); p != nil {
+			errs[i] = fmt.Errorf("batch: problem %d panicked: %v", i, p)
+		}
+	}()
+	errs[i] = f()
 }
 
 // Potrf factors each n×n SPD matrix in mats (lower triangle, in place,
@@ -65,10 +89,13 @@ func Potrf(s sched.Scheduler, n int, mats [][]float64, opts Options) []error {
 		s.Submit(sched.Task{
 			Name:   "potrf-batch",
 			Writes: []sched.Handle{chunkHandle{id, lo}},
-			Fn: func() {
+			FnErr: func() error {
 				for i := lo; i < hi; i++ {
-					errs[i] = lapack.Potf2(blas.Lower, n, mats[i], n)
+					runProblem(i, errs, func() error {
+						return lapack.Potf2(blas.Lower, n, mats[i], n)
+					})
 				}
+				return nil
 			},
 		})
 	}
@@ -99,12 +126,16 @@ func Getrf(s sched.Scheduler, n int, mats [][]float64, opts Options) (pivs [][]i
 		s.Submit(sched.Task{
 			Name:   "getrf-batch",
 			Writes: []sched.Handle{chunkHandle{id, lo}},
-			Fn: func() {
+			FnErr: func() error {
 				for i := lo; i < hi; i++ {
-					piv := make([]int, n)
-					errs[i] = lapack.Getf2(n, n, mats[i], n, piv)
-					pivs[i] = piv
+					runProblem(i, errs, func() error {
+						piv := make([]int, n)
+						err := lapack.Getf2(n, n, mats[i], n, piv)
+						pivs[i] = piv
+						return err
+					})
 				}
+				return nil
 			},
 		})
 	}
@@ -130,7 +161,7 @@ func Gemm(s sched.Scheduler, m, n, k int, as, bs, cs [][]float64, opts Options) 
 		panic("batch: Gemm batch length mismatch")
 	}
 	id := new(int)
-	chunk := opts.chunk(len(as), max(m, max(n, k)))
+	chunk := opts.chunkFor(len(as), m*n*k)
 	for lo := 0; lo < len(as); lo += chunk {
 		lo := lo
 		hi := min(lo+chunk, len(as))

@@ -148,6 +148,108 @@ func TestDefaultChunkSize(t *testing.T) {
 	}
 }
 
+func TestGemmRectangularChunking(t *testing.T) {
+	// A rectangular batch must be chunked by its true m·n·k volume. A
+	// 256×8×8 problem is 16k element-ops; the old max(m,n,k)³ estimate saw
+	// 16M, picked 1-problem chunks, and produced one task per problem.
+	count, m, n, k := 256, 256, 8, 8
+	rng := rand.New(rand.NewSource(6))
+	as := make([][]float64, count)
+	bs := make([][]float64, count)
+	cs := make([][]float64, count)
+	cs2 := make([][]float64, count)
+	for i := 0; i < count; i++ {
+		as[i] = matgen.Dense[float64](rng, m, k)
+		bs[i] = matgen.Dense[float64](rng, k, n)
+		cs[i] = make([]float64, m*n)
+		cs2[i] = make([]float64, m*n)
+	}
+	rec := sched.NewRecorder()
+	batch.Gemm(rec, m, n, k, as, bs, cs, batch.Options{})
+	tasks := rec.Graph().Tasks()
+	if tasks > count/2 {
+		t.Errorf("rectangular %dx%dx%d batch of %d got %d tasks; chunking is ignoring the true volume",
+			m, n, k, count, tasks)
+	}
+	if tasks < 1 {
+		t.Fatal("no tasks at all")
+	}
+	// And the fused chunks must still compute the right products.
+	batch.GemmSeq(m, n, k, as, bs, cs2)
+	for i := range cs {
+		for j := range cs[i] {
+			if cs[i][j] != cs2[i][j] {
+				t.Fatalf("product %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestBatchedPotrfPanicIsolation(t *testing.T) {
+	// A panicking kernel (here: an undersized backing slice) must fail only
+	// its own entry, not the chunk around it or the whole batch.
+	rng := rand.New(rand.NewSource(7))
+	count, n := 20, 8
+	mats := spdBatch(rng, count, n)
+	mats[5] = mats[5][:3] // out-of-range panic inside Potf2
+	r := sched.New(2)
+	defer r.Shutdown()
+	errs := batch.Potrf(r, n, mats, batch.Options{ChunkSize: 10})
+	for i, err := range errs {
+		if i == 5 {
+			if err == nil {
+				t.Error("problem 5 should have failed")
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("problem %d unexpectedly failed: %v", i, err)
+		}
+	}
+	// Problems after the panicking one in the same chunk still ran.
+	ref := spdBatch(rand.New(rand.NewSource(7)), count, n)
+	if errsRef := batch.PotrfSeq(n, ref); anyErr(errsRef) {
+		t.Fatal("reference errors")
+	}
+	for k := range mats[9] {
+		if mats[9][k] != ref[9][k] {
+			t.Fatal("problem 9 (same chunk as the panic) was not computed")
+		}
+	}
+	// The runtime survived and is reusable.
+	good := spdBatch(rng, 4, n)
+	if errs := batch.Potrf(r, n, good, batch.Options{}); anyErr(errs) {
+		t.Error("runtime unusable after a batched panic")
+	}
+}
+
+func TestBatchedGetrfPanicIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	count, n := 12, 6
+	mats := make([][]float64, count)
+	for i := range mats {
+		mats[i] = matgen.Dense[float64](rng, n, n)
+	}
+	mats[2] = mats[2][:4]
+	r := sched.New(2)
+	defer r.Shutdown()
+	pivs, errs := batch.Getrf(r, n, mats, batch.Options{ChunkSize: 6})
+	for i, err := range errs {
+		if i == 2 {
+			if err == nil {
+				t.Error("problem 2 should have failed")
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("problem %d unexpectedly failed: %v", i, err)
+		}
+		if len(pivs[i]) != n {
+			t.Errorf("problem %d missing pivots", i)
+		}
+	}
+}
+
 func anyErr(errs []error) bool {
 	for _, e := range errs {
 		if e != nil {

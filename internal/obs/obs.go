@@ -7,6 +7,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -40,13 +41,22 @@ type Options struct {
 	Dist func() any
 	// Health, when non-nil, contributes extra fields to the /healthz body.
 	Health func() map[string]any
+	// ReadHeaderTimeout bounds how long an accepted connection may sit
+	// without sending its request headers before the server closes it, so an
+	// idle or stalled client cannot hold a connection open forever. Zero
+	// means the 10s default.
+	ReadHeaderTimeout time.Duration
+	// CloseTimeout bounds how long Close waits for in-flight requests to
+	// drain before falling back to a hard close. Zero means the 3s default.
+	CloseTimeout time.Duration
 }
 
 // Server is a running observability HTTP server.
 type Server struct {
-	ln    net.Listener
-	srv   *http.Server
-	start time.Time
+	ln           net.Listener
+	srv          *http.Server
+	start        time.Time
+	closeTimeout time.Duration
 }
 
 // Start listens on addr (host:port; use port 0 for an ephemeral port) and
@@ -134,7 +144,15 @@ func Start(addr string, opt Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	s.srv = &http.Server{Handler: mux}
+	rht := opt.ReadHeaderTimeout
+	if rht <= 0 {
+		rht = 10 * time.Second
+	}
+	s.closeTimeout = opt.CloseTimeout
+	if s.closeTimeout <= 0 {
+		s.closeTimeout = 3 * time.Second
+	}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: rht}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -142,10 +160,19 @@ func Start(addr string, opt Options) (*Server, error) {
 // Addr returns the server's actual listen address (resolving port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server. Safe on a nil receiver.
+// Close stops the server gracefully: it stops accepting new connections and
+// waits up to the close timeout for in-flight requests — a /trace download
+// mid-run, a pprof profile — to finish, instead of truncating them the way
+// http.Server.Close would. Requests still running at the deadline are cut
+// off by the hard-close fallback. Safe on a nil receiver.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), s.closeTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }

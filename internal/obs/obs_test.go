@@ -3,9 +3,11 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"exadla/internal/metrics"
 	"exadla/internal/sched"
@@ -179,5 +181,87 @@ func TestServerWithoutTrace(t *testing.T) {
 func TestServerBadAddr(t *testing.T) {
 	if _, err := Start("256.0.0.1:bad", Options{}); err == nil {
 		t.Error("Start on an invalid address returned no error")
+	}
+}
+
+// TestCloseDrainsInFlightRequests pins the graceful-shutdown contract: a
+// request already being served when Close is called completes instead of
+// being truncated mid-body. The 1-second pprof CPU profile is a real slow
+// in-flight request.
+func TestCloseDrainsInFlightRequests(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Options{Registry: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		n      int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, n: len(body), err: err}
+	}()
+	// Let the request reach the handler, then close while it is in flight.
+	time.Sleep(200 * time.Millisecond)
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Errorf("Close returned after %v; it did not wait for the in-flight profile", waited)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request truncated by Close: %v", r.err)
+	}
+	if r.status != http.StatusOK || r.n == 0 {
+		t.Errorf("in-flight request got status %d, %d bytes", r.status, r.n)
+	}
+}
+
+// TestReadHeaderTimeoutClosesIdleClients pins the other half of the fix: a
+// client that connects but never sends its headers is disconnected instead
+// of holding the connection (and a graceful shutdown) hostage forever.
+func TestReadHeaderTimeoutClosesIdleClients(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Options{
+		Registry:          metrics.New(),
+		ReadHeaderTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a partial request line and then go silent.
+	if _, err := conn.Write([]byte("GET /healthz HTT")); err != nil {
+		t.Fatal(err)
+	}
+	// The server may write a 408 before closing; what matters is that the
+	// connection reaches EOF promptly instead of idling forever.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	body, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("expected EOF after the header timeout, got %v", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("connection survived %v; ReadHeaderTimeout not applied", waited)
+	}
+	// The server may write a 408/400 farewell before closing; any successful
+	// response to an unfinished request would be a bug.
+	if strings.Contains(string(body), "200 OK") {
+		t.Errorf("server answered a request whose headers never arrived: %q", body)
 	}
 }

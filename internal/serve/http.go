@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handler builds the service mux:
+//
+//	POST /jobs              submit (JSON body, or raw float64 with query params);
+//	                        ?wait=1 blocks until terminal and returns the status
+//	GET  /jobs/{id}         status (?watch=1 streams NDJSON until terminal)
+//	GET  /jobs/{id}/result  solution vector (?format=bin for raw float64 LE)
+//	GET  /metrics           Prometheus text (?format=json for a JSON snapshot)
+//	GET  /healthz           liveness + queue/cache occupancy
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func jsonError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	var err error
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		spec, err = specFromRaw(r)
+	} else {
+		err = json.NewDecoder(r.Body).Decode(&spec)
+	}
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Submit(r.Header.Get("X-Tenant"), spec)
+	if err != nil {
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			secs := int(shed.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":          err.Error(),
+				"retry_after_ms": shed.RetryAfter.Milliseconds(),
+			})
+			return
+		}
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		st, _ := s.WaitJob(id)
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+// specFromRaw parses the zero-copy submission form: op/n/nrhs/fingerprint
+// as query parameters and the body as little-endian float64s — A (n×n,
+// column-major) first unless a fingerprint stands in for it, then B
+// (n×nrhs) for solve ops.
+func specFromRaw(r *http.Request) (JobSpec, error) {
+	q := r.URL.Query()
+	spec := JobSpec{Op: Op(q.Get("op")), Fingerprint: q.Get("fingerprint")}
+	var err error
+	if spec.N, err = strconv.Atoi(q.Get("n")); err != nil {
+		return spec, fmt.Errorf("raw submit: bad n: %w", err)
+	}
+	if v := q.Get("nrhs"); v != "" {
+		if spec.NRHS, err = strconv.Atoi(v); err != nil {
+			return spec, fmt.Errorf("raw submit: bad nrhs: %w", err)
+		}
+	} else if spec.Op.solves() {
+		spec.NRHS = 1
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return spec, err
+	}
+	if len(body)%8 != 0 {
+		return spec, fmt.Errorf("raw submit: body is %d bytes, not a whole number of float64s", len(body))
+	}
+	vals := make([]float64, len(body)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	if spec.Fingerprint == "" {
+		if len(vals) < spec.N*spec.N {
+			return spec, fmt.Errorf("raw submit: body holds %d floats, need %d for the matrix", len(vals), spec.N*spec.N)
+		}
+		spec.A = vals[:spec.N*spec.N]
+		vals = vals[spec.N*spec.N:]
+	}
+	if spec.Op.solves() {
+		spec.B = vals
+	}
+	return spec, nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	if r.URL.Query().Get("watch") != "1" {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	// Stream NDJSON status lines until the job is terminal (or the client
+	// goes away), so progress — tasks done, state transitions — is visible
+	// live without polling.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st, _ = s.Status(id)
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.State == StateDone.String() || st.State == StateFailed.String() {
+			return
+		}
+		select {
+		case <-tick.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	x, err := s.Result(id)
+	if err != nil {
+		switch st.State {
+		case StateQueued.String(), StateRunning.String():
+			jsonError(w, http.StatusConflict, err)
+		default:
+			jsonError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if r.URL.Query().Get("format") == "bin" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		buf := make([]byte, 8*len(x))
+		for i, v := range x {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		_, _ = w.Write(buf)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "n": st.N, "nrhs": st.NRHS, "x": x})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.WritePrometheus(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	pending := s.pending
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"pending":       pending,
+		"cache_entries": s.cache.len(),
+		"lanes":         s.cfg.Lanes,
+	})
+}

@@ -1,0 +1,51 @@
+package serve
+
+import "exadla/internal/metrics"
+
+// svMetrics bundles the serving layer's instrumentation. Handles are
+// resolved once per Server against the configured registry; every name maps
+// onto the Prometheus charset as serve_* (serve.cache.hits →
+// serve_cache_hits) through the obs endpoint and the server's own /metrics.
+type svMetrics struct {
+	submitted *metrics.Counter // POST /jobs requests that parsed
+	admitted  *metrics.Counter // jobs accepted past admission control
+	shed      *metrics.Counter // jobs rejected with 429 by load shedding
+	done      *metrics.Counter // jobs that completed successfully
+	failed    *metrics.Counter // jobs that completed with an error
+
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	cacheEvictions *metrics.Counter
+
+	batchJobs    *metrics.Counter // jobs solved through the batched fast path
+	batchFlushes *metrics.Counter // batch submissions to the scheduler
+
+	queueDepth    *metrics.Gauge // jobs admitted but not yet terminal
+	queueDepthHWM *metrics.Gauge
+
+	latency   *metrics.Histogram // submit → terminal, ns
+	runNs     *metrics.Histogram // execution only, ns
+	queueWait *metrics.Histogram // admission → execution start, ns
+	batchSize *metrics.Histogram // problems per batch flush
+}
+
+func newSVMetrics(reg *metrics.Registry) *svMetrics {
+	return &svMetrics{
+		submitted:      reg.Counter("serve.submitted"),
+		admitted:       reg.Counter("serve.admitted"),
+		shed:           reg.Counter("serve.shed_total"),
+		done:           reg.Counter("serve.done"),
+		failed:         reg.Counter("serve.failed"),
+		cacheHits:      reg.Counter("serve.cache.hits"),
+		cacheMisses:    reg.Counter("serve.cache.misses"),
+		cacheEvictions: reg.Counter("serve.cache.evictions"),
+		batchJobs:      reg.Counter("serve.batch.jobs"),
+		batchFlushes:   reg.Counter("serve.batch.flushes"),
+		queueDepth:     reg.Gauge("serve.queue_depth"),
+		queueDepthHWM:  reg.Gauge("serve.queue_depth_hwm"),
+		latency:        reg.Histogram("serve.latency.ns"),
+		runNs:          reg.Histogram("serve.run.ns"),
+		queueWait:      reg.Histogram("serve.queue_wait.ns"),
+		batchSize:      reg.Histogram("serve.batch.size"),
+	}
+}

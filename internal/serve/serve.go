@@ -1,0 +1,572 @@
+// Package serve is the dense-linear-algebra-as-a-service layer: a
+// job-oriented HTTP front end over the tile scheduler. Tenants submit
+// factorize/solve problems, poll or stream status derived from the
+// scheduler's span traces, and fetch results. The server applies per-tenant
+// admission control with fair-share dequeueing and load shedding, keeps an
+// LRU cache of finished factorizations keyed by matrix fingerprint so a
+// repeated operator pays O(n²) triangular solves instead of the O(n³)
+// factorization, and routes floods of tiny problems through the batched
+// kernels on fused scheduler submissions instead of one DAG per job.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exadla/internal/blas"
+	"exadla/internal/core"
+	"exadla/internal/metrics"
+	"exadla/internal/sched"
+	"exadla/internal/tile"
+)
+
+// Config configures a Server. The zero value gets sensible defaults: two
+// execution lanes splitting the CPUs, a 32-entry factor cache, and the
+// batched fast path for problems of order ≤ 32.
+type Config struct {
+	// Addr is the HTTP listen address (host:port, port 0 for ephemeral).
+	// Empty means no HTTP listener: the server is driven in-process through
+	// Submit, which is how the load generator's closed-form phases run.
+	Addr string
+
+	// Lanes is the number of concurrent job executors. Each lane owns its
+	// own scheduler runtime, so Lanes jobs make independent progress.
+	// Default 2.
+	Lanes int
+	// Workers is the worker count per lane runtime (and for the batcher's
+	// runtime). Default GOMAXPROCS/Lanes, at least 1.
+	Workers int
+	// TileSize is the tile edge used when converting submitted matrices.
+	// Default 64.
+	TileSize int
+
+	// MaxQueue is the admission budget: the maximum number of admitted but
+	// not yet finished jobs across all tenants. Submissions beyond it are
+	// shed with 429 + Retry-After. Default 256.
+	MaxQueue int
+	// MaxQueuePerTenant bounds one tenant's in-flight jobs so a single
+	// tenant cannot consume the whole queue budget. Default MaxQueue.
+	MaxQueuePerTenant int
+	// RetryAfter is the backoff hint attached to shed responses.
+	// Default 1s.
+	RetryAfter time.Duration
+
+	// CacheEntries is the factorization cache capacity in entries;
+	// negative disables caching. Default 32.
+	CacheEntries int
+
+	// SmallCutoff routes solve jobs of order ≤ SmallCutoff through the
+	// batched fast path; negative disables batching. Default 32.
+	SmallCutoff int
+	// BatchMax is the most problems fused into one batched flush.
+	// Default 256.
+	BatchMax int
+	// BatchWait is how long an underfull batch lingers for stragglers
+	// before flushing; negative flushes immediately. Default 2ms.
+	BatchWait time.Duration
+
+	// Registry receives the serve.* counters and histograms (plus the lane
+	// runtimes' sched.* instrumentation). Default: a fresh private registry,
+	// exposed on the server's own /metrics endpoint.
+	Registry *metrics.Registry
+}
+
+func (c *Config) setDefaults() {
+	if c.Lanes <= 0 {
+		c.Lanes = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = max(1, runtime.GOMAXPROCS(0)/c.Lanes)
+	}
+	if c.TileSize <= 0 {
+		c.TileSize = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxQueuePerTenant <= 0 || c.MaxQueuePerTenant > c.MaxQueue {
+		c.MaxQueuePerTenant = c.MaxQueue
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 32
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	switch {
+	case c.SmallCutoff == 0:
+		c.SmallCutoff = 32
+	case c.SmallCutoff < 0:
+		c.SmallCutoff = 0
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	switch {
+	case c.BatchWait == 0:
+		c.BatchWait = 2 * time.Millisecond
+	case c.BatchWait < 0:
+		c.BatchWait = 0
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.New()
+	}
+}
+
+// ShedError is returned by Submit when admission control rejects a job;
+// the HTTP layer maps it to 429 with a Retry-After header.
+type ShedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: queue full, retry after %v", e.RetryAfter)
+}
+
+// Server is a running solve service.
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	met   *svMetrics
+	fpr   fingerprinter
+	cache *factorCache
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	qBig    map[string][]*job // per-tenant FIFO, lane path
+	qSmall  map[string][]*job // per-tenant FIFO, batched path
+	order   []string          // tenants in first-seen order (round-robin ring)
+	seen    map[string]bool
+	rrBig   int
+	rrSmall int
+	pending int // admitted − terminal
+	perTen  map[string]int
+	hwm     int
+	nextID  int
+	closed  bool
+
+	ln   net.Listener
+	hsrv *http.Server
+
+	wg sync.WaitGroup
+}
+
+// New starts a Server: Lanes executor goroutines, the batcher, and (when
+// Addr is set) the HTTP listener. Call Close when done.
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		fpr:    newFingerprinter(),
+		jobs:   make(map[string]*job),
+		qBig:   make(map[string][]*job),
+		qSmall: make(map[string][]*job),
+		seen:   make(map[string]bool),
+		perTen: make(map[string]int),
+	}
+	s.met = newSVMetrics(s.reg)
+	s.cache = newFactorCache(cfg.CacheEntries, s.met)
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Lanes; i++ {
+		s.wg.Add(1)
+		go s.runLane()
+	}
+	s.wg.Add(1)
+	go s.runBatcher()
+	if cfg.Addr != "" {
+		ln, err := net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			_ = s.Close()
+			return nil, fmt.Errorf("serve: listen %s: %w", cfg.Addr, err)
+		}
+		s.ln = ln
+		s.hsrv = &http.Server{Handler: s.handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = s.hsrv.Serve(ln) }()
+	}
+	return s, nil
+}
+
+// Addr returns the HTTP listen address, or "" for an in-process-only server.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Metrics snapshots the server's registry.
+func (s *Server) Metrics() metrics.Snapshot { return s.reg.Snapshot() }
+
+// CacheLen reports how many factorizations are resident in the cache.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// Submit validates spec and admits it under tenant's budget, returning the
+// job ID. A *ShedError return means admission control rejected the job.
+func (s *Server) Submit(tenant string, spec JobSpec) (string, error) {
+	if tenant == "" {
+		tenant = "anon"
+	}
+	s.met.submitted.Inc()
+	if err := spec.check(); err != nil {
+		return "", err
+	}
+	small := s.isSmall(&spec)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", errors.New("serve: server closed")
+	}
+	if s.pending >= s.cfg.MaxQueue || s.perTen[tenant] >= s.cfg.MaxQueuePerTenant {
+		s.met.shed.Inc()
+		s.mu.Unlock()
+		return "", &ShedError{RetryAfter: s.cfg.RetryAfter}
+	}
+	s.met.admitted.Inc()
+	id := fmt.Sprintf("j%08d", s.nextID)
+	s.nextID++
+	j := newJob(id, tenant, spec)
+	s.jobs[id] = j
+	if !s.seen[tenant] {
+		s.seen[tenant] = true
+		s.order = append(s.order, tenant)
+	}
+	s.perTen[tenant]++
+	if small {
+		s.qSmall[tenant] = append(s.qSmall[tenant], j)
+	} else {
+		s.qBig[tenant] = append(s.qBig[tenant], j)
+	}
+	s.pending++
+	if s.pending > s.hwm {
+		s.hwm = s.pending
+		s.met.queueDepthHWM.Set(float64(s.hwm))
+	}
+	s.met.queueDepth.Set(float64(s.pending))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return id, nil
+}
+
+// isSmall decides the batched fast path: tiny solve jobs carrying their own
+// operator. Fingerprint references and factorize ops always take a lane (the
+// batched kernels work on raw slices and do not feed the cache).
+func (s *Server) isSmall(sp *JobSpec) bool {
+	return sp.Op.solves() && sp.A != nil && sp.N <= s.cfg.SmallCutoff && sp.testDelay == 0
+}
+
+// Status reports a job's current state.
+func (s *Server) Status(id string) (Status, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// WaitJob blocks until the job reaches a terminal state and returns it.
+func (s *Server) WaitJob(id string) (Status, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return Status{}, false
+	}
+	<-j.done
+	return j.status(), true
+}
+
+// Result returns a finished solve job's solution X (n×nrhs, column-major).
+func (s *Server) Result(id string) ([]float64, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, fmt.Errorf("serve: no job %s", id)
+	}
+	switch State(j.state.Load()) {
+	case StateQueued, StateRunning:
+		return nil, fmt.Errorf("serve: job %s still %s", id, State(j.state.Load()))
+	case StateFailed:
+		return nil, fmt.Errorf("serve: job %s failed: %v", id, j.errMsg.Load())
+	}
+	if r := j.result.Load(); r != nil {
+		return r.([]float64), nil
+	}
+	return nil, fmt.Errorf("serve: job %s produced no solution (factorize jobs deliver a fingerprint)", id)
+}
+
+// popRR pops the head of the first non-empty tenant queue at or after
+// *cursor, advancing the cursor past the served tenant — one job per tenant
+// per revolution, so a tenant with a thousand queued jobs cannot starve one
+// with a single job. Caller holds s.mu.
+func (s *Server) popRR(q map[string][]*job, cursor *int) *job {
+	n := len(s.order)
+	for k := 0; k < n; k++ {
+		t := s.order[(*cursor+k)%n]
+		if len(q[t]) > 0 {
+			j := q[t][0]
+			q[t] = q[t][1:]
+			*cursor = (*cursor + k + 1) % n
+			return j
+		}
+	}
+	return nil
+}
+
+// nextBig blocks until a lane-path job is available (nil once the server is
+// closed and drained).
+func (s *Server) nextBig() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.popRR(s.qBig, &s.rrBig); j != nil {
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// takeSmall blocks until at least one batched-path job is available and
+// returns up to max of them, dequeued fair-share. Nil once closed.
+func (s *Server) takeSmall(max int) []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if out := s.popSmallLocked(max); len(out) > 0 {
+			return out
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// takeSmallNow is the non-blocking top-up used after the batch linger.
+func (s *Server) takeSmallNow(max int) []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.popSmallLocked(max)
+}
+
+func (s *Server) popSmallLocked(max int) []*job {
+	var out []*job
+	for len(out) < max {
+		j := s.popRR(s.qSmall, &s.rrSmall)
+		if j == nil {
+			break
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+func (s *Server) markRunning(j *job) {
+	w := int64(time.Since(j.submitted))
+	j.started.Store(w)
+	j.state.Store(int32(StateRunning))
+	s.met.queueWait.Observe(w)
+}
+
+func (s *Server) finish(j *job, err error) {
+	el := int64(time.Since(j.submitted))
+	j.finished.Store(el)
+	if err != nil {
+		j.errMsg.Store(err.Error())
+		j.state.Store(int32(StateFailed))
+		s.met.failed.Inc()
+	} else {
+		j.state.Store(int32(StateDone))
+		s.met.done.Inc()
+	}
+	s.met.latency.Observe(el)
+	if st := j.started.Load(); st > 0 {
+		s.met.runNs.Observe(el - st)
+	}
+	close(j.done)
+	s.mu.Lock()
+	s.pending--
+	s.perTen[j.tenant]--
+	s.met.queueDepth.Set(float64(s.pending))
+	s.mu.Unlock()
+}
+
+// progressTracer feeds span traces back into the lane's current job, which
+// is where poll/stream status comes from: tasks completed so far and their
+// accumulated scheduler queue wait.
+type progressTracer struct {
+	cur atomic.Pointer[job]
+}
+
+func (t *progressTracer) TaskRan(string, int, int64, int64) {}
+
+func (t *progressTracer) TaskSpan(sp sched.Span) {
+	if j := t.cur.Load(); j != nil {
+		j.tasksDone.Add(1)
+		j.spanWaitNs.Add(sp.QueueWait())
+	}
+}
+
+func (s *Server) runLane() {
+	defer s.wg.Done()
+	tr := &progressTracer{}
+	rt := sched.New(s.cfg.Workers, sched.WithTracer(tr), sched.WithMetrics(s.reg))
+	defer rt.Shutdown()
+	for {
+		j := s.nextBig()
+		if j == nil {
+			return
+		}
+		s.execBig(rt, tr, j)
+	}
+}
+
+func (s *Server) execBig(rt *sched.Runtime, tr *progressTracer, j *job) {
+	s.markRunning(j)
+	tr.cur.Store(j)
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("serve: job %s panicked: %v", j.id, p)
+			}
+		}()
+		return s.runBig(rt, j)
+	}()
+	tr.cur.Store(nil)
+	s.finish(j, err)
+}
+
+// runBig executes one lane-path job: resolve the factor cache, run the
+// factorization or the warm triangular solves on the lane's runtime, and
+// publish the result.
+func (s *Server) runBig(rt *sched.Runtime, j *job) error {
+	sp := &j.spec
+	if sp.testDelay > 0 {
+		time.Sleep(sp.testDelay)
+	}
+	lu := !sp.Op.spd()
+	nb := s.cfg.TileSize
+	key := cacheKey{fp: sp.Fingerprint, lu: lu}
+	if sp.A != nil {
+		key.fp = s.fpr.of(sp.A)
+	}
+	j.fingerprint.Store(key.fp)
+
+	if !sp.Op.solves() {
+		// Factorize: on a hit the work is already resident — the job's
+		// deliverable (the fingerprint) is valid immediately.
+		if f := s.cache.get(key); f != nil && f.n == sp.N {
+			j.cacheStatus.Store(cacheHit)
+			return nil
+		}
+		j.cacheStatus.Store(cacheMiss)
+		ta := tile.FromColMajor(sp.N, sp.N, sp.A, sp.N, nb)
+		if lu {
+			f, err := core.LU(rt, ta)
+			if err != nil {
+				return err
+			}
+			s.cache.put(key, &factor{n: sp.N, lu: f})
+		} else {
+			if err := core.Cholesky(rt, ta); err != nil {
+				return err
+			}
+			s.cache.put(key, &factor{n: sp.N, chol: ta})
+		}
+		return nil
+	}
+
+	f := s.cache.get(key)
+	if f != nil && f.n != sp.N {
+		return fmt.Errorf("serve: fingerprint %s is an order-%d factor, job says n=%d", key.fp, f.n, sp.N)
+	}
+	if f == nil && sp.A == nil {
+		return fmt.Errorf("serve: fingerprint %s not resident in the factor cache", key.fp)
+	}
+	tb := tile.FromColMajor(sp.N, sp.NRHS, sp.B, sp.N, nb)
+	if f != nil {
+		// Warm path: the cached factor is immutable and shared; only the
+		// right-hand side is written.
+		j.cacheStatus.Store(cacheHit)
+		if lu {
+			core.ApplyLU(rt, f.lu, tb)
+			core.TrsmUpper(rt, f.lu.A, tb)
+		} else {
+			core.TrsmLower(rt, blas.NoTrans, f.chol, tb)
+			core.TrsmLower(rt, blas.Trans, f.chol, tb)
+		}
+		if err := rt.WaitErr(); err != nil {
+			return err
+		}
+	} else {
+		j.cacheStatus.Store(cacheMiss)
+		ta := tile.FromColMajor(sp.N, sp.N, sp.A, sp.N, nb)
+		if lu {
+			fl, err := core.Gesv(rt, ta, tb)
+			if err != nil {
+				return err
+			}
+			s.cache.put(key, &factor{n: sp.N, lu: fl})
+		} else {
+			if err := core.Posv(rt, ta, tb); err != nil {
+				return err
+			}
+			s.cache.put(key, &factor{n: sp.N, chol: ta})
+		}
+	}
+	j.result.Store(tb.ToColMajor())
+	return nil
+}
+
+// Close shuts the server down: stop the HTTP listener gracefully (2s drain,
+// then hard close), fail every still-queued job, and wait for the lanes and
+// the batcher to finish their in-flight work.
+func (s *Server) Close() error {
+	var httpErr error
+	if s.hsrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := s.hsrv.Shutdown(ctx); err != nil {
+			httpErr = s.hsrv.Close()
+		}
+		cancel()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return httpErr
+	}
+	s.closed = true
+	var orphans []*job
+	for t := range s.qBig {
+		orphans = append(orphans, s.qBig[t]...)
+		s.qBig[t] = nil
+	}
+	for t := range s.qSmall {
+		orphans = append(orphans, s.qSmall[t]...)
+		s.qSmall[t] = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range orphans {
+		s.finish(j, errors.New("serve: server shut down before the job ran"))
+	}
+	s.wg.Wait()
+	return httpErr
+}
